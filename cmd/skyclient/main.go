@@ -1,0 +1,83 @@
+// Command skyclient joins a running skyserver, receives one full video
+// with the paper's two-loader client, verifies every byte, and reports the
+// session's latency, buffer and jitter statistics.
+//
+// Usage:
+//
+//	skyclient -server 127.0.0.1:PORT -video 0
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"skyscraper/internal/client"
+	"skyscraper/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("server", "", "server control address (required)")
+		video     = flag.Int("video", 0, "video index to watch")
+		verbose   = flag.Bool("v", false, "log protocol details")
+		queryFlag = flag.Bool("stats", false, "query server stats instead of watching")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "skyclient: -server is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queryFlag {
+		if err := queryStats(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "skyclient:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	cfg := client.Config{ServerAddr: *addr, Video: *video}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	stats, err := client.Watch(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skyclient:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("video %d received and verified\n", *video)
+	fmt.Printf("  wait            %.3f units of D1\n", stats.WaitUnits)
+	fmt.Printf("  bytes           %d (all content-verified)\n", stats.Bytes)
+	fmt.Printf("  groups          %d\n", stats.Groups)
+	fmt.Printf("  max buffer      %d bytes\n", stats.MaxBufferBytes)
+	fmt.Printf("  late chunks     %d\n", stats.LateChunks)
+	fmt.Printf("  duplicates      %d\n", stats.DuplicateChunks)
+}
+
+// queryStats asks the server for its operational snapshot.
+func queryStats(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindStats}); err != nil {
+		return err
+	}
+	m, err := wire.ReadControl(bufio.NewReader(conn))
+	if err != nil {
+		return err
+	}
+	if m.Kind != wire.KindStatsOK || m.Stats == nil {
+		return fmt.Errorf("unexpected reply %q: %s", m.Kind, m.Error)
+	}
+	fmt.Printf("uptime          %v\n", time.Duration(m.Stats.UptimeNanos).Round(time.Millisecond))
+	fmt.Printf("channel pacers  %d\n", m.Stats.Channels)
+	fmt.Printf("memberships     %d\n", m.Stats.Members)
+	fmt.Printf("datagrams sent  %d\n", m.Stats.DatagramsSent)
+	return nil
+}

@@ -1,0 +1,82 @@
+// Command skyserver runs the live Skyscraper Broadcasting server: M videos
+// of synthetic content, K channels each, broadcast over loopback UDP with
+// a TCP control port for clients (see cmd/skyclient).
+//
+// Usage:
+//
+//	skyserver -M 2 -K 6 -W 5 -unit 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"skyscraper/internal/core"
+	"skyscraper/internal/server"
+	"skyscraper/internal/vod"
+)
+
+func main() {
+	var (
+		videos   = flag.Int("M", 2, "number of videos to broadcast")
+		channels = flag.Int("K", 6, "channels per video")
+		width    = flag.Int64("W", 5, "skyscraper width")
+		unit     = flag.Duration("unit", 50*time.Millisecond, "wall-clock duration of one D1 unit")
+		bpu      = flag.Int("bytes-per-unit", 4096, "payload bytes per unit")
+		chunk    = flag.Int("chunk", 1024, "chunk payload bytes (must divide bytes-per-unit)")
+		status   = flag.Bool("status", true, "serve an HTTP /status endpoint")
+	)
+	flag.Parse()
+	if err := run(*videos, *channels, *width, *unit, *bpu, *chunk, *status); err != nil {
+		fmt.Fprintln(os.Stderr, "skyserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, status bool) error {
+	cfg := vod.Config{
+		ServerMbps: 1.5 * float64(videos*channels),
+		Videos:     videos,
+		LengthMin:  120,
+		RateMbps:   1.5,
+	}
+	sch, err := core.New(cfg, width)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Scheme:       sch,
+		Unit:         unit,
+		BytesPerUnit: bpu,
+		ChunkBytes:   chunk,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("skyserver: control address %s\n", srv.Addr())
+	if status {
+		url, err := srv.ServeStatus()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("skyserver: status at %s/status\n", url)
+	}
+	fmt.Printf("skyserver: %d videos x %d channels, fragments %v (units of %v)\n",
+		videos, sch.K(), sch.Sizes(), unit)
+	fmt.Println("skyserver: ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}

@@ -1,0 +1,79 @@
+package skyscraper_test
+
+import (
+	"fmt"
+
+	"skyscraper"
+)
+
+// ExampleNew builds the paper's Section 5 workload at 320 Mbit/s and reads
+// off the three Table 1 metrics.
+func ExampleNew() {
+	sb, err := skyscraper.New(skyscraper.DefaultConfig(320), 52)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("K = %d channels per video\n", sb.K())
+	fmt.Printf("latency  %.4f min\n", sb.AccessLatencyMin())
+	fmt.Printf("buffer   %.1f MByte\n", sb.BufferMbit()/8)
+	fmt.Printf("disk bw  %.1f Mbit/s\n", sb.DiskBandwidthMbps())
+	// Output:
+	// K = 21 channels per video
+	// latency  0.1683 min
+	// buffer   96.6 MByte
+	// disk bw  4.5 Mbit/s
+}
+
+// ExampleScheme_PlanSchedule shows a client's deterministic two-loader
+// reception plan: each transmission group tuned at the latest broadcast
+// meeting its deadline.
+func ExampleScheme_PlanSchedule() {
+	sb, err := skyscraper.New(skyscraper.DefaultConfig(150), 12) // K = 10
+	if err != nil {
+		panic(err)
+	}
+	plan, err := sb.PlanSchedule(4) // playback starts at unit 4
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range plan.Downloads {
+		fmt.Printf("group %d %-9v -> %-4v loader tunes at unit %d\n",
+			d.Group.Index, d.Group, d.Loader, d.StartUnit)
+	}
+	// Output:
+	// group 1 (1)       -> odd  loader tunes at unit 4
+	// group 2 (2,2)     -> even loader tunes at unit 4
+	// group 3 (5,5)     -> odd  loader tunes at unit 5
+	// group 4 (12,12,12,12,12) -> even loader tunes at unit 12
+}
+
+// ExampleWidthForLatency inverts the access-latency formula: the smallest
+// width meeting a half-minute target at K = 21.
+func ExampleWidthForLatency() {
+	w := skyscraper.WidthForLatency(21, 120, 0.5)
+	sb, err := skyscraper.New(skyscraper.DefaultConfig(320), w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("W = %d gives %.4f min at %.1f MByte\n", w, sb.AccessLatencyMin(), sb.BufferMbit()/8)
+	// Output:
+	// W = 25 gives 0.3085 min at 83.3 MByte
+}
+
+// ExampleNewPyramid contrasts the baselines at one operating point.
+func ExampleNewPyramid() {
+	cfg := skyscraper.DefaultConfig(320)
+	pb, err := skyscraper.NewPyramid(cfg, skyscraper.PyramidB)
+	if err != nil {
+		panic(err)
+	}
+	pp, err := skyscraper.NewPPB(cfg, skyscraper.PPBB)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: K=%d alpha=%.4f buffer %.0f MByte\n", pb.Name(), pb.K(), pb.Alpha(), pb.BufferMbit()/8)
+	fmt.Printf("%s: K=%d P=%d alpha=%.4f buffer %.0f MByte\n", pp.Name(), pp.K(), pp.P(), pp.Alpha(), pp.BufferMbit()/8)
+	// Output:
+	// PB:b: K=7 alpha=3.0476 buffer 1175 MByte
+	// PPB:b: K=7 P=2 alpha=1.0476 buffer 142 MByte
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a Skyscraper Broadcasting scheme for the paper's
+// workload, inspect its fragmentation and client cost model, plan one
+// client's reception, and cross-check the plan against the event
+// simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skyscraper"
+)
+
+func main() {
+	// The paper's Section 5 workload: M = 10 videos, D = 120 minutes,
+	// b = 1.5 Mbit/s, at a 320 Mbit/s server.
+	cfg := skyscraper.DefaultConfig(320)
+	sb, err := skyscraper.New(cfg, 52) // width W = 52
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Skyscraper Broadcasting quickstart ==")
+	fmt.Printf("scheme            %v\n", sb)
+	fmt.Printf("channels/video    K = %d (of %d total server channels)\n", sb.K(), cfg.Channels())
+	fmt.Printf("fragment sizes    %v  (units of D1)\n", sb.Sizes())
+	fmt.Printf("groups            %v\n", sb.Groups())
+	fmt.Printf("access latency    %.4f minutes (= D1)\n", sb.AccessLatencyMin())
+	fmt.Printf("client buffer     %.1f Mbit = %.1f MByte\n", sb.BufferMbit(), sb.BufferMbit()/8)
+	fmt.Printf("client disk bw    %.2f Mbit/s (3b: two loaders + player)\n", sb.DiskBandwidthMbps())
+
+	// Plan a client that starts playback at unit 7 and verify the plan
+	// is jitter-free with a bounded buffer.
+	plan, err := sb.PlanSchedule(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreception plan (playback start = unit 7):")
+	for _, d := range plan.Downloads {
+		fmt.Printf("  group %-2d %-12v %-4s loader tunes at unit %d\n",
+			d.Group.Index, d.Group, d.Loader, d.StartUnit)
+	}
+	profile, err := sb.Profile(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max buffered      %d units (bound: W-1 = %d)\n", profile.Max(), sb.EffectiveWidth()-1)
+
+	// The event simulator measures the same things independently.
+	res, err := skyscraper.Sweep(skyscraper.SimulateSB(sb), 500, 1000, cfg.Videos, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsimulated population (500 clients):")
+	fmt.Printf("  wait    %s\n", res.WaitMin.String())
+	fmt.Printf("  buffer  %s Mbit\n", res.BufferMbit.String())
+	fmt.Printf("  worst wait/buffer match the closed forms: %.4f / %.1f\n",
+		sb.AccessLatencyMin(), sb.BufferMbit())
+}

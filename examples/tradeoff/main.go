@@ -1,0 +1,66 @@
+// Tradeoff: Section 5.4's design exercise — "To determine a good W, we can
+// cross-examine Figure 7 and Figure 8". This example sweeps the skyscraper
+// width at a fixed bandwidth, prints the latency/storage/disk-bandwidth
+// frontier, and inverts the latency formula to pick the cheapest width
+// meeting a latency target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skyscraper"
+)
+
+func main() {
+	const serverMbps = 320
+	cfg := skyscraper.DefaultConfig(serverMbps)
+
+	fmt.Printf("== Width trade-off at B = %g Mbit/s (K = %d) ==\n\n", float64(serverMbps), cfg.ChannelsPerVideo())
+	fmt.Printf("%10s  %14s  %14s  %12s\n", "W", "latency (min)", "buffer (MByte)", "disk bw")
+	var prev int64
+	for n := 1; n <= 16; n++ {
+		w := skyscraper.SkyscraperSeries.At(n)
+		if w == prev { // series elements repeat in pairs
+			continue
+		}
+		prev = w
+		sb, err := skyscraper.New(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d  %14.4f  %14.1f  %10.1fb\n",
+			w, sb.AccessLatencyMin(), sb.BufferMbit()/8, sb.DiskBandwidthMbps()/cfg.RateMbps)
+		if sb.EffectiveWidth() < w {
+			fmt.Printf("%10s  (cap no longer binds beyond this point)\n", "")
+			break
+		}
+	}
+
+	// Inverting the formula: the cheapest width for a latency target.
+	for _, target := range []float64{3.0, 1.0, 0.5, 0.1} {
+		w := skyscraper.WidthForLatency(cfg.ChannelsPerVideo(), cfg.LengthMin, target)
+		if w == 0 {
+			fmt.Printf("\ntarget %.2f min: unreachable at this K\n", target)
+			continue
+		}
+		sb, err := skyscraper.New(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntarget %.2f min: W = %d gives latency %.4f min at %.1f MByte of client disk",
+			target, w, sb.AccessLatencyMin(), sb.BufferMbit()/8)
+	}
+	fmt.Println()
+
+	// The paper's comparison point: what do the baselines cost here?
+	fmt.Println("\nbaselines at the same bandwidth:")
+	if pb, err := skyscraper.NewPyramid(cfg, skyscraper.PyramidB); err == nil {
+		fmt.Printf("  %-6s latency %.4f min, buffer %.0f MByte, disk bw %.1fb\n",
+			pb.Name(), pb.AccessLatencyMin(), pb.BufferMbit()/8, pb.DiskBandwidthMbps()/cfg.RateMbps)
+	}
+	if pp, err := skyscraper.NewPPB(cfg, skyscraper.PPBB); err == nil {
+		fmt.Printf("  %-6s latency %.4f min, buffer %.0f MByte, disk bw %.1fb\n",
+			pp.Name(), pp.AccessLatencyMin(), pp.BufferMbit()/8, pp.DiskBandwidthMbps()/cfg.RateMbps)
+	}
+}

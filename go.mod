@@ -1,0 +1,3 @@
+module skyscraper
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package batch implements the scheduled-multicast substrate the paper
+// assumes for the less popular videos (Section 1): client requests queue up
+// per video, and whenever a server channel becomes available a scheduling
+// policy picks one batch to serve with a single multicast stream. The
+// policies implemented are the ones the paper cites — first-come-first-
+// served, Maximum Queue Length (MQL, Dan et al.), and Maximum Factored
+// Queue Length — plus the machinery to combine batching with periodic
+// broadcast into the hybrid architecture the paper reports "offered the
+// best performance".
+package batch
+
+import (
+	"fmt"
+	"math"
+)
+
+// QueueView is the per-video state a policy sees when a channel frees.
+type QueueView struct {
+	// Video is the catalog rank.
+	Video int
+	// Pending is the number of waiting requests.
+	Pending int
+	// OldestArrivalMin is the arrival time of the longest-waiting
+	// request (undefined when Pending is 0).
+	OldestArrivalMin float64
+	// Popularity is the video's access probability, for factored
+	// policies.
+	Popularity float64
+}
+
+// Policy selects which video's batch a freed channel should serve.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Select returns the index within views of the queue to serve, or
+	// -1 to leave the channel idle. Only non-empty queues are offered.
+	Select(now float64, views []QueueView) int
+}
+
+// FCFS serves the batch containing the longest-waiting request,
+// guaranteeing a bounded wait for every client at some cost in throughput.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// Select implements Policy.
+func (FCFS) Select(_ float64, views []QueueView) int {
+	best := -1
+	for i, v := range views {
+		if v.Pending == 0 {
+			continue
+		}
+		if best == -1 || v.OldestArrivalMin < views[best].OldestArrivalMin {
+			best = i
+		}
+	}
+	return best
+}
+
+// MQL is Maximum Queue Length (Dan, Sitaram and Shahabuddin): serve the
+// video with the most pending requests, maximizing server throughput at the
+// cost of starving unpopular titles.
+type MQL struct{}
+
+// Name implements Policy.
+func (MQL) Name() string { return "MQL" }
+
+// Select implements Policy.
+func (MQL) Select(_ float64, views []QueueView) int {
+	best := -1
+	for i, v := range views {
+		if v.Pending == 0 {
+			continue
+		}
+		if best == -1 || v.Pending > views[best].Pending {
+			best = i
+		}
+	}
+	return best
+}
+
+// MFQL is Maximum Factored Queue Length: serve the video maximizing
+// queue length divided by the square root of its popularity, a known
+// fairness/throughput compromise between FCFS and MQL.
+type MFQL struct{}
+
+// Name implements Policy.
+func (MFQL) Name() string { return "MFQL" }
+
+// Select implements Policy.
+func (MFQL) Select(_ float64, views []QueueView) int {
+	best, bestScore := -1, math.Inf(-1)
+	for i, v := range views {
+		if v.Pending == 0 {
+			continue
+		}
+		score := float64(v.Pending)
+		if v.Popularity > 0 {
+			score /= math.Sqrt(v.Popularity)
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// PolicyByName returns the named policy ("fcfs", "mql" or "mfql").
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "fcfs", "FCFS":
+		return FCFS{}, nil
+	case "mql", "MQL":
+		return MQL{}, nil
+	case "mfql", "MFQL":
+		return MFQL{}, nil
+	default:
+		return nil, fmt.Errorf("batch: unknown policy %q (want fcfs, mql or mfql)", name)
+	}
+}

@@ -1,0 +1,232 @@
+package batch
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"skyscraper/internal/catalog"
+	"skyscraper/internal/trace"
+	"skyscraper/internal/workload"
+)
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"fcfs", "mql", "mfql", "FCFS", "MQL", "MFQL"} {
+		p, err := PolicyByName(name)
+		if err != nil || p == nil {
+			t.Errorf("PolicyByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := PolicyByName("lru"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFCFSSelectsOldest(t *testing.T) {
+	views := []QueueView{
+		{Video: 0, Pending: 5, OldestArrivalMin: 10},
+		{Video: 1, Pending: 1, OldestArrivalMin: 3},
+		{Video: 2, Pending: 0},
+	}
+	if got := (FCFS{}).Select(20, views); got != 1 {
+		t.Errorf("FCFS selected %d, want 1 (oldest head)", got)
+	}
+}
+
+func TestMQLSelectsLongest(t *testing.T) {
+	views := []QueueView{
+		{Video: 0, Pending: 5, OldestArrivalMin: 10},
+		{Video: 1, Pending: 9, OldestArrivalMin: 19},
+		{Video: 2, Pending: 2, OldestArrivalMin: 1},
+	}
+	if got := (MQL{}).Select(20, views); got != 1 {
+		t.Errorf("MQL selected %d, want 1 (longest queue)", got)
+	}
+}
+
+func TestMFQLFactorsPopularity(t *testing.T) {
+	// Equal queue lengths: the less popular video wins (its queue is
+	// more surprising).
+	views := []QueueView{
+		{Video: 0, Pending: 4, Popularity: 0.5},
+		{Video: 1, Pending: 4, Popularity: 0.02},
+	}
+	if got := (MFQL{}).Select(0, views); got != 1 {
+		t.Errorf("MFQL selected %d, want 1 (rarer video)", got)
+	}
+	// But a much longer queue still wins.
+	views[0].Pending = 100
+	if got := (MFQL{}).Select(0, views); got != 0 {
+		t.Errorf("MFQL selected %d, want 0 (overwhelming queue)", got)
+	}
+}
+
+func TestEmptySelect(t *testing.T) {
+	for _, p := range []Policy{FCFS{}, MQL{}, MFQL{}} {
+		if got := p.Select(0, nil); got != -1 {
+			t.Errorf("%s.Select(empty) = %d, want -1", p.Name(), got)
+		}
+	}
+}
+
+func genRequests(t *testing.T, n int, rate float64, videos int, patience float64, seed uint64) ([]workload.Request, *catalog.Catalog) {
+	t.Helper()
+	cat, err := catalog.New(videos, catalog.DefaultSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(workload.Config{RatePerMin: rate, Seed: seed, MeanPatienceMin: patience}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Take(n), cat
+}
+
+func TestRunServesEverythingWithoutReneging(t *testing.T) {
+	reqs, _ := genRequests(t, 500, 2, 20, 0, 1)
+	st, err := Run(ServerConfig{Channels: 8, Videos: 20, LengthMin: 120}, MQL{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 500 || st.Reneged != 0 || st.Pending != 0 {
+		t.Errorf("served/reneged/pending = %d/%d/%d, want 500/0/0", st.Served, st.Reneged, st.Pending)
+	}
+	if st.BatchSize.Mean() <= 1 {
+		t.Errorf("mean batch size %v; batching should aggregate requests at rate 2/min", st.BatchSize.Mean())
+	}
+	if int(st.BatchSize.Sum()) != st.Served {
+		t.Errorf("batch sizes sum to %v, served %d", st.BatchSize.Sum(), st.Served)
+	}
+	if st.StreamsStarted != st.BatchSize.Count() {
+		t.Errorf("streams %d vs batches %d", st.StreamsStarted, st.BatchSize.Count())
+	}
+	if st.ChannelBusyFrac <= 0 || st.ChannelBusyFrac > 1 {
+		t.Errorf("busy fraction %v outside (0, 1]", st.ChannelBusyFrac)
+	}
+}
+
+func TestRunReneging(t *testing.T) {
+	// Overload: 1 channel, long videos, impatient clients.
+	reqs, _ := genRequests(t, 300, 4, 10, 3, 2)
+	st, err := Run(ServerConfig{Channels: 1, Videos: 10, LengthMin: 120}, MQL{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reneged == 0 {
+		t.Error("no reneging under extreme overload with 3-minute patience")
+	}
+	if st.Served+st.Reneged+st.Pending != 300 {
+		t.Errorf("requests unaccounted: %d+%d+%d != 300", st.Served, st.Reneged, st.Pending)
+	}
+}
+
+// TestMQLBeatsFCFSOnThroughput reproduces the claim behind MQL's design
+// (Section 1: "the objective of this approach is to maximize the server
+// throughput"): under overload with reneging, MQL serves more requests than
+// FCFS.
+func TestMQLBeatsFCFSOnThroughput(t *testing.T) {
+	cfg := ServerConfig{Channels: 2, Videos: 30, LengthMin: 120}
+	reqs, cat := genRequests(t, 2000, 6, 30, 15, 3)
+	probs := make([]float64, 30)
+	for i := range probs {
+		probs[i] = cat.Prob(i)
+	}
+	cfg.Popularity = probs
+	mql, err := Run(cfg, MQL{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := Run(cfg, FCFS{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mql.Served <= fcfs.Served {
+		t.Errorf("MQL served %d, FCFS served %d; MQL should maximize throughput", mql.Served, fcfs.Served)
+	}
+}
+
+func TestWaitTimesNonNegative(t *testing.T) {
+	reqs, _ := genRequests(t, 200, 1, 5, 0, 4)
+	for _, p := range []Policy{FCFS{}, MQL{}, MFQL{}} {
+		st, err := Run(ServerConfig{Channels: 3, Videos: 5, LengthMin: 60}, p, reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if st.WaitMin.Min() < 0 {
+			t.Errorf("%s: negative wait %v", p.Name(), st.WaitMin.Min())
+		}
+		if math.IsNaN(st.WaitMin.Mean()) {
+			t.Errorf("%s: NaN mean wait", p.Name())
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	reqs, _ := genRequests(t, 5, 1, 5, 0, 5)
+	if _, err := Run(ServerConfig{Channels: 0, Videos: 5, LengthMin: 60}, MQL{}, reqs); err == nil {
+		t.Error("accepted 0 channels")
+	}
+	if _, err := Run(ServerConfig{Channels: 1, Videos: 0, LengthMin: 60}, MQL{}, reqs); err == nil {
+		t.Error("accepted 0 videos")
+	}
+	if _, err := Run(ServerConfig{Channels: 1, Videos: 5, LengthMin: 0}, MQL{}, reqs); err == nil {
+		t.Error("accepted 0 length")
+	}
+	if _, err := Run(ServerConfig{Channels: 1, Videos: 5, LengthMin: 60}, nil, reqs); err == nil {
+		t.Error("accepted nil policy")
+	}
+	if _, err := Run(ServerConfig{Channels: 1, Videos: 5, LengthMin: 60, Popularity: []float64{1}}, MQL{}, reqs); err == nil {
+		t.Error("accepted mismatched popularity")
+	}
+	bad := []workload.Request{{ID: 0, ArrivalMin: 1, VideoRank: 99}}
+	if _, err := Run(ServerConfig{Channels: 1, Videos: 5, LengthMin: 60}, MQL{}, bad); err == nil {
+		t.Error("accepted out-of-catalog request")
+	}
+	unordered := []workload.Request{{ID: 0, ArrivalMin: 5}, {ID: 1, ArrivalMin: 1}}
+	if _, err := Run(ServerConfig{Channels: 1, Videos: 5, LengthMin: 60}, MQL{}, unordered); err == nil {
+		t.Error("accepted unordered arrivals")
+	}
+}
+
+// TestBoundedWaitWithAmpleChannels: with one channel per video, every
+// request waits at most one video length (the head-of-line stream).
+func TestBoundedWaitWithAmpleChannels(t *testing.T) {
+	reqs, _ := genRequests(t, 400, 3, 5, 0, 6)
+	st, err := Run(ServerConfig{Channels: 5, Videos: 5, LengthMin: 30}, FCFS{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WaitMin.Max() > 30+1e-9 {
+		t.Errorf("max wait %v exceeds one video length with a channel per video", st.WaitMin.Max())
+	}
+}
+
+func TestRunTracing(t *testing.T) {
+	reqs, _ := genRequests(t, 40, 2, 5, 1, 9)
+	tr := trace.New(1024)
+	_, err := Run(ServerConfig{Channels: 1, Videos: 5, LengthMin: 120, Trace: tr}, MQL{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrives, streams, reneges int
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case "arrive":
+			arrives++
+		case "stream-start":
+			streams++
+		case "renege":
+			reneges++
+		}
+	}
+	if arrives != 40 {
+		t.Errorf("traced %d arrivals, want 40", arrives)
+	}
+	if streams == 0 || reneges == 0 {
+		t.Errorf("traced %d streams, %d reneges; want both > 0 under overload", streams, reneges)
+	}
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil || sb.Len() == 0 {
+		t.Errorf("WriteTo: %v, %d bytes", err, sb.Len())
+	}
+}

@@ -1,0 +1,175 @@
+package batch
+
+import (
+	"fmt"
+
+	"skyscraper/internal/des"
+	"skyscraper/internal/metrics"
+	"skyscraper/internal/trace"
+	"skyscraper/internal/workload"
+)
+
+// ServerConfig parameterizes a scheduled-multicast video server.
+type ServerConfig struct {
+	// Channels is the number of concurrent multicast streams the server
+	// can sustain (its bandwidth divided by the display rate).
+	Channels int
+	// Videos is the catalog size served by batching.
+	Videos int
+	// LengthMin is each video's playback (and hence channel-occupancy)
+	// duration in minutes.
+	LengthMin float64
+	// Popularity optionally supplies per-video access probabilities for
+	// factored policies; nil means uniform.
+	Popularity []float64
+	// Trace, when non-nil, journals arrivals, stream starts and
+	// reneging.
+	Trace *trace.Buffer
+}
+
+// Stats reports the outcome of a batching run.
+type Stats struct {
+	// Served and Reneged count requests by outcome; Pending counts those
+	// still queued when the run ended.
+	Served, Reneged, Pending int
+	// WaitMin summarizes the waiting times of served requests.
+	WaitMin metrics.Summary
+	// BatchSize summarizes how many requests each multicast stream
+	// served — the paper's motivation for batching is this number
+	// exceeding 1.
+	BatchSize metrics.Summary
+	// StreamsStarted is the number of multicast streams the server
+	// launched.
+	StreamsStarted int
+	// ChannelBusyFrac is the time-averaged fraction of channels busy.
+	ChannelBusyFrac float64
+}
+
+// Run simulates the server under the given policy over a fixed request
+// sequence (as produced by workload.Generator), draining all queues at the
+// end of arrivals. Requests whose PatienceMin elapses before service renege
+// and never count as served.
+func Run(cfg ServerConfig, policy Policy, reqs []workload.Request) (*Stats, error) {
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("batch: need at least one channel, got %d", cfg.Channels)
+	}
+	if cfg.Videos <= 0 {
+		return nil, fmt.Errorf("batch: need at least one video, got %d", cfg.Videos)
+	}
+	if cfg.LengthMin <= 0 {
+		return nil, fmt.Errorf("batch: video length %v must be positive", cfg.LengthMin)
+	}
+	if cfg.Popularity != nil && len(cfg.Popularity) != cfg.Videos {
+		return nil, fmt.Errorf("batch: %d popularity entries for %d videos", len(cfg.Popularity), cfg.Videos)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("batch: nil policy")
+	}
+
+	type pending struct {
+		arrival float64
+		expires float64 // 0 = never
+	}
+	var (
+		sim      des.Sim
+		queues   = make([][]pending, cfg.Videos)
+		idle     = cfg.Channels
+		st       Stats
+		busy     metrics.Gauge
+		lastTime float64
+	)
+
+	pop := func(v int) float64 {
+		if cfg.Popularity == nil {
+			return 1 / float64(cfg.Videos)
+		}
+		return cfg.Popularity[v]
+	}
+
+	// reap drops reneged requests from the front sections of a queue.
+	reap := func(now float64, v int) {
+		q := queues[v][:0]
+		for _, p := range queues[v] {
+			if p.expires > 0 && p.expires <= now {
+				st.Reneged++
+				cfg.Trace.Addf(now, "renege", "video %d request from t=%.2f gave up", v, p.arrival)
+				continue
+			}
+			q = append(q, p)
+		}
+		queues[v] = q
+	}
+
+	var dispatch func(now float64)
+	dispatch = func(now float64) {
+		for idle > 0 {
+			views := make([]QueueView, 0, cfg.Videos)
+			for v := range queues {
+				reap(now, v)
+				if len(queues[v]) == 0 {
+					continue
+				}
+				views = append(views, QueueView{
+					Video:            v,
+					Pending:          len(queues[v]),
+					OldestArrivalMin: queues[v][0].arrival,
+					Popularity:       pop(v),
+				})
+			}
+			if len(views) == 0 {
+				return
+			}
+			choice := policy.Select(now, views)
+			if choice < 0 || choice >= len(views) {
+				return // policy declines; channel stays idle
+			}
+			v := views[choice].Video
+			// Serve the whole batch with one multicast stream.
+			for _, p := range queues[v] {
+				st.Served++
+				st.WaitMin.Observe(now - p.arrival)
+			}
+			st.BatchSize.Observe(float64(len(queues[v])))
+			st.StreamsStarted++
+			cfg.Trace.Addf(now, "stream-start", "video %d serves a batch of %d", v, len(queues[v]))
+			queues[v] = nil
+			idle--
+			busy.Set(now, float64(cfg.Channels-idle))
+			sim.After(cfg.LengthMin, func(end float64) {
+				idle++
+				busy.Set(end, float64(cfg.Channels-idle))
+				dispatch(end)
+			})
+		}
+	}
+
+	for _, r := range reqs {
+		r := r
+		if r.VideoRank < 0 || r.VideoRank >= cfg.Videos {
+			return nil, fmt.Errorf("batch: request %d for video %d outside catalog 0..%d", r.ID, r.VideoRank, cfg.Videos-1)
+		}
+		if r.ArrivalMin < lastTime {
+			return nil, fmt.Errorf("batch: request %d arrives at %v before request %d", r.ID, r.ArrivalMin, r.ID-1)
+		}
+		lastTime = r.ArrivalMin
+		sim.At(r.ArrivalMin, func(now float64) {
+			cfg.Trace.Addf(now, "arrive", "request %d for video %d", r.ID, r.VideoRank)
+			p := pending{arrival: now}
+			if r.PatienceMin > 0 {
+				p.expires = now + r.PatienceMin
+			}
+			queues[r.VideoRank] = append(queues[r.VideoRank], p)
+			dispatch(now)
+		})
+	}
+	sim.RunAll()
+	end := sim.Now()
+	for v := range queues {
+		reap(end, v)
+		st.Pending += len(queues[v])
+	}
+	if cfg.Channels > 0 {
+		st.ChannelBusyFrac = busy.TimeAverage(end) / float64(cfg.Channels)
+	}
+	return &st, nil
+}

@@ -1,0 +1,359 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 5) from this repository's implementations: the
+// parameter-determination plots (Figure 5), the three metric comparisons
+// (Figures 6-8: client disk bandwidth, access latency, client storage), the
+// correctness/storage transition diagrams (Figures 1-4), and the formula
+// tables (Tables 1-2). Each generator returns plain data that cmd/skyfigs
+// renders and bench_test.go exercises as benchmarks.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"skyscraper/internal/core"
+	"skyscraper/internal/ppb"
+	"skyscraper/internal/pyramid"
+	"skyscraper/internal/sim"
+	"skyscraper/internal/vod"
+)
+
+// Widths are the skyscraper widths studied in Section 5: "2, 52, 1705, and
+// 54612 ... the values of the 2-nd, 10-th, 20-th and 30-th elements of the
+// broadcast series", plus 0 for the W = infinity curves.
+var Widths = []int64{2, 52, 1705, 54612, 0}
+
+// WidthName renders a width the way the paper labels its curves.
+func WidthName(w int64) string {
+	if w == 0 {
+		return "SB:W=infinite"
+	}
+	return fmt.Sprintf("SB:W=%d", w)
+}
+
+// Curve is one named line on a figure; Y is NaN where the scheme is
+// infeasible (PB/PPB below ~90 Mbit/s).
+type Curve struct {
+	Name string
+	X, Y []float64
+}
+
+// Bandwidths returns the network-I/O sweep of Section 5.1: 100 to 600
+// Mbit/s ("First, PB and PPB do not work if the server bandwidth is less
+// than 90 Mbits/sec. Second, 600 Mbits/sec is large enough to show the
+// trends").
+func Bandwidths(step float64) []float64 {
+	if step <= 0 {
+		step = 20
+	}
+	var out []float64
+	for b := 100.0; b <= 600+1e-9; b += step {
+		out = append(out, b)
+	}
+	return out
+}
+
+// schemes materializes every scheme variant at one bandwidth; entries for
+// infeasible variants are nil.
+type schemes struct {
+	sb   map[int64]*core.Scheme // by width
+	pbA  *pyramid.Scheme
+	pbB  *pyramid.Scheme
+	ppbA *ppb.Scheme
+	ppbB *ppb.Scheme
+}
+
+func at(bandwidth float64) schemes {
+	cfg := vod.DefaultConfig(bandwidth)
+	s := schemes{sb: make(map[int64]*core.Scheme, len(Widths))}
+	for _, w := range Widths {
+		if sch, err := core.New(cfg, w); err == nil {
+			s.sb[w] = sch
+		}
+	}
+	s.pbA, _ = pyramid.New(cfg, pyramid.MethodA)
+	s.pbB, _ = pyramid.New(cfg, pyramid.MethodB)
+	s.ppbA, _ = ppb.New(cfg, ppb.MethodA)
+	s.ppbB, _ = ppb.New(cfg, ppb.MethodB)
+	return s
+}
+
+// metric builds one curve over the bandwidth sweep, with eval returning
+// NaN for infeasible points.
+func metric(name string, bands []float64, eval func(s schemes) float64) Curve {
+	c := Curve{Name: name, X: bands, Y: make([]float64, len(bands))}
+	for i, b := range bands {
+		c.Y[i] = eval(at(b))
+	}
+	return c
+}
+
+func orNaN(p vod.Performer, f func(vod.Performer) float64) float64 {
+	if p == nil || (isNilPtr(p)) {
+		return math.NaN()
+	}
+	return f(p)
+}
+
+// isNilPtr reports whether a Performer interface holds a typed nil.
+func isNilPtr(p vod.Performer) bool {
+	switch v := p.(type) {
+	case *core.Scheme:
+		return v == nil
+	case *pyramid.Scheme:
+		return v == nil
+	case *ppb.Scheme:
+		return v == nil
+	default:
+		return false
+	}
+}
+
+// Figure5a reproduces Figure 5(a): the values of K (all schemes) and P
+// (PPB) under different network-I/O bandwidths.
+func Figure5a(bands []float64) []Curve {
+	return []Curve{
+		metric("SB (K)", bands, func(s schemes) float64 {
+			if sch := s.sb[52]; sch != nil {
+				return float64(sch.K())
+			}
+			return math.NaN()
+		}),
+		metric("PB:a (K)", bands, func(s schemes) float64 {
+			if s.pbA == nil {
+				return math.NaN()
+			}
+			return float64(s.pbA.K())
+		}),
+		metric("PB:b (K)", bands, func(s schemes) float64 {
+			if s.pbB == nil {
+				return math.NaN()
+			}
+			return float64(s.pbB.K())
+		}),
+		metric("PPB:a (K)", bands, func(s schemes) float64 {
+			if s.ppbA == nil {
+				return math.NaN()
+			}
+			return float64(s.ppbA.K())
+		}),
+		metric("PPB:a (P)", bands, func(s schemes) float64 {
+			if s.ppbA == nil {
+				return math.NaN()
+			}
+			return float64(s.ppbA.P())
+		}),
+		metric("PPB:b (P)", bands, func(s schemes) float64 {
+			if s.ppbB == nil {
+				return math.NaN()
+			}
+			return float64(s.ppbB.P())
+		}),
+	}
+}
+
+// Figure5b reproduces Figure 5(b): the value of alpha for the
+// pyramid-based schemes.
+func Figure5b(bands []float64) []Curve {
+	return []Curve{
+		metric("PB:a (alpha)", bands, func(s schemes) float64 {
+			if s.pbA == nil {
+				return math.NaN()
+			}
+			return s.pbA.Alpha()
+		}),
+		metric("PB:b (alpha)", bands, func(s schemes) float64 {
+			if s.pbB == nil {
+				return math.NaN()
+			}
+			return s.pbB.Alpha()
+		}),
+		metric("PPB:a (alpha)", bands, func(s schemes) float64 {
+			if s.ppbA == nil {
+				return math.NaN()
+			}
+			return s.ppbA.Alpha()
+		}),
+		metric("PPB:b (alpha)", bands, func(s schemes) float64 {
+			if s.ppbB == nil {
+				return math.NaN()
+			}
+			return s.ppbB.Alpha()
+		}),
+	}
+}
+
+// performers lists every curve of Figures 6-8 in the paper's order.
+func performers(s schemes) []vod.Performer {
+	out := []vod.Performer{}
+	for _, w := range Widths {
+		if sch := s.sb[w]; sch != nil {
+			out = append(out, sch)
+		} else {
+			out = append(out, (*core.Scheme)(nil))
+		}
+	}
+	out = append(out, s.pbA, s.pbB, s.ppbA, s.ppbB)
+	return out
+}
+
+// performerNames matches performers' order.
+func performerNames() []string {
+	names := []string{}
+	for _, w := range Widths {
+		names = append(names, WidthName(w))
+	}
+	return append(names, "PB:a", "PB:b", "PPB:a", "PPB:b")
+}
+
+// figureOver builds the Figure 6-8 family: one curve per scheme variant.
+func figureOver(bands []float64, f func(vod.Performer) float64) []Curve {
+	names := performerNames()
+	curves := make([]Curve, len(names))
+	for i, n := range names {
+		i := i
+		curves[i] = metric(n, bands, func(s schemes) float64 {
+			return orNaN(performers(s)[i], f)
+		})
+	}
+	return curves
+}
+
+// Figure6 reproduces Figure 6: client disk bandwidth requirement in
+// MByte/s versus network-I/O bandwidth.
+func Figure6(bands []float64) []Curve {
+	return figureOver(bands, func(p vod.Performer) float64 {
+		return vod.MbpsToMBps(p.DiskBandwidthMbps())
+	})
+}
+
+// Figure7 reproduces Figure 7: access latency in minutes versus
+// network-I/O bandwidth.
+func Figure7(bands []float64) []Curve {
+	return figureOver(bands, func(p vod.Performer) float64 {
+		return p.AccessLatencyMin()
+	})
+}
+
+// Figure8 reproduces Figure 8: client storage requirement in MBytes versus
+// network-I/O bandwidth.
+func Figure8(bands []float64) []Curve {
+	return figureOver(bands, func(p vod.Performer) float64 {
+		return vod.MbitToMByte(p.BufferMbit())
+	})
+}
+
+// TransitionProfile is a Figure 1-4 style diagram: the client buffer
+// occupancy (in units of 60*b*D1) across a group transition, for one
+// playback-start phase.
+type TransitionProfile struct {
+	Phase  int64
+	Points []core.ProfilePoint
+	// MaxUnits is the profile's high-water mark.
+	MaxUnits int64
+}
+
+// Transitions reproduces the storage analysis of Figures 1-4: for the
+// given scheme it evaluates every playback-start phase and returns the
+// no-buffer phase (Figure 1a), the worst phase (the 60*b*D1*(W-1) case the
+// figures derive), and the observed maximum.
+func Transitions(sch *core.Scheme, maxPhases int64) (best, worst TransitionProfile, err error) {
+	period := sch.PhasePeriod()
+	stride := int64(1)
+	if maxPhases > 0 && period > maxPhases {
+		stride = (period + maxPhases - 1) / maxPhases
+	}
+	first := true
+	for phase := int64(0); phase < period; phase += stride {
+		plan, perr := sch.PlanSchedule(phase)
+		if perr != nil {
+			return best, worst, perr
+		}
+		bp, perr := sch.Profile(plan)
+		if perr != nil {
+			return best, worst, perr
+		}
+		p := TransitionProfile{Phase: phase, Points: bp.Points, MaxUnits: bp.Max()}
+		if first || p.MaxUnits < best.MaxUnits {
+			best = p
+		}
+		if first || p.MaxUnits > worst.MaxUnits {
+			worst = p
+		}
+		first = false
+	}
+	return best, worst, nil
+}
+
+// CrossRow is one line of the simulation-versus-analysis validation table
+// recorded in EXPERIMENTS.md: the closed forms of Table 1 against what the
+// event simulator measures.
+type CrossRow struct {
+	Scheme            string
+	Bandwidth         float64
+	AnalyticLatency   float64
+	MeasuredLatency   float64
+	AnalyticBufferMB  float64
+	MeasuredBufferMB  float64
+	MeasuredMaxStream int
+}
+
+// CrossValidate measures worst-case latency and buffer over sampled
+// arrival phases for every feasible scheme at every bandwidth, pairing
+// them with the closed forms.
+func CrossValidate(bands []float64, phases int) ([]CrossRow, error) {
+	var rows []CrossRow
+	for _, b := range bands {
+		s := at(b)
+		type pair struct {
+			p vod.Performer
+			c sim.ClientSim
+		}
+		var pairs []pair
+		if sch := s.sb[2]; sch != nil {
+			pairs = append(pairs, pair{sch, sim.NewSB(sch)})
+		}
+		if sch := s.sb[52]; sch != nil {
+			pairs = append(pairs, pair{sch, sim.NewSB(sch)})
+		}
+		if s.pbA != nil {
+			pairs = append(pairs, pair{s.pbA, sim.NewPB(s.pbA)})
+		}
+		if s.pbB != nil {
+			pairs = append(pairs, pair{s.pbB, sim.NewPB(s.pbB)})
+		}
+		if s.ppbA != nil {
+			pairs = append(pairs, pair{s.ppbA, sim.NewPPB(s.ppbA)})
+		}
+		if s.ppbB != nil {
+			pairs = append(pairs, pair{s.ppbB, sim.NewPPB(s.ppbB)})
+		}
+		for _, pr := range pairs {
+			row := CrossRow{
+				Scheme:           pr.c.Name(),
+				Bandwidth:        b,
+				AnalyticLatency:  pr.p.AccessLatencyMin(),
+				AnalyticBufferMB: vod.MbitToMByte(pr.p.BufferMbit()),
+			}
+			lat := pr.p.AccessLatencyMin()
+			for i := 0; i < phases; i++ {
+				// Golden-ratio stride covers arrival phases
+				// quasi-uniformly across many latency periods
+				// (SB's buffer worst case needs phases spread over
+				// its whole broadcast period, not just one D1).
+				arrival := float64(i) * lat * 1.61803398875
+				res, err := pr.c.Client(arrival, 0)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s at B=%v: %w", pr.c.Name(), b, err)
+				}
+				row.MeasuredLatency = math.Max(row.MeasuredLatency, res.WaitMin)
+				row.MeasuredBufferMB = math.Max(row.MeasuredBufferMB, vod.MbitToMByte(res.MaxBufferMbit))
+				if res.MaxStreams > row.MeasuredMaxStream {
+					row.MeasuredMaxStream = res.MaxStreams
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,149 @@
+// Package catalog models the video library of a metropolitan VoD service
+// and its popularity distribution. The paper (Section 1, citing Dan,
+// Sitaram and Shahabuddin) observes that "the popularities of movies follow
+// the Zipf distribution with the skew factor of 0.271. That is, most of the
+// demand (80%) is for a few (10 to 20) very popular movies" — which is the
+// motivation for dedicating broadcast channels to the hot set and serving
+// the cold tail with scheduled multicast.
+package catalog
+
+import (
+	"fmt"
+	"math"
+
+	"skyscraper/internal/des"
+)
+
+// DefaultSkew is the Zipf skew factor theta = 0.271 reported for movie
+// popularity; access probability of the rank-i title is proportional to
+// 1/i^(1-theta).
+const DefaultSkew = 0.271
+
+// Video is one title in the library.
+type Video struct {
+	// ID is the 0-based rank of the video by popularity (0 = hottest).
+	ID int
+	// Title is a display name.
+	Title string
+	// LengthMin is the playback length in minutes.
+	LengthMin float64
+	// RateMbps is the display rate in Mbit/s.
+	RateMbps float64
+}
+
+// Catalog is an immutable, popularity-ranked video library with a Zipf
+// access distribution.
+type Catalog struct {
+	videos []Video
+	// probs[i] is the access probability of videos[i]; cum is its
+	// cumulative form for sampling.
+	probs []float64
+	cum   []float64
+}
+
+// New builds a catalog of n videos with the given Zipf skew factor theta in
+// [0, 1). Every video gets the supplied length and rate (the paper's
+// uniform 120-minute MPEG-1 workload); use NewFromVideos for heterogeneous
+// libraries.
+func New(n int, theta, lengthMin, rateMbps float64) (*Catalog, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("catalog: need at least one video, got %d", n)
+	}
+	videos := make([]Video, n)
+	for i := range videos {
+		videos[i] = Video{
+			ID:        i,
+			Title:     fmt.Sprintf("video-%02d", i),
+			LengthMin: lengthMin,
+			RateMbps:  rateMbps,
+		}
+	}
+	return NewFromVideos(videos, theta)
+}
+
+// NewFromVideos builds a catalog over explicit videos, ranked in the given
+// order (index = popularity rank).
+func NewFromVideos(videos []Video, theta float64) (*Catalog, error) {
+	if len(videos) == 0 {
+		return nil, fmt.Errorf("catalog: empty video list")
+	}
+	if theta < 0 || theta >= 1 {
+		return nil, fmt.Errorf("catalog: skew theta = %v outside [0, 1)", theta)
+	}
+	c := &Catalog{
+		videos: append([]Video(nil), videos...),
+		probs:  make([]float64, len(videos)),
+		cum:    make([]float64, len(videos)),
+	}
+	var norm float64
+	for i := range c.probs {
+		c.probs[i] = 1 / math.Pow(float64(i+1), 1-theta)
+		norm += c.probs[i]
+	}
+	var acc float64
+	for i := range c.probs {
+		c.probs[i] /= norm
+		acc += c.probs[i]
+		c.cum[i] = acc
+	}
+	c.cum[len(c.cum)-1] = 1 // guard against rounding
+	return c, nil
+}
+
+// Len returns the number of videos.
+func (c *Catalog) Len() int { return len(c.videos) }
+
+// Video returns the rank-i video (0-based).
+func (c *Catalog) Video(i int) Video {
+	if i < 0 || i >= len(c.videos) {
+		panic(fmt.Sprintf("catalog: Video(%d): rank out of range 0..%d", i, len(c.videos)-1))
+	}
+	return c.videos[i]
+}
+
+// Prob returns the access probability of the rank-i video.
+func (c *Catalog) Prob(i int) float64 {
+	if i < 0 || i >= len(c.probs) {
+		panic(fmt.Sprintf("catalog: Prob(%d): rank out of range 0..%d", i, len(c.probs)-1))
+	}
+	return c.probs[i]
+}
+
+// CumulativeProb returns the total access probability of the top-n videos.
+func (c *Catalog) CumulativeProb(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= len(c.cum) {
+		return 1
+	}
+	return c.cum[n-1]
+}
+
+// Sample draws a video rank according to the popularity distribution.
+func (c *Catalog) Sample(r *des.Rand) int {
+	u := r.Float64()
+	// Binary search the cumulative distribution.
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HotSet returns the smallest prefix of the catalog capturing at least the
+// given fraction of demand — the videos worth dedicating broadcast channels
+// to under the paper's hybrid architecture.
+func (c *Catalog) HotSet(fraction float64) int {
+	for n := 1; n <= len(c.cum); n++ {
+		if c.CumulativeProb(n) >= fraction {
+			return n
+		}
+	}
+	return len(c.cum)
+}

@@ -1,0 +1,139 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"skyscraper/internal/des"
+)
+
+func TestZipfProbabilities(t *testing.T) {
+	c, err := New(100, DefaultSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	var sum float64
+	prev := math.Inf(1)
+	for i := 0; i < c.Len(); i++ {
+		p := c.Prob(i)
+		if p <= 0 || p > prev {
+			t.Fatalf("Prob(%d) = %v not positive-decreasing (prev %v)", i, p, prev)
+		}
+		prev = p
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	// Zipf ratio: p1/p2 = 2^(1-theta).
+	want := math.Pow(2, 1-DefaultSkew)
+	if got := c.Prob(0) / c.Prob(1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("p1/p2 = %v, want %v", got, want)
+	}
+}
+
+// TestPaperHotSetClaim checks the motivation of Section 1: with the 0.271
+// skew reported by Dan et al. (access probability proportional to
+// 1/i^(1-0.271)), demand concentrates heavily on a small prefix of the
+// catalog — here, half of all demand lands on well under a quarter of a
+// 100-title library. (The paper's prose rounds this up to "most of the
+// demand (80%) is for a few (10 to 20) very popular movies".)
+func TestPaperHotSetClaim(t *testing.T) {
+	c, err := New(100, DefaultSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.HotSet(0.5)
+	if n < 5 || n > 25 {
+		t.Errorf("hot set for 50%% of demand = %d titles of 100, want a small prefix (5-25)", n)
+	}
+	if got := c.CumulativeProb(n); got < 0.5 {
+		t.Errorf("CumulativeProb(%d) = %v < 0.5", n, got)
+	}
+	if got := c.CumulativeProb(n - 1); got >= 0.5 {
+		t.Errorf("hot set not minimal: %d titles already reach %v", n-1, got)
+	}
+	// The top-10 prefix must command several times its uniform share.
+	if got := c.CumulativeProb(10); got < 0.3 {
+		t.Errorf("top-10 share = %v, want heavy concentration (> 0.3)", got)
+	}
+}
+
+func TestCumulativeEdges(t *testing.T) {
+	c, err := New(5, 0.271, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CumulativeProb(0) != 0 {
+		t.Error("CumulativeProb(0) != 0")
+	}
+	if c.CumulativeProb(5) != 1 || c.CumulativeProb(99) != 1 {
+		t.Error("CumulativeProb at or past the end != 1")
+	}
+	if c.HotSet(1.0) != 5 {
+		t.Errorf("HotSet(1.0) = %d, want 5", c.HotSet(1.0))
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	c, err := New(20, DefaultSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := des.NewRand(3)
+	counts := make([]int, 20)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	for i := 0; i < 20; i++ {
+		got := float64(counts[i]) / n
+		want := c.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d sampled frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestVideoAccessors(t *testing.T) {
+	c, err := New(3, 0, 90, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := c.Video(1)
+	if v.ID != 1 || v.LengthMin != 90 || v.RateMbps != 2 || v.Title == "" {
+		t.Errorf("Video(1) = %+v", v)
+	}
+	// theta = 0 is pure Zipf 1/i.
+	if got, want := c.Prob(0)/c.Prob(1), 2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("theta=0 ratio = %v, want 2", got)
+	}
+	for _, bad := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Video(%d) did not panic", bad)
+				}
+			}()
+			c.Video(bad)
+		}()
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := New(0, 0.2, 120, 1.5); err == nil {
+		t.Error("accepted 0 videos")
+	}
+	if _, err := New(5, 1.0, 120, 1.5); err == nil {
+		t.Error("accepted theta = 1")
+	}
+	if _, err := New(5, -0.1, 120, 1.5); err == nil {
+		t.Error("accepted negative theta")
+	}
+	if _, err := NewFromVideos(nil, 0.2); err == nil {
+		t.Error("accepted empty video list")
+	}
+}

@@ -1,0 +1,364 @@
+// Package client implements the receiving end of the live Skyscraper
+// Broadcasting demo: the three service routines of Section 3.3 — an Odd
+// Loader, an Even Loader, and a Video Player — over real sockets. Each
+// loader is one tuner (one UDP socket) that joins its transmission groups'
+// channels in video order, always at a broadcast beginning; the player
+// verifies every byte against the deterministic content function and
+// checks the jitter-freeness the paper proves.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skyscraper/internal/content"
+	"skyscraper/internal/core"
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/series"
+	"skyscraper/internal/wire"
+)
+
+// Config parameterizes one viewing session.
+type Config struct {
+	// ServerAddr is the server's TCP control address.
+	ServerAddr string
+	// Video is the catalog index to watch.
+	Video int
+	// JoinLeadFrac is how early, as a fraction of one unit, a loader
+	// sends its join before the broadcast it wants (covers control RTT).
+	// Defaults to 0.5.
+	JoinLeadFrac float64
+	// SlackFrac is the fraction of one unit a chunk may arrive after its
+	// scheduled playback before it counts as jitter. Defaults to 0.5.
+	SlackFrac float64
+	// MaxBufferBytes, when positive, is the client's disk capacity; the
+	// session fails if reception would exceed it. Provision it from the
+	// scheme's 60*b*D1*(W-1) bound (in the live demo's units:
+	// (W-1)*BytesPerUnit plus one chunk of arrival granularity).
+	MaxBufferBytes int64
+	// Logf, when non-nil, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+// Stats reports a completed session.
+type Stats struct {
+	// WaitUnits is the access latency in D1 units (bounded by 1 plus the
+	// configured join lead).
+	WaitUnits float64
+	// Bytes is the total payload received and verified.
+	Bytes int64
+	// ByteErrors counts content-verification mismatches (must be 0).
+	ByteErrors int64
+	// LateChunks counts payload chunks that arrived after their
+	// scheduled playback time plus slack (jitter; must be 0).
+	LateChunks int64
+	// DuplicateChunks counts retransmissions discarded (tuning overlap).
+	DuplicateChunks int64
+	// MaxBufferBytes is the high-water mark of downloaded-but-unplayed
+	// data.
+	MaxBufferBytes int64
+	// Groups is the number of transmission groups received.
+	Groups int
+}
+
+// Watch runs a full viewing session: handshake, two-loader reception of
+// every fragment, byte verification, and jitter accounting. It returns
+// when the whole video has been received and its playback window has
+// passed.
+func Watch(cfg Config) (*Stats, error) {
+	if cfg.JoinLeadFrac <= 0 {
+		cfg.JoinLeadFrac = 0.5
+	}
+	if cfg.SlackFrac <= 0 {
+		cfg.SlackFrac = 0.5
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	conn, err := net.Dial("tcp", cfg.ServerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing control: %w", err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindHello}); err != nil {
+		return nil, err
+	}
+	m, err := wire.ReadControl(r)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading welcome: %w", err)
+	}
+	if m.Kind != wire.KindWelcome || m.Welcome == nil {
+		return nil, fmt.Errorf("client: expected welcome, got %q (%s)", m.Kind, m.Error)
+	}
+	w := m.Welcome
+	if cfg.Video < 0 || cfg.Video >= w.Videos {
+		return nil, fmt.Errorf("client: video %d outside catalog 0..%d", cfg.Video, w.Videos-1)
+	}
+	if len(w.SizeUnits) != w.ChannelsPerVideo || w.ChannelsPerVideo == 0 {
+		return nil, fmt.Errorf("client: malformed welcome: %d sizes for %d channels", len(w.SizeUnits), w.ChannelsPerVideo)
+	}
+
+	sess := &session{
+		cfg:   cfg,
+		w:     w,
+		unit:  time.Duration(w.UnitNanos),
+		epoch: time.Unix(0, w.EpochUnixNano),
+		conn:  conn,
+		cr:    r,
+	}
+	return sess.run()
+}
+
+// session carries one Watch invocation's state.
+type session struct {
+	cfg   Config
+	w     *wire.Welcome
+	unit  time.Duration
+	epoch time.Time
+
+	conn net.Conn
+	cr   *bufio.Reader
+	cmu  sync.Mutex // serializes control writes and joined replies
+
+	// playStartUnit anchors playback; byte x of the video plays at
+	// unitTime(playStartUnit) + x * unit/BytesPerUnit.
+	playStartUnit int64
+
+	// Counters shared by the two loader goroutines.
+	downloaded, bytes, byteErrors, lateChunks, dupChunks, maxBuffer atomic.Int64
+}
+
+// maxInt64 raises the atomic to at least v.
+func maxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// unitTime converts an absolute unit index to wall time.
+func (s *session) unitTime(u int64) time.Time {
+	return s.epoch.Add(time.Duration(u) * s.unit)
+}
+
+// control performs one join or leave round-trip; joins wait for the ack so
+// the membership is in place before the broadcast starts.
+func (s *session) control(kind string, video, channel, port int) error {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	msg := &wire.Control{Kind: kind, Video: video, Channel: channel, Port: port}
+	if err := wire.WriteControl(s.conn, msg); err != nil {
+		return err
+	}
+	if kind != wire.KindJoin {
+		return nil
+	}
+	reply, err := wire.ReadControl(s.cr)
+	if err != nil {
+		return fmt.Errorf("client: waiting for join ack: %w", err)
+	}
+	if reply.Kind != wire.KindJoined {
+		return fmt.Errorf("client: join rejected: %s", reply.Error)
+	}
+	return nil
+}
+
+func (s *session) run() (*Stats, error) {
+	groups := series.Groups(s.w.SizeUnits)
+
+	// Admission: playback starts at the next unit boundary that leaves
+	// room for the join round-trip.
+	arrival := time.Since(s.epoch)
+	arrivalUnits := float64(arrival) / float64(s.unit)
+	s.playStartUnit = int64(math.Ceil(arrivalUnits + s.cfg.JoinLeadFrac))
+	waitUnits := float64(s.playStartUnit) - arrivalUnits
+
+	plan, err := core.PlanForGroups(groups, s.playStartUnit)
+	if err != nil {
+		return nil, fmt.Errorf("client: planning reception: %w", err)
+	}
+
+	// One tuner (socket + goroutine) per loader, exactly as in the
+	// paper's client design.
+	byLoader := map[core.LoaderID][]core.Download{}
+	for _, d := range plan.Downloads {
+		byLoader[d.Loader] = append(byLoader[d.Loader], d)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, ld := range []core.LoaderID{core.OddLoader, core.EvenLoader} {
+		downloads := byLoader[ld]
+		if len(downloads) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ld core.LoaderID, downloads []core.Download) {
+			defer wg.Done()
+			if err := s.loader(ld, downloads); err != nil {
+				errs <- fmt.Errorf("client: %v loader: %w", ld, err)
+			}
+		}(ld, downloads)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	_ = wire.WriteControl(s.conn, &wire.Control{Kind: wire.KindBye})
+
+	stats := &Stats{
+		WaitUnits:       waitUnits,
+		Bytes:           s.bytes.Load(),
+		ByteErrors:      s.byteErrors.Load(),
+		LateChunks:      s.lateChunks.Load(),
+		DuplicateChunks: s.dupChunks.Load(),
+		MaxBufferBytes:  s.maxBuffer.Load(),
+		Groups:          len(groups),
+	}
+	if stats.ByteErrors > 0 {
+		return stats, fmt.Errorf("client: %d byte verification errors", stats.ByteErrors)
+	}
+	if stats.LateChunks > 0 {
+		return stats, fmt.Errorf("client: jitter: %d chunks arrived after their playback time", stats.LateChunks)
+	}
+	return stats, nil
+}
+
+// loader receives this loader's transmission groups in order on one tuner.
+func (s *session) loader(ld core.LoaderID, downloads []core.Download) error {
+	rcv, err := mcast.NewReceiver()
+	if err != nil {
+		return err
+	}
+	defer rcv.Close()
+	port := rcv.Addr().Port
+
+	for _, d := range downloads {
+		for j := 0; j < d.Group.Count; j++ {
+			channel := d.Group.First + j
+			tuneUnit := d.FragmentStart(j)
+			if err := s.receiveFragment(rcv, port, channel, d.Group, j, tuneUnit); err != nil {
+				return fmt.Errorf("group %d %v channel %d: %w", d.Group.Index, d.Group, channel, err)
+			}
+		}
+	}
+	return nil
+}
+
+// receiveFragment tunes one channel at a broadcast beginning and collects
+// the complete fragment.
+func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g series.Group, j int, tuneUnit int64) error {
+	var (
+		size       = g.Size
+		totalBytes = int(size) * s.w.BytesPerUnit
+		wantSeq    = uint32(tuneUnit / size) // broadcast repetition starting at tuneUnit
+		start      = s.unitTime(tuneUnit)
+		// Receive cutoff: the broadcast nominally ends at
+		// tuneUnit+size; several units of grace absorb server pacing
+		// drift on a loaded machine (late data is still accounted as
+		// jitter by the slack check — this deadline only bounds how
+		// long to wait before concluding data was lost outright).
+		deadline = s.unitTime(tuneUnit + size).Add(6 * s.unit)
+		have     = make([]bool, (totalBytes+s.w.ChunkBytes-1)/s.w.ChunkBytes)
+		got      = 0
+		buf      = make([]byte, wire.EncodedSize(wire.MaxPayload))
+		slack    = time.Duration(s.cfg.SlackFrac * float64(s.unit))
+	)
+	// Playback timing of this fragment.
+	playUnit := s.playStartUnit + g.StartUnit + int64(j)*size
+	videoBase := g.StartUnit*int64(s.w.BytesPerUnit) + int64(j)*size*int64(s.w.BytesPerUnit)
+
+	// Join ahead of the broadcast start.
+	lead := time.Duration(s.cfg.JoinLeadFrac * float64(s.unit))
+	if d := time.Until(start.Add(-lead)); d > 0 {
+		time.Sleep(d)
+	}
+	if err := s.control(wire.KindJoin, s.cfg.Video, channel, port); err != nil {
+		return err
+	}
+	defer func() { _ = s.control(wire.KindLeave, s.cfg.Video, channel, 0) }()
+
+	for got < len(have) {
+		if err := rcv.Conn.SetReadDeadline(deadline); err != nil {
+			return err
+		}
+		n, _, err := rcv.Conn.ReadFromUDP(buf)
+		if err != nil {
+			return fmt.Errorf("receiving (have %d/%d chunks): %w", got, len(have), err)
+		}
+		now := time.Now()
+		c, err := wire.Decode(buf[:n])
+		if err != nil {
+			if errors.Is(err, wire.ErrBadCRC) {
+				s.byteErrors.Add(1)
+				continue
+			}
+			return err
+		}
+		if int(c.Video) != s.cfg.Video || int(c.Channel) != channel || c.Seq != wantSeq {
+			continue // stray datagram from an earlier membership or repetition
+		}
+		if int(c.Total) != totalBytes || int(c.Offset)%s.w.ChunkBytes != 0 || int(c.Offset) >= totalBytes {
+			return fmt.Errorf("inconsistent chunk: offset %d total %d", c.Offset, c.Total)
+		}
+		idx := int(c.Offset) / s.w.ChunkBytes
+		if have[idx] {
+			s.dupChunks.Add(1)
+			continue
+		}
+		have[idx] = true
+		got++
+
+		// Verify payload bytes end to end.
+		if bad := content.Verify(c.Payload, s.cfg.Video, videoBase+int64(c.Offset)); bad >= 0 {
+			s.byteErrors.Add(1)
+		}
+		s.bytes.Add(int64(len(c.Payload)))
+
+		// Jitter check: the chunk's bytes play back starting at
+		// playUnit plus its proportional offset.
+		playAt := s.unitTime(playUnit).Add(time.Duration(float64(c.Offset) / float64(s.w.BytesPerUnit) * float64(s.unit)))
+		if now.After(playAt.Add(slack)) {
+			s.lateChunks.Add(1)
+		}
+
+		// Buffer accounting: downloaded minus played, sampled at
+		// arrivals (the high-water mark occurs at an arrival).
+		d := s.downloaded.Add(int64(len(c.Payload)))
+		lvl := d - s.playedBytes(now)
+		maxInt64(&s.maxBuffer, lvl)
+		if s.cfg.MaxBufferBytes > 0 && lvl > s.cfg.MaxBufferBytes {
+			return fmt.Errorf("buffer capacity exceeded: %d > %d bytes", lvl, s.cfg.MaxBufferBytes)
+		}
+	}
+	return nil
+}
+
+// playedBytes returns how many bytes the player has consumed by time t
+// under its fixed schedule.
+func (s *session) playedBytes(t time.Time) int64 {
+	elapsed := t.Sub(s.unitTime(s.playStartUnit))
+	if elapsed <= 0 {
+		return 0
+	}
+	units := float64(elapsed) / float64(s.unit)
+	var total int64
+	for _, sz := range s.w.SizeUnits {
+		total += sz
+	}
+	played := int64(units * float64(s.w.BytesPerUnit))
+	if max := total * int64(s.w.BytesPerUnit); played > max {
+		return max
+	}
+	return played
+}

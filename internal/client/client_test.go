@@ -1,0 +1,279 @@
+package client
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skyscraper/internal/content"
+	"skyscraper/internal/wire"
+)
+
+// fakeServer speaks just enough of the control protocol to drive Watch,
+// with programmable data-plane faults.
+type fakeServer struct {
+	t  *testing.T
+	ln net.Listener
+	// layout
+	sizes        []int64
+	bytesPerUnit int
+	chunkBytes   int
+	unit         time.Duration
+	epoch        time.Time
+	// faults
+	corruptCRC     atomic.Bool // flip a payload bit, keep stale CRC
+	corruptContent atomic.Bool // valid CRC over wrong bytes
+	duplicate      atomic.Bool // send every chunk twice
+	refuseJoins    atomic.Bool
+	garbleWelcome  atomic.Bool
+}
+
+func newFakeServer(t *testing.T) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeServer{
+		t:            t,
+		ln:           ln,
+		sizes:        []int64{1, 2}, // groups (1) odd, (2) even
+		bytesPerUnit: 64,
+		chunkBytes:   32,
+		unit:         30 * time.Millisecond,
+		epoch:        time.Now(),
+	}
+	go f.accept()
+	t.Cleanup(func() { ln.Close() })
+	return f
+}
+
+func (f *fakeServer) addr() string { return f.ln.Addr().String() }
+
+func (f *fakeServer) accept() {
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		go f.serve(conn)
+	}
+}
+
+func (f *fakeServer) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return
+	}
+	defer udp.Close()
+	for {
+		m, err := wire.ReadControl(r)
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case wire.KindHello:
+			w := &wire.Welcome{
+				Videos:           1,
+				ChannelsPerVideo: len(f.sizes),
+				Width:            2,
+				UnitNanos:        int64(f.unit),
+				EpochUnixNano:    f.epoch.UnixNano(),
+				SizeUnits:        append([]int64(nil), f.sizes...),
+				BytesPerUnit:     f.bytesPerUnit,
+				ChunkBytes:       f.chunkBytes,
+			}
+			if f.garbleWelcome.Load() {
+				w.SizeUnits = w.SizeUnits[:1] // disagree with ChannelsPerVideo
+			}
+			_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindWelcome, Welcome: w})
+		case wire.KindJoin:
+			if f.refuseJoins.Load() {
+				_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindError, Error: "no capacity"})
+				continue
+			}
+			dst := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: m.Port}
+			_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindJoined, Video: m.Video, Channel: m.Channel})
+			go f.sendFragment(udp, dst, m.Channel)
+		case wire.KindLeave, wire.KindBye:
+			if m.Kind == wire.KindBye {
+				return
+			}
+		}
+	}
+}
+
+// sendFragment blasts the chunks of several upcoming repetitions of the
+// channel's fragment; the client filters to the repetition it wants, and
+// early arrival is legal (broadcast data may be prefetched, never late).
+func (f *fakeServer) sendFragment(udp *net.UDPConn, dst *net.UDPAddr, channel int) {
+	size := f.sizes[channel-1]
+	var base int64
+	for _, s := range f.sizes[:channel-1] {
+		base += s
+	}
+	baseBytes := base * int64(f.bytesPerUnit)
+	total := int(size) * f.bytesPerUnit
+	nowUnits := int64(time.Since(f.epoch) / f.unit)
+	startSeq := uint32(nowUnits / size)
+	for seq := startSeq; seq < startSeq+8; seq++ {
+		for off := 0; off < total; off += f.chunkBytes {
+			payload := make([]byte, f.chunkBytes)
+			content.Fill(payload, 0, baseBytes+int64(off))
+			if f.corruptContent.Load() && off == 0 {
+				payload[3] ^= 0xFF
+			}
+			c := wire.Chunk{
+				Video:   0,
+				Channel: uint16(channel),
+				Seq:     seq,
+				Offset:  uint32(off),
+				Total:   uint32(total),
+				Payload: payload,
+			}
+			frame, err := c.Encode(nil)
+			if err != nil {
+				f.t.Errorf("fake server encode: %v", err)
+				return
+			}
+			if f.corruptCRC.Load() && off == 0 {
+				bad := append([]byte(nil), frame...)
+				bad[len(bad)-1] ^= 0x01
+				_, _ = udp.WriteToUDP(bad, dst)
+			}
+			_, _ = udp.WriteToUDP(frame, dst)
+			if f.duplicate.Load() {
+				_, _ = udp.WriteToUDP(frame, dst)
+			}
+		}
+	}
+}
+
+func TestWatchAgainstFakeServer(t *testing.T) {
+	f := newFakeServer(t)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0})
+	if err != nil {
+		t.Fatalf("watch: %v (stats %+v)", err, stats)
+	}
+	if want := int64(3 * f.bytesPerUnit); stats.Bytes != want {
+		t.Errorf("bytes = %d, want %d", stats.Bytes, want)
+	}
+	if stats.Groups != 2 {
+		t.Errorf("groups = %d, want 2", stats.Groups)
+	}
+}
+
+func TestWatchDetectsCorruptCRC(t *testing.T) {
+	f := newFakeServer(t)
+	f.corruptCRC.Store(true)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0})
+	if err == nil {
+		t.Fatal("corrupted frames went unnoticed")
+	}
+	if stats == nil || stats.ByteErrors == 0 {
+		t.Errorf("ByteErrors = %+v, want > 0", stats)
+	}
+}
+
+func TestWatchDetectsWrongContent(t *testing.T) {
+	f := newFakeServer(t)
+	f.corruptContent.Store(true)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0})
+	if err == nil || !strings.Contains(err.Error(), "verification") {
+		t.Fatalf("wrong payload bytes went unnoticed: %v", err)
+	}
+	if stats.ByteErrors == 0 {
+		t.Error("ByteErrors not counted")
+	}
+}
+
+func TestWatchDiscardsDuplicates(t *testing.T) {
+	f := newFakeServer(t)
+	f.duplicate.Store(true)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0})
+	if err != nil {
+		t.Fatalf("watch with duplicates: %v", err)
+	}
+	if stats.DuplicateChunks == 0 {
+		t.Error("duplicates not detected")
+	}
+	if want := int64(3 * f.bytesPerUnit); stats.Bytes != want {
+		t.Errorf("bytes = %d (duplicates double-counted?), want %d", stats.Bytes, want)
+	}
+}
+
+func TestWatchJoinRejected(t *testing.T) {
+	f := newFakeServer(t)
+	f.refuseJoins.Store(true)
+	if _, err := Watch(Config{ServerAddr: f.addr(), Video: 0}); err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("rejected join not surfaced: %v", err)
+	}
+}
+
+func TestWatchMalformedWelcome(t *testing.T) {
+	f := newFakeServer(t)
+	f.garbleWelcome.Store(true)
+	if _, err := Watch(Config{ServerAddr: f.addr(), Video: 0}); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("malformed welcome accepted: %v", err)
+	}
+}
+
+func TestWatchBadVideo(t *testing.T) {
+	f := newFakeServer(t)
+	if _, err := Watch(Config{ServerAddr: f.addr(), Video: 7}); err == nil {
+		t.Fatal("out-of-catalog video accepted")
+	}
+}
+
+func TestWatchNoServer(t *testing.T) {
+	if _, err := Watch(Config{ServerAddr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+func TestPlayedBytes(t *testing.T) {
+	s := &session{
+		w:     &wire.Welcome{SizeUnits: []int64{1, 2}, BytesPerUnit: 100},
+		unit:  time.Second,
+		epoch: time.Unix(1000, 0),
+	}
+	s.playStartUnit = 10
+	start := s.unitTime(10)
+	if got := s.playedBytes(start.Add(-time.Second)); got != 0 {
+		t.Errorf("before start: %d", got)
+	}
+	if got := s.playedBytes(start.Add(1500 * time.Millisecond)); got != 150 {
+		t.Errorf("1.5 units in: %d, want 150", got)
+	}
+	if got := s.playedBytes(start.Add(time.Hour)); got != 300 {
+		t.Errorf("past end: %d, want 300 (capped)", got)
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	var a atomic.Int64
+	maxInt64(&a, 5)
+	maxInt64(&a, 3)
+	maxInt64(&a, 9)
+	if a.Load() != 9 {
+		t.Errorf("maxInt64 = %d, want 9", a.Load())
+	}
+}
+
+func TestWatchBufferCapacity(t *testing.T) {
+	f := newFakeServer(t)
+	// The fake blasts several repetitions at once, so a tiny capacity
+	// must trip; a generous one must not.
+	if _, err := Watch(Config{ServerAddr: f.addr(), Video: 0, MaxBufferBytes: 1}); err == nil ||
+		!strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("1-byte disk accepted a broadcast: %v", err)
+	}
+	if _, err := Watch(Config{ServerAddr: f.addr(), Video: 0, MaxBufferBytes: 1 << 20}); err != nil {
+		t.Fatalf("generous disk failed: %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+// Package content generates and verifies the synthetic video payloads of
+// the live demo. The paper's MPEG-1 videos are replaced by deterministic
+// byte patterns — a keyed function of (video, absolute byte offset) — so a
+// client can verify every received byte end-to-end without the server
+// shipping reference data out of band. Broadcast scheduling is agnostic to
+// payload contents, so this substitution preserves all protocol behavior.
+package content
+
+// ByteAt returns the payload byte of the given video at the given absolute
+// offset. The mixing constants are odd so consecutive offsets and adjacent
+// videos decorrelate; this is a checksum pattern, not cryptography.
+func ByteAt(video int, offset int64) byte {
+	x := uint64(offset)*0x9E3779B97F4A7C15 + uint64(video)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	x ^= x >> 31
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 27
+	return byte(x)
+}
+
+// Fill writes the video's bytes for [offset, offset+len(dst)) into dst.
+func Fill(dst []byte, video int, offset int64) {
+	for i := range dst {
+		dst[i] = ByteAt(video, offset+int64(i))
+	}
+}
+
+// Verify reports the index of the first byte of got that disagrees with
+// the video's content at the given offset, or -1 if all match.
+func Verify(got []byte, video int, offset int64) int {
+	for i, b := range got {
+		if b != ByteAt(video, offset+int64(i)) {
+			return i
+		}
+	}
+	return -1
+}

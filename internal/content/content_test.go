@@ -1,0 +1,71 @@
+package content
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	if ByteAt(3, 1000) != ByteAt(3, 1000) {
+		t.Error("ByteAt not deterministic")
+	}
+	if ByteAt(3, 1000) == ByteAt(4, 1000) && ByteAt(3, 1001) == ByteAt(4, 1001) && ByteAt(3, 1002) == ByteAt(4, 1002) {
+		t.Error("videos 3 and 4 share a 3-byte run; videos should decorrelate")
+	}
+}
+
+func TestFillMatchesByteAt(t *testing.T) {
+	buf := make([]byte, 256)
+	Fill(buf, 7, 5000)
+	for i, b := range buf {
+		if b != ByteAt(7, 5000+int64(i)) {
+			t.Fatalf("Fill[%d] mismatch", i)
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	buf := make([]byte, 128)
+	Fill(buf, 2, 64)
+	if bad := Verify(buf, 2, 64); bad != -1 {
+		t.Errorf("clean buffer failed verification at %d", bad)
+	}
+	buf[100] ^= 0xFF
+	if bad := Verify(buf, 2, 64); bad != 100 {
+		t.Errorf("corruption located at %d, want 100", bad)
+	}
+	// Wrong offset must fail early.
+	if bad := Verify(buf, 2, 65); bad == -1 {
+		t.Error("offset-shifted buffer verified")
+	}
+}
+
+func TestFillSplitsAgree(t *testing.T) {
+	// Filling in two halves equals filling at once (offset math).
+	f := func(video uint8, off uint32, n uint8) bool {
+		total := int(n) + 2
+		whole := make([]byte, total)
+		Fill(whole, int(video), int64(off))
+		half := total / 2
+		a := make([]byte, half)
+		b := make([]byte, total-half)
+		Fill(a, int(video), int64(off))
+		Fill(b, int(video), int64(off)+int64(half))
+		return bytes.Equal(whole, append(a, b...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueSpread(t *testing.T) {
+	// The pattern is noise-like: all 256 byte values appear in 64 KiB.
+	seen := map[byte]bool{}
+	for off := int64(0); off < 65536; off++ {
+		seen[ByteAt(0, off)] = true
+	}
+	if len(seen) != 256 {
+		t.Errorf("only %d distinct byte values in 64 KiB", len(seen))
+	}
+}

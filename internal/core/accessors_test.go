@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"skyscraper/internal/series"
+)
+
+func TestSchemeAccessors(t *testing.T) {
+	s := mustScheme(t, 150, 12) // K = 10, sizes 1,2,2,5,5,12,12,12,12,12
+	if s.Width() != 12 {
+		t.Errorf("Width = %d", s.Width())
+	}
+	sizes := s.Sizes()
+	if len(sizes) != 10 || sizes[0] != 1 || sizes[9] != 12 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	var sum int64
+	for _, v := range sizes {
+		sum += v
+	}
+	if s.TotalUnits() != sum {
+		t.Errorf("TotalUnits = %d, want %d", s.TotalUnits(), sum)
+	}
+	if got := s.ChannelPeriodUnits(6); got != 12 {
+		t.Errorf("ChannelPeriodUnits(6) = %d, want 12", got)
+	}
+	if s.Name() != "SB:W=12" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	unc := mustScheme(t, 150, 0)
+	if unc.Name() != "SB:W=infinite" {
+		t.Errorf("uncapped Name = %q", unc.Name())
+	}
+	for _, bad := range []int{0, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChannelPeriodUnits(%d) did not panic", bad)
+				}
+			}()
+			s.ChannelPeriodUnits(bad)
+		}()
+	}
+}
+
+func TestScheduleEndUnit(t *testing.T) {
+	s := mustScheme(t, 150, 12)
+	plan, err := s.PlanSchedule(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := plan.EndUnit()
+	for _, d := range plan.Downloads {
+		if d.EndUnit() > end {
+			t.Errorf("download ends at %d past plan end %d", d.EndUnit(), end)
+		}
+	}
+	// The last group's download reaches exactly the plan end.
+	last := plan.Downloads[len(plan.Downloads)-1]
+	if last.EndUnit() != end {
+		t.Errorf("plan end %d != last download end %d", end, last.EndUnit())
+	}
+	empty := &Schedule{PlayStartUnit: 9}
+	if empty.EndUnit() != 9 {
+		t.Errorf("empty plan EndUnit = %d", empty.EndUnit())
+	}
+}
+
+func TestGeneralDownloadEndUnit(t *testing.T) {
+	groups := series.Groups([]int64{1, 2, 2})
+	plan, err := PlanGeneral(groups, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plan.Downloads {
+		if want := d.StartUnit + int64(d.Group.Count)*d.Group.Size; d.EndUnit() != want {
+			t.Errorf("GeneralDownload.EndUnit = %d, want %d", d.EndUnit(), want)
+		}
+	}
+}
+
+func TestProfileAtAndMaxMbit(t *testing.T) {
+	s := mustScheme(t, 45, 2) // K = 3: fragments 1,2,2
+	plan, err := s.PlanSchedule(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := s.Profile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outside the window.
+	if bp.At(bp.StartUnit-5) != 0 {
+		t.Error("At before start != 0")
+	}
+	if bp.At(bp.EndUnit+5) != bp.Final() {
+		t.Error("At past end != Final")
+	}
+	// Interpolation between breakpoints must agree with the max.
+	var maxSeen int64
+	for u := bp.StartUnit; u <= bp.EndUnit; u++ {
+		if v := bp.At(u); v > maxSeen {
+			maxSeen = v
+		}
+		if v := bp.At(u); v < 0 {
+			t.Fatalf("negative occupancy %d at %d", v, u)
+		}
+	}
+	if maxSeen != bp.Max() {
+		t.Errorf("pointwise max %d != Max() %d", maxSeen, bp.Max())
+	}
+	// MaxMbit converts units into Mbit.
+	want := float64(bp.Max()) * 60 * 1.5 * s.UnitMinutes()
+	if got := bp.MaxMbit(1.5, s.UnitMinutes()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxMbit = %v, want %v", got, want)
+	}
+}
+
+func TestLastMultiple(t *testing.T) {
+	cases := []struct{ t, period, want int64 }{
+		{0, 5, 0}, {4, 5, 0}, {5, 5, 5}, {14, 5, 10}, {7, 1, 7},
+	}
+	for _, c := range cases {
+		if got := lastMultiple(c.t, c.period); got != c.want {
+			t.Errorf("lastMultiple(%d, %d) = %d, want %d", c.t, c.period, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("lastMultiple with period 0 did not panic")
+		}
+	}()
+	lastMultiple(3, 0)
+}
+
+func TestProfileFinalEmptyPoints(t *testing.T) {
+	bp := &BufferProfile{}
+	if bp.Final() != 0 || bp.Max() != 0 || bp.At(3) != 0 {
+		t.Error("empty profile not all-zero")
+	}
+}

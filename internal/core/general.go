@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"skyscraper/internal/series"
+)
+
+// PlanScheduleEager is the ablation counterpart of PlanSchedule: each
+// loader tunes its next group at the *earliest* broadcast after it
+// becomes free (but never before playback starts). The plan is still
+// jitter-free — every group arrives no later than under lazy tuning — but
+// capped tail groups are prefetched long before they are needed, so the
+// buffer high-water mark can exceed the paper's 60*b*D1*(W-1) bound.
+// DESIGN.md records the measured overshoot; BenchmarkAblationTuningPolicy
+// regenerates it.
+func (s *Scheme) PlanScheduleEager(playStart int64) (*Schedule, error) {
+	if playStart < 0 {
+		return nil, fmt.Errorf("core: PlanScheduleEager(%d): playback start must be >= 0", playStart)
+	}
+	free := map[LoaderID]int64{OddLoader: playStart, EvenLoader: playStart}
+	plan := &Schedule{PlayStartUnit: playStart, Downloads: make([]Download, 0, len(s.groups))}
+	for _, g := range s.groups {
+		ld := LoaderFor(g)
+		tune := nextMultiple(free[ld], g.Size)
+		if deadline := playStart + g.StartUnit; tune > deadline {
+			return nil, &ErrSchedule{Group: g, Earliest: tune, Deadline: deadline}
+		}
+		d := Download{Group: g, Loader: ld, StartUnit: tune}
+		plan.Downloads = append(plan.Downloads, d)
+		free[ld] = d.EndUnit()
+	}
+	return plan, nil
+}
+
+// nextMultiple returns the smallest multiple of period that is >= t, for
+// t >= 0.
+func nextMultiple(t, period int64) int64 {
+	if period <= 0 {
+		panic(fmt.Sprintf("core: nextMultiple: period %d must be positive", period))
+	}
+	if r := t % period; r != 0 {
+		return t + period - r
+	}
+	return t
+}
+
+// GeneralDownload is one group reception in a plan with an arbitrary
+// number of loaders.
+type GeneralDownload struct {
+	Group series.Group
+	// Loader is a 0-based tuner index.
+	Loader    int
+	StartUnit int64
+}
+
+// EndUnit returns when the loader finishes the group's last fragment.
+func (d GeneralDownload) EndUnit() int64 {
+	return d.StartUnit + int64(d.Group.Count)*d.Group.Size
+}
+
+// GeneralSchedule is a reception plan over n >= 1 loaders, for broadcast
+// series whose groups do not alternate parity (the paper's two-loader
+// client is the special case its series was designed for; Section 6 notes
+// SB is a family parameterized by the series).
+type GeneralSchedule struct {
+	PlayStartUnit int64
+	Loaders       int
+	Downloads     []GeneralDownload
+}
+
+// PlanGeneral computes a lazy-tuning reception plan using at most
+// maxLoaders tuners: each group is assigned to any loader free by the
+// group's latest feasible tune time, preferring the loader that has been
+// idle longest (which keeps assignments stable). It returns *ErrSchedule
+// when even an idle loader could not meet a deadline, and an error when
+// more than maxLoaders concurrent tuners would be required.
+func PlanGeneral(groups []series.Group, playStart int64, maxLoaders int) (*GeneralSchedule, error) {
+	if playStart < 0 {
+		return nil, fmt.Errorf("core: PlanGeneral(%d): playback start must be >= 0", playStart)
+	}
+	if maxLoaders < 1 {
+		return nil, fmt.Errorf("core: PlanGeneral: need at least one loader, got %d", maxLoaders)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: PlanGeneral: no transmission groups")
+	}
+	free := make([]int64, 1, maxLoaders) // loader free times; grows on demand
+	free[0] = playStart
+	plan := &GeneralSchedule{PlayStartUnit: playStart}
+	for _, g := range groups {
+		deadline := playStart + g.StartUnit
+		tune := lastMultiple(deadline, g.Size)
+		if tune < playStart {
+			// Cannot tune before admission; groups early in the video
+			// always satisfy tune >= playStart for sane series, but a
+			// pathological first group is caught here.
+			return nil, &ErrSchedule{Group: g, Earliest: playStart, Deadline: deadline}
+		}
+		// Pick the loader longest idle among those free by the tune
+		// time; open a new tuner only when none is.
+		best := -1
+		for i, f := range free {
+			if f <= tune && (best == -1 || f < free[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			if len(free) < maxLoaders {
+				free = append(free, playStart)
+				best = len(free) - 1
+			} else {
+				return nil, fmt.Errorf("core: series needs more than %d loaders: group %d %v (deadline %d) finds every tuner busy: %w",
+					maxLoaders, g.Index, g, deadline, errLoadersExhausted)
+			}
+		}
+		plan.Downloads = append(plan.Downloads, GeneralDownload{Group: g, Loader: best, StartUnit: tune})
+		free[best] = tune + int64(g.Count)*g.Size
+	}
+	plan.Loaders = len(free)
+	return plan, nil
+}
+
+// errLoadersExhausted marks loader-count failures for MinLoaders.
+var errLoadersExhausted = fmt.Errorf("loader budget exhausted")
+
+// MinLoaders returns the smallest number of tuners sufficient to receive
+// the fragmentation jitter-free at every playback phase in [0, phases)
+// (use the series' phase period for an exact answer), or 0 if no budget up
+// to maxBudget suffices. For the paper's skyscraper series the answer is
+// 2 at every width; for the doubling series (Fast Broadcasting's shape) it
+// is 3 — the structural reason the paper's series interleaves odd and even
+// groups.
+func MinLoaders(groups []series.Group, phases int64, maxBudget int) int {
+	if phases < 1 {
+		phases = 1
+	}
+	for budget := 1; budget <= maxBudget; budget++ {
+		ok := true
+		for phase := int64(0); phase < phases; phase++ {
+			if _, err := PlanGeneral(groups, phase, budget); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return budget
+		}
+	}
+	return 0
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"skyscraper/internal/series"
+)
+
+// TestEagerStillJitterFree: eager tuning never misses a deadline (every
+// group arrives no later than under lazy tuning).
+func TestEagerStillJitterFree(t *testing.T) {
+	for _, tc := range []struct {
+		serverMbps float64
+		width      int64
+	}{
+		{320, 2}, {320, 12}, {320, 52}, {150, 5},
+	} {
+		s := mustScheme(t, tc.serverMbps, tc.width)
+		period := s.PhasePeriod()
+		stride := period/800 + 1
+		for phase := int64(0); phase < period; phase += stride {
+			plan, err := s.PlanScheduleEager(phase)
+			if err != nil {
+				t.Fatalf("B=%v W=%d phase %d: %v", tc.serverMbps, tc.width, phase, err)
+			}
+			if _, err := s.Profile(plan); err != nil {
+				t.Fatalf("B=%v W=%d phase %d: %v", tc.serverMbps, tc.width, phase, err)
+			}
+		}
+	}
+}
+
+// TestEagerOvershootsBound is the ablation behind the lazy-policy design
+// note in DESIGN.md: eager tuning exceeds 60*b*D1*(W-1) on capped tails.
+func TestEagerOvershootsBound(t *testing.T) {
+	s := mustScheme(t, 320, 52)
+	bound := s.EffectiveWidth() - 1
+	var worst int64
+	period := s.PhasePeriod()
+	stride := period/2000 + 1
+	for phase := int64(0); phase < period; phase += stride {
+		plan, err := s.PlanScheduleEager(phase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp, err := s.Profile(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := bp.Max(); m > worst {
+			worst = m
+		}
+	}
+	if worst <= bound {
+		t.Errorf("eager worst buffer %d did not exceed the lazy bound %d; ablation expectation broken", worst, bound)
+	}
+	t.Logf("eager worst %d units vs lazy bound %d (overshoot %.1f%%)",
+		worst, bound, 100*float64(worst-bound)/float64(bound))
+}
+
+// TestEagerNegativeStart rejects invalid playback starts.
+func TestEagerNegativeStart(t *testing.T) {
+	s := mustScheme(t, 150, 2)
+	if _, err := s.PlanScheduleEager(-1); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+// TestPlanGeneralMatchesTwoLoaderPlan: on the skyscraper series the
+// general planner needs exactly two loaders and produces the same tune
+// times as the parity-based planner.
+func TestPlanGeneralMatchesTwoLoaderPlan(t *testing.T) {
+	s := mustScheme(t, 320, 12)
+	period := s.PhasePeriod()
+	for phase := int64(0); phase < period; phase++ {
+		want, err := s.PlanSchedule(phase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PlanGeneral(s.Groups(), phase, 2)
+		if err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		if got.Loaders > 2 {
+			t.Fatalf("phase %d: %d loaders", phase, got.Loaders)
+		}
+		for i := range want.Downloads {
+			if got.Downloads[i].StartUnit != want.Downloads[i].StartUnit {
+				t.Fatalf("phase %d group %d: general tunes at %d, parity planner at %d",
+					phase, i+1, got.Downloads[i].StartUnit, want.Downloads[i].StartUnit)
+			}
+		}
+	}
+}
+
+// TestSkyscraperNeedsTwoLoaders and TestDoublingNeedsThreeLoaders: the
+// structural payoff of the paper's series design. A doubling series
+// (1,2,4,8,... — Fast Broadcasting's shape) has consecutive even groups,
+// so two tuners cannot cover it; the skyscraper series' odd/even
+// interleaving makes two suffice at every width.
+func TestSkyscraperNeedsTwoLoaders(t *testing.T) {
+	for _, k := range []int{3, 7, 13, 21} {
+		for _, w := range []int64{2, 5, 12, 52, 0} {
+			groups := series.Groups(series.Values(series.Skyscraper{}, k, w))
+			period := int64(1)
+			for _, g := range groups {
+				period = lcmSmall(period, g.Size, 5000)
+			}
+			got := MinLoaders(groups, period, 4)
+			want := 1
+			if len(groups) > 1 {
+				want = 2
+			}
+			if got != want {
+				t.Errorf("K=%d W=%d: MinLoaders = %d, want %d", k, w, got, want)
+			}
+		}
+	}
+}
+
+func TestDoublingNeedsAllLoaders(t *testing.T) {
+	// At phase 0 every channel's only deadline-feasible broadcast starts
+	// at time 0, so a doubling-series client must receive from all K
+	// channels at once — exactly Fast Broadcasting's receive model, and
+	// the structural cost the skyscraper series' odd/even interleaving
+	// avoids.
+	groups := series.Groups(series.Values(series.Doubling{}, 6, 0)) // 1,2,4,8,16,32
+	got := MinLoaders(groups, 64, 8)
+	if got != 6 {
+		t.Errorf("MinLoaders(doubling K=6) = %d, want 6 (all channels at the worst phase)", got)
+	}
+	if got > 0 {
+		for phase := int64(0); phase < 64; phase++ {
+			if _, err := PlanGeneral(groups, phase, got); err != nil {
+				t.Fatalf("phase %d with %d loaders: %v", phase, got, err)
+			}
+		}
+	}
+}
+
+func TestPlanGeneralValidation(t *testing.T) {
+	groups := series.Groups([]int64{1, 2, 2})
+	if _, err := PlanGeneral(groups, -1, 2); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := PlanGeneral(groups, 0, 0); err == nil {
+		t.Error("zero loaders accepted")
+	}
+	if _, err := PlanGeneral(nil, 0, 2); err == nil {
+		t.Error("empty groups accepted")
+	}
+}
+
+func TestMinLoadersBudgetExhaustion(t *testing.T) {
+	groups := series.Groups(series.Values(series.Doubling{}, 8, 0))
+	if got := MinLoaders(groups, 16, 1); got != 0 {
+		t.Errorf("MinLoaders with budget 1 = %d, want 0 (insufficient)", got)
+	}
+}
+
+// lcmSmall is a capped lcm for test phase periods.
+func lcmSmall(a, b, cap int64) int64 {
+	g := gcd(a, b)
+	l := a / g * b
+	if l > cap {
+		return cap
+	}
+	return l
+}
+
+// TestNaivePairedGeneralizationFails documents why the paper's exact
+// recurrence matters: a naive "next pair = smallest integer > 2*prev with
+// opposite parity" series (1,4,4,9,9,...) makes group (4,4) undeliverable
+// at some phases — its playback offset (1 unit) is smaller than size-1, so
+// no broadcast of it can both start after admission and meet the deadline,
+// regardless of how many tuners the client has. The skyscraper recurrence
+// 2f+1 / 2f+2 grows as fast as possible *without* crossing that bound.
+func TestNaivePairedGeneralizationFails(t *testing.T) {
+	groups := series.Groups([]int64{1, 4, 4, 9, 9, 20, 20})
+	if got := MinLoaders(groups, 64, 6); got != 0 {
+		t.Errorf("naive paired series schedulable with %d loaders; expected structural infeasibility", got)
+	}
+	// Each skyscraper group satisfies the deliverability bound
+	// size <= StartUnit + 1.
+	for _, w := range []int64{0, 2, 12, 52} {
+		for _, g := range series.Groups(series.Values(series.Skyscraper{}, 40, w)) {
+			if g.Size > g.StartUnit+1 {
+				t.Errorf("W=%d group %d %v: size %d > StartUnit+1 = %d", w, g.Index, g, g.Size, g.StartUnit+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"skyscraper/internal/vod"
+)
+
+// allPhases runs fn for every distinct playback-start phase of the scheme,
+// capped for very long periods.
+func allPhases(t *testing.T, s *Scheme, cap int64, fn func(phase int64, plan *Schedule, bp *BufferProfile)) {
+	t.Helper()
+	period := s.PhasePeriod()
+	stride := int64(1)
+	if cap > 0 && period > cap {
+		stride = (period + cap - 1) / cap
+	}
+	for phase := int64(0); phase < period; phase += stride {
+		plan, err := s.PlanSchedule(phase)
+		if err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		bp, err := s.Profile(plan)
+		if err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		fn(phase, plan, bp)
+	}
+}
+
+// TestJitterFreeAllPhases is the paper's central correctness claim
+// (Section 4): for every arrival phase the player never starves and every
+// group is tuned by its deadline.
+func TestJitterFreeAllPhases(t *testing.T) {
+	for _, tc := range []struct {
+		serverMbps float64
+		width      int64
+	}{
+		{100, 2}, {150, 5}, {320, 2}, {320, 12}, {320, 52},
+		{600, 2}, {600, 52}, {600, 0}, {45, 2}, {15, 1},
+	} {
+		s := mustScheme(t, tc.serverMbps, tc.width)
+		allPhases(t, s, 2000, func(phase int64, plan *Schedule, bp *BufferProfile) {
+			if bp.Final() != 0 {
+				t.Fatalf("B=%v W=%d phase %d: buffer not drained at end: %d",
+					tc.serverMbps, tc.width, phase, bp.Final())
+			}
+		})
+	}
+}
+
+// TestTwoLoadersSuffice asserts the Section 4 argument that a client never
+// needs a third concurrent download stream.
+func TestTwoLoadersSuffice(t *testing.T) {
+	for _, tc := range []struct {
+		serverMbps float64
+		width      int64
+	}{
+		{320, 2}, {320, 52}, {600, 52}, {600, 0}, {100, 5},
+	} {
+		s := mustScheme(t, tc.serverMbps, tc.width)
+		allPhases(t, s, 4000, func(phase int64, plan *Schedule, _ *BufferProfile) {
+			if n := plan.MaxConcurrentDownloads(); n > 2 {
+				t.Fatalf("B=%v W=%d phase %d: %d concurrent downloads", tc.serverMbps, tc.width, phase, n)
+			}
+		})
+	}
+}
+
+// TestBufferBoundTight asserts the storage analysis of Section 4: the
+// worst-case buffer over all phases is exactly (W_eff - 1) units, i.e.
+// 60*b*D1*(W-1) Mbit.
+func TestBufferBoundTight(t *testing.T) {
+	for _, tc := range []struct {
+		serverMbps float64
+		width      int64
+	}{
+		{100, 2}, {320, 2}, {320, 5}, {320, 12}, {320, 25}, {320, 52},
+		{600, 52}, {150, 12}, {90, 5},
+	} {
+		s := mustScheme(t, tc.serverMbps, tc.width)
+		wc, err := s.WorstCaseBuffer(0) // exact enumeration
+		if err != nil {
+			t.Fatalf("B=%v W=%d: %v", tc.serverMbps, tc.width, err)
+		}
+		want := s.EffectiveWidth() - 1
+		if wc.BufferUnits != want {
+			t.Errorf("B=%v W=%d: worst buffer = %d units (phase %d), want %d",
+				tc.serverMbps, tc.width, wc.BufferUnits, wc.BufferPhase, want)
+		}
+		// Cross-check the Mbit conversion against the closed form.
+		gotMbit := float64(wc.BufferUnits) * 60 * s.Config().RateMbps * s.UnitMinutes()
+		if math.Abs(gotMbit-s.BufferMbit()) > 1e-9 {
+			t.Errorf("B=%v W=%d: measured %v Mbit != analytic %v Mbit", tc.serverMbps, tc.width, gotMbit, s.BufferMbit())
+		}
+	}
+}
+
+// TestFigure1Scenarios reproduces Figure 1: the (1) -> (2,2) transition has
+// exactly two behaviors. Playback starting at an odd unit needs no buffer
+// for group 2; starting at an even unit prefetches one unit.
+func TestFigure1Scenarios(t *testing.T) {
+	s := mustScheme(t, 45, 2) // K = 3: fragments 1,2,2 - precisely Figure 1
+	// Odd start: no disk required.
+	planOdd, err := s.PlanSchedule(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpOdd, err := s.Profile(planOdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpOdd.Max() != 0 {
+		t.Errorf("odd start: max buffer %d units, want 0 (Figure 1a)", bpOdd.Max())
+	}
+	// Even start: one unit of prefetch.
+	planEven, err := s.PlanSchedule(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpEven, err := s.Profile(planEven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpEven.Max() != 1 {
+		t.Errorf("even start: max buffer %d units, want 1 = 60*b*D1 (Figure 1b)", bpEven.Max())
+	}
+}
+
+func TestScheduleDeterministicAndOrdered(t *testing.T) {
+	s := mustScheme(t, 320, 52)
+	plan, err := s.PlanSchedule(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Downloads) != len(s.Groups()) {
+		t.Fatalf("%d downloads for %d groups", len(plan.Downloads), len(s.Groups()))
+	}
+	freeAt := map[LoaderID]int64{}
+	for i, d := range plan.Downloads {
+		if d.Group.Index != i+1 {
+			t.Errorf("download %d is for group %d", i, d.Group.Index)
+		}
+		if d.StartUnit%d.Group.Size != 0 {
+			t.Errorf("group %d tuned at %d, not aligned to its period %d", d.Group.Index, d.StartUnit, d.Group.Size)
+		}
+		if d.StartUnit < plan.PlayStartUnit {
+			t.Errorf("group %d tuned at %d before playback start %d", d.Group.Index, d.StartUnit, plan.PlayStartUnit)
+		}
+		if d.StartUnit < freeAt[d.Loader] {
+			t.Errorf("group %d overlaps its loader's previous group", d.Group.Index)
+		}
+		freeAt[d.Loader] = d.EndUnit()
+		if want := LoaderFor(d.Group); d.Loader != want {
+			t.Errorf("group %d on %v loader, want %v", d.Group.Index, d.Loader, want)
+		}
+	}
+}
+
+func TestScheduleShiftInvariance(t *testing.T) {
+	// Shifting the playback start by the phase period shifts the whole
+	// plan rigidly.
+	s := mustScheme(t, 150, 5)
+	period := s.PhasePeriod()
+	for phase := int64(0); phase < period; phase++ {
+		a, err := s.PlanSchedule(phase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.PlanSchedule(phase + period)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Downloads {
+			if a.Downloads[i].StartUnit+period != b.Downloads[i].StartUnit {
+				t.Fatalf("phase %d group %d: %d + period != %d",
+					phase, i+1, a.Downloads[i].StartUnit, b.Downloads[i].StartUnit)
+			}
+		}
+	}
+}
+
+func TestPlanScheduleRejectsNegative(t *testing.T) {
+	s := mustScheme(t, 150, 2)
+	if _, err := s.PlanSchedule(-1); err == nil {
+		t.Error("PlanSchedule(-1) succeeded")
+	}
+}
+
+func TestPhasePeriod(t *testing.T) {
+	s := mustScheme(t, 150, 12) // sizes 1,2,2,5,5,12,12,12,12,12 -> lcm(1,2,5,12)=60
+	if got := s.PhasePeriod(); got != 60 {
+		t.Errorf("PhasePeriod = %d, want 60", got)
+	}
+}
+
+func TestErrScheduleMessage(t *testing.T) {
+	e := &ErrSchedule{Earliest: 10, Deadline: 5}
+	if e.Error() == "" {
+		t.Error("empty error message")
+	}
+	var target *ErrSchedule
+	if !errors.As(error(e), &target) {
+		t.Error("errors.As failed")
+	}
+}
+
+func TestLoaderString(t *testing.T) {
+	if OddLoader.String() != "odd" || EvenLoader.String() != "even" {
+		t.Error("LoaderID String values wrong")
+	}
+}
+
+// TestScheduleProperty drives the scheduler with random (B, W, phase)
+// triples and asserts the full invariant bundle.
+func TestScheduleProperty(t *testing.T) {
+	widths := []int64{1, 2, 5, 12, 25, 52}
+	f := func(bSel, wSel uint8, phase uint16) bool {
+		serverMbps := 90 + float64(bSel%52)*10 // 90..600
+		w := widths[int(wSel)%len(widths)]
+		s, err := New(vod.DefaultConfig(serverMbps), w)
+		if err != nil {
+			return false
+		}
+		plan, err := s.PlanSchedule(int64(phase))
+		if err != nil {
+			return false
+		}
+		bp, err := s.Profile(plan)
+		if err != nil {
+			return false
+		}
+		return bp.Max() <= s.EffectiveWidth()-1 && plan.MaxConcurrentDownloads() <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorstCaseBufferSampled checks that sampling produces a lower bound of
+// the exact value.
+func TestWorstCaseBufferSampled(t *testing.T) {
+	s := mustScheme(t, 320, 12)
+	exact, err := s.WorstCaseBuffer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := s.WorstCaseBuffer(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.BufferUnits > exact.BufferUnits {
+		t.Errorf("sampled %d > exact %d", sampled.BufferUnits, exact.BufferUnits)
+	}
+	if sampled.Phases > 8 {
+		t.Errorf("sampled %d phases, wanted about 7", sampled.Phases)
+	}
+}
+
+func TestBreakPoints(t *testing.T) {
+	s := mustScheme(t, 45, 2)
+	plan, err := s.PlanSchedule(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := s.Profile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := bp.BreakPoints()
+	if len(pts) == 0 {
+		t.Fatal("no breakpoints in a profile with prefetching")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Errorf("breakpoints not strictly increasing: %v", pts)
+		}
+	}
+}
+
+func TestUnitMinutesMatchesConfig(t *testing.T) {
+	cfg := vod.Config{ServerMbps: 320, Videos: 10, LengthMin: 120, RateMbps: 1.5}
+	s, err := New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.UnitMinutes(), 120.0/41; math.Abs(got-want) > 1e-12 {
+		t.Errorf("UnitMinutes = %v, want %v", got, want)
+	}
+	if s.Config() != cfg {
+		t.Error("Config() does not round-trip")
+	}
+}

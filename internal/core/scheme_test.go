@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"skyscraper/internal/series"
+	"skyscraper/internal/vod"
+)
+
+func mustScheme(t *testing.T, serverMbps float64, width int64) *Scheme {
+	t.Helper()
+	s, err := New(vod.DefaultConfig(serverMbps), width)
+	if err != nil {
+		t.Fatalf("New(B=%v, W=%d): %v", serverMbps, width, err)
+	}
+	return s
+}
+
+// TestPaperExampleW2B320 checks the paper's Section 5.4 quote: "when B is
+// about 320 Mbits/sec ... SB scheme with W = 2 has smaller access latency
+// and requires only 33 MBytes of disk space at the receiving end."
+func TestPaperExampleW2B320(t *testing.T) {
+	s := mustScheme(t, 320, 2)
+	if s.K() != 21 {
+		t.Fatalf("K = %d, want 21", s.K())
+	}
+	if got := vod.MbitToMByte(s.BufferMbit()); math.Abs(got-32.9) > 0.5 {
+		t.Errorf("buffer = %.1f MByte, want about 33", got)
+	}
+	if lat := s.AccessLatencyMin(); math.Abs(lat-120.0/41) > 1e-9 {
+		t.Errorf("latency = %v min, want %v", lat, 120.0/41)
+	}
+}
+
+// TestPaperExampleW52B600 checks Section 5.4: "if the network-I/O bandwidth
+// is 600 Mbits/sec, each client needs only 40 MBytes of buffer space in
+// order to enjoy an access latency of about 0.1 minutes."
+func TestPaperExampleW52B600(t *testing.T) {
+	s := mustScheme(t, 600, 52)
+	if s.K() != 40 {
+		t.Fatalf("K = %d, want 40", s.K())
+	}
+	if lat := s.AccessLatencyMin(); math.Abs(lat-0.0706) > 0.005 {
+		t.Errorf("latency = %v min, want about 0.07", lat)
+	}
+	if got := vod.MbitToMByte(s.BufferMbit()); math.Abs(got-40.5) > 1.0 {
+		t.Errorf("buffer = %.1f MByte, want about 40", got)
+	}
+}
+
+func TestDiskBandwidthTiers(t *testing.T) {
+	b := 1.5
+	cases := []struct {
+		serverMbps float64
+		width      int64
+		want       float64
+	}{
+		{600, 1, b},      // W = 1
+		{15, 100, b},     // K = 1
+		{600, 2, 2 * b},  // W = 2
+		{45, 100, 2 * b}, // K = 3
+		{600, 52, 3 * b}, // general case
+		{600, 0, 3 * b},  // uncapped
+	}
+	for _, c := range cases {
+		s := mustScheme(t, c.serverMbps, c.width)
+		if got := s.DiskBandwidthMbps(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("B=%v W=%d: disk bw = %v, want %v", c.serverMbps, c.width, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveWidth(t *testing.T) {
+	// K = 3 (B = 45): fragments 1,2,2 - a configured W of 52 never binds.
+	s := mustScheme(t, 45, 52)
+	if s.EffectiveWidth() != 2 {
+		t.Errorf("effective width = %d, want 2", s.EffectiveWidth())
+	}
+	// Buffer bound must use the effective width.
+	want := 60 * 1.5 * s.UnitMinutes() * 1
+	if got := s.BufferMbit(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("buffer = %v, want %v", got, want)
+	}
+}
+
+func TestFragmentAccessors(t *testing.T) {
+	s := mustScheme(t, 600, 52) // K = 40
+	var total float64
+	for i := 1; i <= s.K(); i++ {
+		total += s.FragmentMinutes(i)
+	}
+	if math.Abs(total-120) > 1e-9 {
+		t.Errorf("fragments sum to %v minutes, want 120", total)
+	}
+	if got := s.FragmentMbits(1); math.Abs(got-60*1.5*s.UnitMinutes()) > 1e-9 {
+		t.Errorf("fragment 1 = %v Mbit", got)
+	}
+	if s.ServerChannelsUsed() != 400 {
+		t.Errorf("server channels = %d, want 400", s.ServerChannelsUsed())
+	}
+}
+
+func TestFragmentPanicsOutOfRange(t *testing.T) {
+	s := mustScheme(t, 150, 2)
+	for _, i := range []int{0, s.K() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FragmentMinutes(%d) did not panic", i)
+				}
+			}()
+			s.FragmentMinutes(i)
+		}()
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(vod.Config{}, 2); err == nil {
+		t.Error("New accepted zero config")
+	}
+	if _, err := New(vod.DefaultConfig(10), 2); err == nil {
+		t.Error("New accepted B too small for one channel per video")
+	}
+}
+
+func TestNewRejectsNonAlternatingSeries(t *testing.T) {
+	cfg := vod.DefaultConfig(600)
+	if _, err := NewWithSeries(cfg, series.Doubling{}, 0); err == nil {
+		t.Error("NewWithSeries accepted the doubling series (groups 2 and 4 are both even)")
+	}
+}
+
+func TestConstantSeriesIsStaggered(t *testing.T) {
+	// The constant series under the SB machinery is plain staggered
+	// broadcasting: K equal fragments, latency D/K, zero buffer.
+	cfg := vod.DefaultConfig(300) // K = 20
+	s, err := NewWithSeries(cfg, series.Constant{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AccessLatencyMin(); math.Abs(got-6.0) > 1e-9 {
+		t.Errorf("latency = %v, want 6 (=120/20)", got)
+	}
+	if s.BufferMbit() != 0 {
+		t.Errorf("buffer = %v, want 0", s.BufferMbit())
+	}
+	if s.DiskBandwidthMbps() != 1.5 {
+		t.Errorf("disk bw = %v, want b", s.DiskBandwidthMbps())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := mustScheme(t, 320, 2)
+	str := s.String()
+	for _, want := range []string{"K=21", "W=2", "skyscraper"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestLatencyMonotoneInWidth(t *testing.T) {
+	// Section 3.2: "we can reduce the access latency by using a larger W."
+	prev := math.Inf(1)
+	for _, w := range []int64{1, 2, 5, 12, 25, 52} {
+		s := mustScheme(t, 320, w)
+		if got := s.AccessLatencyMin(); got > prev {
+			t.Errorf("latency increased from %v to %v at W=%d", prev, got, w)
+		} else {
+			prev = got
+		}
+	}
+}
+
+func TestLatencyImprovesWithBandwidth(t *testing.T) {
+	prev := math.Inf(1)
+	for b := 100.0; b <= 600; b += 50 {
+		s := mustScheme(t, b, 52)
+		if got := s.AccessLatencyMin(); got > prev+1e-12 {
+			t.Errorf("latency increased from %v to %v at B=%v", prev, got, b)
+		} else {
+			prev = got
+		}
+	}
+}

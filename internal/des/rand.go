@@ -1,0 +1,56 @@
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rand is a small deterministic pseudo-random source (xorshift64*),
+// sufficient for workload generation and fully reproducible across
+// platforms — simulations must not depend on math/rand's global state.
+type Rand struct{ state uint64 }
+
+// NewRand returns a source seeded with seed (0 is remapped to a fixed
+// non-zero constant, since xorshift requires non-zero state).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("des: Intn(%d): n must be positive", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// ExpFloat64 returns an exponential variate with the given rate (events
+// per minute); its mean is 1/rate. It panics if rate <= 0.
+func (r *Rand) ExpFloat64(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("des: ExpFloat64(%v): rate must be positive", rate))
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}

@@ -1,0 +1,171 @@
+package hybrid
+
+import (
+	"strings"
+	"testing"
+
+	"skyscraper/internal/catalog"
+	"skyscraper/internal/workload"
+)
+
+func testCatalog(t *testing.T, n int) *catalog.Catalog {
+	t.Helper()
+	c, err := catalog.New(n, catalog.DefaultSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testRequests(t *testing.T, cat *catalog.Catalog, n int, rate, patience float64) []workload.Request {
+	t.Helper()
+	g, err := workload.NewGenerator(workload.Config{RatePerMin: rate, Seed: 11, MeanPatienceMin: patience}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Take(n)
+}
+
+func TestBuildAccounting(t *testing.T) {
+	cat := testCatalog(t, 50)
+	plan, err := Build(600, cat, 10, 52, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int(600 / 1.5)
+	if plan.SB == nil {
+		t.Fatal("no broadcast side")
+	}
+	if got := plan.SB.ServerChannelsUsed() + plan.BatchChannels; got != total {
+		t.Errorf("channels %d + %d != %d", plan.SB.ServerChannelsUsed(), plan.BatchChannels, total)
+	}
+	if plan.BatchChannels < 1 {
+		t.Error("no batching channels despite a tail")
+	}
+	if plan.HotDemandFrac <= 0 || plan.HotDemandFrac >= 1 {
+		t.Errorf("hot demand fraction %v", plan.HotDemandFrac)
+	}
+	if !strings.Contains(plan.String(), "hot=10") {
+		t.Errorf("String() = %q", plan.String())
+	}
+}
+
+func TestBuildPureBatching(t *testing.T) {
+	cat := testCatalog(t, 20)
+	plan, err := Build(150, cat, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SB != nil || plan.BatchChannels != 100 {
+		t.Errorf("pure batching plan: %+v", plan)
+	}
+	if !strings.Contains(plan.String(), "pure batching") {
+		t.Errorf("String() = %q", plan.String())
+	}
+}
+
+func TestBuildWholeLibraryBroadcast(t *testing.T) {
+	cat := testCatalog(t, 5)
+	plan, err := Build(150, cat, 5, 2, 100) // all 100 channels for 5 titles: K = 20
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SB.K() != 20 {
+		t.Errorf("K = %d, want 20", plan.SB.K())
+	}
+	if plan.HotDemandFrac != 1 {
+		t.Errorf("whole-library demand fraction %v", plan.HotDemandFrac)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cat := testCatalog(t, 50)
+	if _, err := Build(600, nil, 5, 2, 0); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := Build(600, cat, 51, 2, 0); err == nil {
+		t.Error("hot set beyond catalog accepted")
+	}
+	if _, err := Build(600, cat, -1, 2, 0); err == nil {
+		t.Error("negative hot set accepted")
+	}
+	// 10 channels cannot broadcast 40 titles.
+	if _, err := Build(15, cat, 40, 2, 0); err == nil {
+		t.Error("overcommitted broadcast accepted")
+	}
+}
+
+func TestEvaluateSplitsTraffic(t *testing.T) {
+	cat := testCatalog(t, 30)
+	plan, err := Build(450, cat, 8, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(t, cat, 600, 2, 0)
+	rep, err := Evaluate(plan, cat, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hot.Count() == 0 || rep.Cold.Count() == 0 {
+		t.Fatalf("traffic not split: hot %d cold %d", rep.Hot.Count(), rep.Cold.Count())
+	}
+	if rep.Hot.Count()+rep.Cold.Count() != 600 {
+		t.Errorf("requests lost: %d + %d != 600", rep.Hot.Count(), rep.Cold.Count())
+	}
+	if rep.All.Count() != rep.Served {
+		t.Errorf("All has %d waits for %d served", rep.All.Count(), rep.Served)
+	}
+	// The broadcast side honors its hard bound.
+	if rep.Hot.Max() > plan.SB.AccessLatencyMin()+1e-9 {
+		t.Errorf("hot wait %v exceeds SB bound %v", rep.Hot.Max(), plan.SB.AccessLatencyMin())
+	}
+	// The broadcast side's bound is sub-minute at this scale, while the
+	// cold side has no bound at all (only averages).
+	if rep.Hot.Max() >= 1 {
+		t.Errorf("hot worst wait %v, want sub-minute", rep.Hot.Max())
+	}
+}
+
+func TestOptimizePrefersBroadcastUnderSkewedLoad(t *testing.T) {
+	cat := testCatalog(t, 40)
+	reqs := testRequests(t, cat, 800, 4, 60)
+	plan, rep, err := Optimize(600, cat, reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.HotTitles == 0 {
+		t.Error("optimizer chose pure batching under heavy skewed load")
+	}
+	if rep == nil || rep.Served == 0 {
+		t.Error("empty report")
+	}
+	// The chosen plan must beat pure batching on the same stream.
+	pure, err := Build(600, cat, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureRep, err := Evaluate(pure, cat, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(r *Report) float64 {
+		return (r.All.Sum() + float64(r.Reneged)*120) / float64(r.Served+r.Reneged)
+	}
+	if score(rep) > score(pureRep) {
+		t.Errorf("optimizer score %v worse than pure batching %v", score(rep), score(pureRep))
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	cat := testCatalog(t, 10)
+	if _, err := Evaluate(nil, cat, nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+	plan, err := Build(300, cat, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(plan, nil, nil); err == nil {
+		t.Error("nil catalog accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Package mcast provides the multicast substrate for the live broadcast
+// demo. The paper assumes "the multicast facility of modern communication
+// networks"; on a single machine we substitute a hub that fans each
+// group send out to every joined receiver over loopback UDP — semantically
+// a multicast group (senders are unaware of membership; receivers join and
+// leave at will), physically unicast datagrams, which preserves exactly the
+// delivery behavior the broadcasting schemes depend on.
+package mcast
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Group identifies one logical broadcast channel: a (video, channel) pair.
+type Group struct {
+	Video   int
+	Channel int
+}
+
+// String implements fmt.Stringer.
+func (g Group) String() string { return fmt.Sprintf("video%d/ch%d", g.Video, g.Channel) }
+
+// Hub is the group registry and sender. All methods are safe for
+// concurrent use.
+type Hub struct {
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	groups map[Group]map[string]*net.UDPAddr
+	closed bool
+	// sent counts datagrams actually written, for tests and stats.
+	sent int64
+}
+
+// NewHub opens the hub's sending socket.
+func NewHub() (*Hub, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("mcast: opening sender socket: %w", err)
+	}
+	return &Hub{conn: conn, groups: make(map[Group]map[string]*net.UDPAddr)}, nil
+}
+
+// Join subscribes addr to group g. Joining twice is a no-op.
+func (h *Hub) Join(g Group, addr *net.UDPAddr) error {
+	if addr == nil {
+		return fmt.Errorf("mcast: join %v with nil address", g)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("mcast: hub closed")
+	}
+	m := h.groups[g]
+	if m == nil {
+		m = make(map[string]*net.UDPAddr)
+		h.groups[g] = m
+	}
+	m[addr.String()] = addr
+	return nil
+}
+
+// Leave unsubscribes addr from group g. Leaving a group the address never
+// joined is a no-op.
+func (h *Hub) Leave(g Group, addr *net.UDPAddr) {
+	if addr == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if m := h.groups[g]; m != nil {
+		delete(m, addr.String())
+		if len(m) == 0 {
+			delete(h.groups, g)
+		}
+	}
+}
+
+// Members returns the current subscriber count of g.
+func (h *Hub) Members(g Group) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.groups[g])
+}
+
+// Send delivers one datagram to every current member of g, returning how
+// many receivers it was written to. A send to an empty group succeeds and
+// reaches zero receivers — broadcast semantics, senders never block on
+// membership.
+func (h *Hub) Send(g Group, frame []byte) (int, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return 0, fmt.Errorf("mcast: hub closed")
+	}
+	members := make([]*net.UDPAddr, 0, len(h.groups[g]))
+	for _, a := range h.groups[g] {
+		members = append(members, a)
+	}
+	conn := h.conn
+	h.mu.Unlock()
+
+	n := 0
+	for _, a := range members {
+		if _, err := conn.WriteToUDP(frame, a); err != nil {
+			return n, fmt.Errorf("mcast: sending to %v: %w", a, err)
+		}
+		n++
+	}
+	h.mu.Lock()
+	h.sent += int64(n)
+	h.mu.Unlock()
+	return n, nil
+}
+
+// TotalMembers returns the membership count across all groups.
+func (h *Hub) TotalMembers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, m := range h.groups {
+		n += len(m)
+	}
+	return n
+}
+
+// Sent returns the total datagrams written since creation.
+func (h *Hub) Sent() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sent
+}
+
+// Close shuts the sending socket; subsequent Joins and Sends fail.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	return h.conn.Close()
+}
+
+// Receiver is a convenience wrapper for a client-side UDP socket with a
+// large receive buffer (broadcast bursts must not drop on loopback).
+type Receiver struct {
+	Conn *net.UDPConn
+}
+
+// NewReceiver opens a loopback UDP socket on an ephemeral port.
+func NewReceiver() (*Receiver, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("mcast: opening receiver socket: %w", err)
+	}
+	// Broadcast traffic is bursty; a generous kernel buffer prevents
+	// drops while the client goroutine is scheduled out.
+	if err := conn.SetReadBuffer(4 << 20); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mcast: sizing receive buffer: %w", err)
+	}
+	return &Receiver{Conn: conn}, nil
+}
+
+// Addr returns the receiver's UDP address.
+func (r *Receiver) Addr() *net.UDPAddr { return r.Conn.LocalAddr().(*net.UDPAddr) }
+
+// Close closes the socket.
+func (r *Receiver) Close() error { return r.Conn.Close() }

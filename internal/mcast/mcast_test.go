@@ -1,0 +1,165 @@
+package mcast
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestJoinSendLeave(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	rcv, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+
+	g := Group{Video: 1, Channel: 2}
+	if n, err := hub.Send(g, []byte("nobody")); err != nil || n != 0 {
+		t.Fatalf("send to empty group: n=%d err=%v", n, err)
+	}
+	if err := hub.Join(g, rcv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Members(g) != 1 {
+		t.Fatalf("members = %d", hub.Members(g))
+	}
+	// Double join is idempotent.
+	if err := hub.Join(g, rcv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Members(g) != 1 {
+		t.Fatalf("members after double join = %d", hub.Members(g))
+	}
+
+	msg := []byte("hello broadcast")
+	if n, err := hub.Send(g, msg); err != nil || n != 1 {
+		t.Fatalf("send: n=%d err=%v", n, err)
+	}
+	buf := make([]byte, 64)
+	rcv.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _, err := rcv.Conn.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != string(msg) {
+		t.Errorf("received %q", buf[:n])
+	}
+	if hub.Sent() != 1 {
+		t.Errorf("Sent = %d", hub.Sent())
+	}
+
+	hub.Leave(g, rcv.Addr())
+	if hub.Members(g) != 0 {
+		t.Errorf("members after leave = %d", hub.Members(g))
+	}
+	// Sends after leave reach nobody.
+	if n, err := hub.Send(g, msg); err != nil || n != 0 {
+		t.Errorf("send after leave: n=%d err=%v", n, err)
+	}
+}
+
+func TestGroupIsolation(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ga, gb := Group{Video: 0, Channel: 1}, Group{Video: 0, Channel: 2}
+	if err := hub.Join(ga, a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Join(gb, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Send(ga, []byte("for-a")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	b.Conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, _, err := b.Conn.ReadFromUDP(buf); err == nil {
+		t.Error("receiver b got traffic for group a")
+	}
+	a.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _, err := a.Conn.ReadFromUDP(buf)
+	if err != nil || string(buf[:n]) != "for-a" {
+		t.Errorf("receiver a: %q, %v", buf[:n], err)
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	g := Group{Video: 3, Channel: 1}
+	const nRcv = 5
+	var rcvs []*Receiver
+	for i := 0; i < nRcv; i++ {
+		r, err := NewReceiver()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		rcvs = append(rcvs, r)
+		if err := hub.Join(g, r.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := hub.Send(g, []byte("all")); err != nil || n != nRcv {
+		t.Fatalf("fan out n=%d err=%v", n, err)
+	}
+	for i, r := range rcvs {
+		buf := make([]byte, 8)
+		r.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, _, err := r.Conn.ReadFromUDP(buf)
+		if err != nil || string(buf[:n]) != "all" {
+			t.Errorf("receiver %d: %q, %v", i, buf[:n], err)
+		}
+	}
+}
+
+func TestClosedHub(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	g := Group{}
+	if _, err := hub.Send(g, []byte("x")); err == nil {
+		t.Error("send on closed hub succeeded")
+	}
+	if err := hub.Join(g, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}); err == nil {
+		t.Error("join on closed hub succeeded")
+	}
+	if err := hub.Join(Group{}, nil); err == nil {
+		t.Error("nil join address accepted")
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if got := (Group{Video: 4, Channel: 2}).String(); got != "video4/ch2" {
+		t.Errorf("String = %q", got)
+	}
+}

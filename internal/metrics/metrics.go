@@ -1,0 +1,177 @@
+// Package metrics provides the statistics primitives the simulator and the
+// live client use to report the paper's three performance metrics — access
+// latency, client buffer space and client disk bandwidth — plus the server
+// throughput measures of the batching substrate.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates scalar observations and reports count, mean, min,
+// max and quantiles. The zero value is ready to use. Summary is not safe
+// for concurrent use; wrap it with a mutex or aggregate per goroutine.
+type Summary struct {
+	values []float64
+	sorted bool
+	sum    float64
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return len(s.values) }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the average, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Summary) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 with none.
+func (s *Summary) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[len(s.values)-1]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted observations, or 0 with none.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: Quantile(%v): q outside [0, 1]", q))
+	}
+	s.sort()
+	i := int(math.Ceil(q*float64(len(s.values)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s.values[i]
+}
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two observations.
+func (s *Summary) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Merge absorbs every observation of other into s.
+func (s *Summary) Merge(other *Summary) {
+	for _, v := range other.values {
+		s.Observe(v)
+	}
+}
+
+func (s *Summary) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// String renders a one-line summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g",
+		s.Count(), s.Mean(), s.Min(), s.Quantile(0.5), s.Quantile(0.99), s.Max())
+}
+
+// Gauge tracks a level that rises and falls over (virtual) time, reporting
+// its high-water mark and its time-weighted average. The zero value starts
+// at level 0 at time 0.
+type Gauge struct {
+	level     float64
+	lastT     float64
+	started   bool
+	startT    float64
+	high      float64
+	weightSum float64 // integral of level over time
+}
+
+// Set records that the level changed to v at time t. Times must be
+// non-decreasing.
+func (g *Gauge) Set(t, v float64) {
+	if !g.started {
+		g.started = true
+		g.startT = t
+		g.lastT = t
+	}
+	if t < g.lastT {
+		panic(fmt.Sprintf("metrics: Gauge.Set at t=%v before last update %v", t, g.lastT))
+	}
+	g.weightSum += g.level * (t - g.lastT)
+	g.lastT = t
+	g.level = v
+	if v > g.high {
+		g.high = v
+	}
+}
+
+// Add records a delta at time t.
+func (g *Gauge) Add(t, delta float64) { g.Set(t, g.level+delta) }
+
+// Level returns the current level.
+func (g *Gauge) Level() float64 { return g.level }
+
+// High returns the high-water mark.
+func (g *Gauge) High() float64 { return g.high }
+
+// TimeAverage returns the time-weighted mean level up to time t.
+func (g *Gauge) TimeAverage(t float64) float64 {
+	if !g.started || t <= g.startT {
+		return g.level
+	}
+	return (g.weightSum + g.level*(t-g.lastT)) / (t - g.startT)
+}
+
+// Counter is a monotone event counter.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: Counter.Add of negative delta")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }

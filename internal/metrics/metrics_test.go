@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Error("zero Summary not all-zero")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 || s.Sum() != 15 || s.Mean() != 3 {
+		t.Errorf("count/sum/mean = %d/%v/%v", s.Count(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Errorf("median = %v, want 3", s.Quantile(0.5))
+	}
+	if s.Quantile(1) != 5 || s.Quantile(0) != 1 {
+		t.Errorf("extreme quantiles %v %v", s.Quantile(0), s.Quantile(1))
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummaryObserveAfterSort(t *testing.T) {
+	var s Summary
+	s.Observe(10)
+	_ = s.Max() // forces sort
+	s.Observe(1)
+	if s.Min() != 1 {
+		t.Errorf("Min after post-sort Observe = %v, want 1", s.Min())
+	}
+}
+
+func TestSummaryStdDev(t *testing.T) {
+	var s Summary
+	s.Observe(2)
+	if s.StdDev() != 0 {
+		t.Error("stddev of one observation not 0")
+	}
+	s.Observe(4)
+	if math.Abs(s.StdDev()-1) > 1e-12 {
+		t.Errorf("stddev = %v, want 1", s.StdDev())
+	}
+}
+
+func TestSummaryQuantilePanics(t *testing.T) {
+	var s Summary
+	s.Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(2) did not panic")
+		}
+	}()
+	s.Quantile(2)
+}
+
+func TestQuantileOrderProperty(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		var s Summary
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Observe(v)
+		}
+		qa := float64(a%101) / 100
+		qb := float64(b%101) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(0, 2)
+	g.Add(10, 3) // level 5 from t=10
+	g.Add(20, -4)
+	if g.Level() != 1 {
+		t.Errorf("level = %v, want 1", g.Level())
+	}
+	if g.High() != 5 {
+		t.Errorf("high = %v, want 5", g.High())
+	}
+	// Integral: 2*10 + 5*10 = 70 over [0,20]; plus 1*10 over [20,30].
+	if avg := g.TimeAverage(30); math.Abs(avg-80.0/30) > 1e-12 {
+		t.Errorf("time average = %v, want %v", avg, 80.0/30)
+	}
+}
+
+func TestGaugeMonotonicTime(t *testing.T) {
+	var g Gauge
+	g.Set(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("time regression did not panic")
+		}
+	}()
+	g.Set(4, 2)
+}
+
+func TestGaugeBeforeStart(t *testing.T) {
+	var g Gauge
+	if g.TimeAverage(10) != 0 {
+		t.Error("unstarted gauge average not 0")
+	}
+	g.Set(5, 3)
+	if g.TimeAverage(5) != 3 {
+		t.Error("average at start time should be the level")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}

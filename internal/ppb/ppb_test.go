@@ -1,0 +1,227 @@
+package ppb
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skyscraper/internal/pyramid"
+	"skyscraper/internal/vod"
+)
+
+func mustNew(t *testing.T, serverMbps float64, m Method) *Scheme {
+	t.Helper()
+	s, err := New(vod.DefaultConfig(serverMbps), m)
+	if err != nil {
+		t.Fatalf("New(B=%v, %v): %v", serverMbps, m, err)
+	}
+	return s
+}
+
+func TestParameterRanges(t *testing.T) {
+	for b := 100.0; b <= 600; b += 20 {
+		for _, m := range []Method{MethodA, MethodB} {
+			s := mustNew(t, b, m)
+			if s.K() < MinK || s.K() > MaxK {
+				t.Errorf("B=%v %v: K = %d outside [%d, %d]", b, m, s.K(), MinK, MaxK)
+			}
+			if s.P() < 1 {
+				t.Errorf("B=%v %v: P = %d < 1", b, m, s.P())
+			}
+			if s.Alpha() <= 1 {
+				t.Errorf("B=%v %v: alpha = %v <= 1", b, m, s.Alpha())
+			}
+			// The bandwidth identity P + alpha = B/(K*M*b).
+			ratio := b / (float64(s.K()) * 10 * 1.5)
+			if math.Abs(float64(s.P())+s.Alpha()-ratio) > 1e-9 {
+				t.Errorf("B=%v %v: P+alpha = %v, want %v", b, m, float64(s.P())+s.Alpha(), ratio)
+			}
+		}
+	}
+}
+
+func TestKCapsAtSeven(t *testing.T) {
+	// Section 2: "since K is limited to 7, the access latency and storage
+	// requirement will eventually improve only linearly as B increases."
+	if s := mustNew(t, 600, MethodA); s.K() != MaxK {
+		t.Errorf("B=600: K = %d, want %d", s.K(), MaxK)
+	}
+	if s := mustNew(t, 100, MethodA); s.K() != MinK {
+		t.Errorf("B=100: K = %d, want %d", s.K(), MinK)
+	}
+}
+
+func TestInfeasibleBelow90(t *testing.T) {
+	for _, b := range []float64{50, 70, 85} {
+		if _, err := New(vod.DefaultConfig(b), MethodA); !errors.Is(err, vod.ErrInfeasible) {
+			t.Errorf("B=%v PPB:a: err = %v, want ErrInfeasible", b, err)
+		}
+	}
+	if _, err := New(vod.DefaultConfig(90), MethodA); err != nil {
+		t.Errorf("B=90 PPB:a should be feasible: %v", err)
+	}
+	// PPB:b pins P at 2, so it additionally needs ratio > 3.
+	if _, err := New(vod.DefaultConfig(90), MethodB); !errors.Is(err, vod.ErrInfeasible) {
+		t.Error("B=90 PPB:b should be infeasible (alpha = 1)")
+	}
+}
+
+// TestPaperQuoteB320 checks Section 5.4: "when B is about 320 Mbits/sec,
+// PPB:b requires only 150 MBytes or so of disk space. Unfortunately, its
+// access latency in this case is as high as five minutes."
+func TestPaperQuoteB320(t *testing.T) {
+	s := mustNew(t, 320, MethodB)
+	if lat := s.AccessLatencyMin(); lat < 3.5 || lat > 6 {
+		t.Errorf("PPB:b B=320 latency = %v min, want about 5", lat)
+	}
+	if mb := vod.MbitToMByte(s.BufferMbit()); mb < 120 || mb > 180 {
+		t.Errorf("PPB:b B=320 storage = %.0f MByte, want about 150", mb)
+	}
+}
+
+// TestPaperQuoteLatencyThreshold checks Section 5.3: "if the access latency
+// is required to be less than 0.5 minutes, then we must have a network-I/O
+// bandwidth of at least 300 Mbits/sec in order to use PPB."
+func TestPaperQuoteLatencyThreshold(t *testing.T) {
+	if lat := mustNew(t, 300, MethodA).AccessLatencyMin(); lat > 0.5 {
+		t.Errorf("PPB:a B=300 latency = %v, want <= 0.5", lat)
+	}
+	if lat := mustNew(t, 200, MethodA).AccessLatencyMin(); lat < 0.5 {
+		t.Errorf("PPB:a B=200 latency = %v, want > 0.5", lat)
+	}
+}
+
+// TestDiskBandwidthComparableToSB checks Section 5.2: "SB and PPB have
+// similar disk bandwidth requirements at the receiving ends" — both within
+// a few multiples of the display rate, far below PB.
+func TestDiskBandwidthComparableToSB(t *testing.T) {
+	for b := 100.0; b <= 600; b += 100 {
+		for _, m := range []Method{MethodA, MethodB} {
+			s := mustNew(t, b, m)
+			if ratio := s.DiskBandwidthMbps() / 1.5; ratio > 5 {
+				t.Errorf("B=%v %v: disk bw = %.1fx display, want a small multiple", b, m, ratio)
+			}
+		}
+	}
+}
+
+func TestFragmentsSumToD(t *testing.T) {
+	for _, b := range []float64{100, 320, 600} {
+		for _, m := range []Method{MethodA, MethodB} {
+			s := mustNew(t, b, m)
+			var sum float64
+			for i := 1; i <= s.K(); i++ {
+				sum += s.FragmentMinutes(i)
+			}
+			if math.Abs(sum-120) > 1e-6 {
+				t.Errorf("B=%v %v: fragments sum to %v, want 120", b, m, sum)
+			}
+		}
+	}
+}
+
+func TestSubchannelStructure(t *testing.T) {
+	s := mustNew(t, 320, MethodB)
+	// Subchannel rate must exceed the display rate (or playback could
+	// never keep up after the first byte arrives just in time).
+	if s.SubchannelMbps() <= s.Config().RateMbps {
+		t.Errorf("subchannel rate %v <= display rate", s.SubchannelMbps())
+	}
+	// K*P*M subchannels account for the entire server bandwidth.
+	total := s.SubchannelMbps() * float64(s.K()*s.P()*s.Config().Videos)
+	if math.Abs(total-320) > 1e-9 {
+		t.Errorf("subchannels total %v Mbit/s, want 320", total)
+	}
+	// The phase offset times P spans one broadcast period.
+	if math.Abs(s.PhaseOffsetMinutes(1)*float64(s.P())-s.BroadcastMinutes(1)) > 1e-12 {
+		t.Error("phase offsets do not tile the broadcast period")
+	}
+}
+
+func TestLatencyIdentity(t *testing.T) {
+	// latency = D1/(P+alpha) = D1*M*K*b/B.
+	s := mustNew(t, 440, MethodA)
+	d1 := s.FragmentMinutes(1)
+	want := d1 / (float64(s.P()) + s.Alpha())
+	if got := s.AccessLatencyMin(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("latency = %v, want D1/(P+alpha) = %v", got, want)
+	}
+}
+
+func TestBufferIdentity(t *testing.T) {
+	// buffer = 60*b*D*M*K*b*(alpha^K - alpha^(K-2)) / (B*(alpha^K - 1)).
+	s := mustNew(t, 320, MethodB)
+	a, k := s.Alpha(), float64(s.K())
+	want := 60 * 1.5 * 120 * 10 * k * 1.5 * (math.Pow(a, k) - math.Pow(a, k-2)) / (320 * (math.Pow(a, k) - 1))
+	if got := s.BufferMbit(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("buffer = %v, want %v", got, want)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := mustNew(t, 320, MethodA)
+	if s.Name() != "PPB:a" || s.Method() != MethodA {
+		t.Errorf("accessors: %q %v", s.Name(), s.Method())
+	}
+	if !strings.Contains(s.String(), "PPB:a") {
+		t.Errorf("String() = %q", s.String())
+	}
+	var _ vod.Performer = s
+}
+
+func TestFragmentPanics(t *testing.T) {
+	s := mustNew(t, 320, MethodA)
+	for _, i := range []int{0, s.K() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FragmentMinutes(%d) did not panic", i)
+				}
+			}()
+			s.FragmentMinutes(i)
+		}()
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := New(vod.Config{}, MethodA); err == nil {
+		t.Error("New accepted zero config")
+	}
+	if _, err := New(vod.DefaultConfig(300), Method(9)); err == nil {
+		t.Error("New accepted unknown method")
+	}
+}
+
+// TestInvariantsAcrossBandwidths property-checks every feasible PPB
+// instantiation: parameter ranges, subchannel-rate dominance, and the
+// claim that motivated PPB — its client buffer is always far below PB's
+// at the same bandwidth.
+func TestInvariantsAcrossBandwidths(t *testing.T) {
+	f := func(bSel uint16, mSel bool) bool {
+		b := 90 + float64(bSel%5110)/10 // 90..601
+		method := MethodA
+		if mSel {
+			method = MethodB
+		}
+		s, err := New(vod.DefaultConfig(b), method)
+		if err != nil {
+			return true
+		}
+		if s.K() < MinK || s.K() > MaxK || s.P() < 1 || s.Alpha() <= 1 {
+			return false
+		}
+		if s.SubchannelMbps() <= s.Config().RateMbps {
+			return false
+		}
+		pb, err := pyramid.New(vod.DefaultConfig(b), pyramid.MethodB)
+		if err != nil {
+			return true
+		}
+		return s.BufferMbit() < pb.BufferMbit()/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+package pyramid
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skyscraper/internal/vod"
+)
+
+func mustNew(t *testing.T, serverMbps float64, m Method) *Scheme {
+	t.Helper()
+	s, err := New(vod.DefaultConfig(serverMbps), m)
+	if err != nil {
+		t.Fatalf("New(B=%v, %v): %v", serverMbps, m, err)
+	}
+	return s
+}
+
+func TestParameterDetermination(t *testing.T) {
+	// B/(b*M*e) = B/40.77; PB:a ceils, PB:b floors.
+	cases := []struct {
+		serverMbps   float64
+		method       Method
+		wantK        int
+		wantAlphaLoE bool // alpha <= e for MethodA, >= e for MethodB
+	}{
+		{100, MethodA, 3, true},
+		{100, MethodB, 2, false},
+		{300, MethodA, 8, true},
+		{300, MethodB, 7, false},
+		{600, MethodA, 15, true},
+		{600, MethodB, 14, false},
+	}
+	for _, c := range cases {
+		s := mustNew(t, c.serverMbps, c.method)
+		if s.K() != c.wantK {
+			t.Errorf("B=%v %v: K = %d, want %d", c.serverMbps, c.method, s.K(), c.wantK)
+		}
+		wantAlpha := c.serverMbps / (1.5 * 10 * float64(c.wantK))
+		if math.Abs(s.Alpha()-wantAlpha) > 1e-12 {
+			t.Errorf("B=%v %v: alpha = %v, want %v", c.serverMbps, c.method, s.Alpha(), wantAlpha)
+		}
+		if c.wantAlphaLoE && s.Alpha() > E+1e-12 {
+			t.Errorf("B=%v %v: alpha = %v > e", c.serverMbps, c.method, s.Alpha())
+		}
+		if !c.wantAlphaLoE && s.Alpha() < E-1e-12 {
+			t.Errorf("B=%v %v: alpha = %v < e", c.serverMbps, c.method, s.Alpha())
+		}
+	}
+}
+
+func TestInfeasibleBelow90(t *testing.T) {
+	// Section 5.1: "PB and PPB do not work if the server bandwidth is
+	// less than 90 Mbits/sec (i.e., alpha becomes less than one)."
+	for _, b := range []float64{40, 60, 80} {
+		if _, err := New(vod.DefaultConfig(b), MethodB); !errors.Is(err, vod.ErrInfeasible) {
+			t.Errorf("B=%v PB:b: err = %v, want ErrInfeasible", b, err)
+		}
+	}
+	if _, err := New(vod.DefaultConfig(100), MethodB); err != nil {
+		t.Errorf("B=100 PB:b should be feasible: %v", err)
+	}
+}
+
+func TestFragmentsSumToD(t *testing.T) {
+	for _, b := range []float64{100, 200, 320, 600} {
+		for _, m := range []Method{MethodA, MethodB} {
+			s := mustNew(t, b, m)
+			var sum float64
+			for i := 1; i <= s.K(); i++ {
+				sum += s.FragmentMinutes(i)
+			}
+			if math.Abs(sum-120) > 1e-6 {
+				t.Errorf("B=%v %v: fragments sum to %v, want 120", b, m, sum)
+			}
+			// Geometric growth.
+			for i := 2; i <= s.K(); i++ {
+				r := s.FragmentMinutes(i) / s.FragmentMinutes(i-1)
+				if math.Abs(r-s.Alpha()) > 1e-9 {
+					t.Fatalf("B=%v %v: D_%d/D_%d = %v, want alpha=%v", b, m, i, i-1, r, s.Alpha())
+				}
+			}
+		}
+	}
+}
+
+// TestPaperDiskBandwidth checks Section 5.2: "an average bandwidth as high
+// as 50 times the display rate (about 10 MBytes/sec) is required by PB."
+func TestPaperDiskBandwidth(t *testing.T) {
+	s := mustNew(t, 600, MethodB)
+	got := s.DiskBandwidthMbps()
+	if ratio := got / 1.5; ratio < 40 || ratio > 65 {
+		t.Errorf("disk bandwidth = %.1fx display rate, want roughly 50x", ratio)
+	}
+	if mbps := vod.MbpsToMBps(got); mbps < 8 || mbps > 13 {
+		t.Errorf("disk bandwidth = %.1f MByte/s, want about 10", mbps)
+	}
+}
+
+// TestPaperStorage checks Section 5.4: "PB scheme requires each client to
+// have more than 1.0 GBytes of disk space, which is more than 75% of the
+// length of a video", and Section 2's asymptote 0.84*(60*b*D) for M = 10.
+func TestPaperStorage(t *testing.T) {
+	s := mustNew(t, 600, MethodB)
+	gb := vod.MbitToMByte(s.BufferMbit()) / 1000
+	if gb < 1.0 {
+		t.Errorf("storage = %.2f GByte, want > 1.0", gb)
+	}
+	frac := s.BufferMbit() / s.Config().VideoMbits()
+	if frac < 0.75 || frac > 0.9 {
+		t.Errorf("storage fraction = %.3f of video, want 0.75..0.9", frac)
+	}
+	// Asymptote: alpha -> e exactly when B/(b*M*e) is integral.
+	bExact := 1.5 * 10 * E * 40 // K = 40, alpha = e
+	big, err := New(vod.Config{ServerMbps: bExact, Videos: 10, LengthMin: 120, RateMbps: 1.5}, MethodB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(big.Alpha()-E) > 1e-9 {
+		t.Fatalf("alpha = %v, want e", big.Alpha())
+	}
+	if frac := big.BufferMbit() / big.Config().VideoMbits(); math.Abs(frac-0.84) > 0.01 {
+		t.Errorf("asymptotic storage fraction = %.4f, want about 0.84", frac)
+	}
+}
+
+// TestLatencyExcellent checks Section 5.3: "PB offers excellent access
+// latency ... improving the latency from 0.1 minutes to 0.0001 minutes".
+func TestLatencyExcellent(t *testing.T) {
+	s := mustNew(t, 300, MethodB)
+	if lat := s.AccessLatencyMin(); lat > 0.1 {
+		t.Errorf("latency at B=300 = %v min, want < 0.1", lat)
+	}
+	// Exponential improvement with B: doubling B must improve latency by
+	// far more than 2x.
+	l300 := mustNew(t, 300, MethodB).AccessLatencyMin()
+	l600 := mustNew(t, 600, MethodB).AccessLatencyMin()
+	if l300/l600 < 100 {
+		t.Errorf("latency ratio B=300/B=600 = %v, want exponential (>100x)", l300/l600)
+	}
+}
+
+func TestAccessLatencyIsCycleOfChannel1(t *testing.T) {
+	// The latency formula must equal M broadcasts of S1 at rate B/K.
+	s := mustNew(t, 320, MethodA)
+	cycle := float64(s.Config().Videos) * s.BroadcastMinutes(1)
+	if math.Abs(cycle-s.AccessLatencyMin()) > 1e-12 {
+		t.Errorf("cycle = %v != latency %v", cycle, s.AccessLatencyMin())
+	}
+	// And D1/alpha.
+	if want := s.FragmentMinutes(1) / s.Alpha(); math.Abs(want-s.AccessLatencyMin()) > 1e-12 {
+		t.Errorf("latency = %v, want D1/alpha = %v", s.AccessLatencyMin(), want)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := mustNew(t, 320, MethodA)
+	if s.Method() != MethodA || s.Name() != "PB:a" {
+		t.Errorf("method accessors wrong: %v %q", s.Method(), s.Name())
+	}
+	if got := s.ChannelMbps(); math.Abs(got-320/float64(s.K())) > 1e-12 {
+		t.Errorf("ChannelMbps = %v", got)
+	}
+	if !strings.Contains(s.String(), "PB:a") {
+		t.Errorf("String() = %q", s.String())
+	}
+	var _ vod.Performer = s
+}
+
+func TestFragmentPanics(t *testing.T) {
+	s := mustNew(t, 320, MethodA)
+	for _, i := range []int{0, s.K() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FragmentMinutes(%d) did not panic", i)
+				}
+			}()
+			s.FragmentMinutes(i)
+		}()
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := New(vod.Config{}, MethodA); err == nil {
+		t.Error("New accepted zero config")
+	}
+	if _, err := New(vod.DefaultConfig(300), Method(99)); err == nil {
+		t.Error("New accepted unknown method")
+	}
+}
+
+// TestInvariantsAcrossBandwidths property-checks every feasible PB
+// instantiation on the study's bandwidth range.
+func TestInvariantsAcrossBandwidths(t *testing.T) {
+	f := func(bSel uint16, mSel bool) bool {
+		b := 85 + float64(bSel%5160)/10 // 85..601
+		method := MethodA
+		if mSel {
+			method = MethodB
+		}
+		s, err := New(vod.DefaultConfig(b), method)
+		if err != nil {
+			return true // infeasible is a legal outcome near the floor
+		}
+		var sum float64
+		for i := 1; i <= s.K(); i++ {
+			d := s.FragmentMinutes(i)
+			if d <= 0 {
+				return false
+			}
+			sum += d
+		}
+		return math.Abs(sum-120) < 1e-6 &&
+			s.Alpha() > 1 &&
+			s.AccessLatencyMin() > 0 &&
+			s.BufferMbit() < s.Config().VideoMbits() &&
+			s.DiskBandwidthMbps() > s.Config().RateMbps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

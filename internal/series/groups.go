@@ -1,0 +1,94 @@
+package series
+
+import "fmt"
+
+// A Group is a transmission group (Section 3.3): a maximal run of
+// consecutive data fragments having the same relative size. Clients receive
+// fragments group-at-a-time, alternating between the Odd Loader and the
+// Even Loader.
+type Group struct {
+	// Index is the 1-based position of the group in the video.
+	Index int
+	// First is the 1-based index of the group's first fragment (and of
+	// the logical channel carrying it).
+	First int
+	// Count is the number of fragments in the group.
+	Count int
+	// Size is the relative size (in D1 units) of each fragment in the
+	// group.
+	Size int64
+	// StartUnit is the playback offset of the group's first fragment
+	// from the beginning of the video, in D1 units.
+	StartUnit int64
+}
+
+// Odd reports whether this is an odd group, i.e. whether the fragment size
+// is odd. The paper's loaders split work by this parity: "A transmission
+// group (A, A, ..., A) is called an odd group if A is an odd number". Odd
+// and even groups interleave in the skyscraper series, which is what makes
+// two loaders sufficient.
+func (g Group) Odd() bool { return g.Size%2 == 1 }
+
+// EndUnit returns the playback offset just past the group's last fragment,
+// in D1 units.
+func (g Group) EndUnit() int64 { return g.StartUnit + int64(g.Count)*g.Size }
+
+// String renders the group the way the paper writes it, e.g. "(5,5)".
+func (g Group) String() string {
+	s := "("
+	for i := 0; i < g.Count; i++ {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", g.Size)
+	}
+	return s + ")"
+}
+
+// Groups partitions a capped size vector (as returned by Values) into
+// transmission groups. It panics on an empty or non-positive size vector.
+func Groups(sizes []int64) []Group {
+	if len(sizes) == 0 {
+		panic("series: Groups: empty size vector")
+	}
+	var out []Group
+	var offset int64
+	for i := 0; i < len(sizes); {
+		if sizes[i] <= 0 {
+			panic(fmt.Sprintf("series: Groups: size[%d] = %d must be positive", i, sizes[i]))
+		}
+		j := i
+		for j < len(sizes) && sizes[j] == sizes[i] {
+			j++
+		}
+		g := Group{
+			Index:     len(out) + 1,
+			First:     i + 1,
+			Count:     j - i,
+			Size:      sizes[i],
+			StartUnit: offset,
+		}
+		out = append(out, g)
+		offset = g.EndUnit()
+		i = j
+	}
+	return out
+}
+
+// CheckAlternation verifies the structural property the two-loader client
+// design depends on: consecutive groups alternate between odd and even
+// fragment sizes. It returns an error naming the first violation, or nil.
+//
+// The skyscraper series has this property by construction (Section 3.3:
+// "the odd groups and the even groups interleave in the broadcast series");
+// arbitrary user-supplied series may not, in which case the client would
+// need more than two loaders.
+func CheckAlternation(groups []Group) error {
+	for i := 1; i < len(groups); i++ {
+		if groups[i].Odd() == groups[i-1].Odd() {
+			return fmt.Errorf("series: groups %d %v and %d %v have the same parity; two loaders are insufficient",
+				groups[i-1].Index, groups[i-1], groups[i].Index, groups[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package series
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupsUncapped(t *testing.T) {
+	g := Groups(Values(Skyscraper{}, 9, 0))
+	// Paper Section 3.3: "the first segment forms the first group; the
+	// second and third segments form the second group (i.e., 2,2); the
+	// fourth and fifth form the third group (i.e., 5,5); and so forth."
+	want := []struct {
+		first, count int
+		size         int64
+		start        int64
+	}{
+		{1, 1, 1, 0},
+		{2, 2, 2, 1},
+		{4, 2, 5, 5},
+		{6, 2, 12, 15},
+		{8, 2, 25, 39},
+	}
+	if len(g) != len(want) {
+		t.Fatalf("got %d groups %v, want %d", len(g), g, len(want))
+	}
+	for i, w := range want {
+		got := g[i]
+		if got.First != w.first || got.Count != w.count || got.Size != w.size || got.StartUnit != w.start {
+			t.Errorf("group %d = %+v, want %+v", i+1, got, w)
+		}
+		if got.Index != i+1 {
+			t.Errorf("group %d has Index %d", i+1, got.Index)
+		}
+	}
+}
+
+func TestGroupsCapped(t *testing.T) {
+	// W = 12, K = 10: sizes 1,2,2,5,5,12,12,12,12,12 - the cap merges the
+	// tail into one five-fragment group.
+	g := Groups(Values(Skyscraper{}, 10, 12))
+	last := g[len(g)-1]
+	if last.Count != 5 || last.Size != 12 || last.First != 6 {
+		t.Errorf("capped tail group = %+v, want 5 fragments of size 12 starting at channel 6", last)
+	}
+	if last.EndUnit() != Sum(Skyscraper{}, 10, 12) {
+		t.Errorf("tail EndUnit %d != total %d", last.EndUnit(), Sum(Skyscraper{}, 10, 12))
+	}
+}
+
+func TestGroupParity(t *testing.T) {
+	g := Groups(Values(Skyscraper{}, 11, 0))
+	wantOdd := []bool{true, false, true, false, true, false} // 1,2,5,12,25,52
+	for i, w := range wantOdd {
+		if g[i].Odd() != w {
+			t.Errorf("group %d (%v) Odd() = %v, want %v", i+1, g[i], g[i].Odd(), w)
+		}
+	}
+	if err := CheckAlternation(g); err != nil {
+		t.Errorf("uncapped skyscraper groups failed alternation: %v", err)
+	}
+}
+
+func TestGroupAlternationHoldsForAllWidths(t *testing.T) {
+	// The interleaving property must survive capping at any width that is
+	// itself an element of the series (the widths the scheme uses).
+	for _, n := range []int{1, 2, 4, 6, 8, 10, 14, 20, 26, 30} {
+		w := Skyscraper{}.At(n)
+		for k := 1; k <= 45; k++ {
+			if err := CheckAlternation(Groups(Values(Skyscraper{}, k, w))); err != nil {
+				t.Fatalf("K=%d W=%d: %v", k, w, err)
+			}
+		}
+	}
+}
+
+func TestCheckAlternationDetectsViolation(t *testing.T) {
+	// 1,3 are both odd: two consecutive odd groups.
+	if err := CheckAlternation(Groups([]int64{1, 3})); err == nil {
+		t.Error("CheckAlternation accepted consecutive odd groups")
+	}
+	// Doubling series 1,2,4: groups (1),(2),(4) - 2 and 4 both even.
+	if err := CheckAlternation(Groups(Values(Doubling{}, 3, 0))); err == nil {
+		t.Error("CheckAlternation accepted doubling series")
+	}
+}
+
+func TestGroupsTile(t *testing.T) {
+	f := func(k uint8, wsel uint8) bool {
+		kk := int(k%40) + 1
+		w := Skyscraper{}.At(int(wsel%20) + 1)
+		sizes := Values(Skyscraper{}, kk, w)
+		groups := Groups(sizes)
+		// Groups must tile the fragment list exactly.
+		next := 1
+		var offset int64
+		for _, g := range groups {
+			if g.First != next || g.StartUnit != offset {
+				return false
+			}
+			next += g.Count
+			offset = g.EndUnit()
+		}
+		return next == kk+1 && offset == Sum(Skyscraper{}, kk, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	g := Group{Count: 2, Size: 5}
+	if g.String() != "(5,5)" {
+		t.Errorf("String() = %q, want (5,5)", g.String())
+	}
+}
+
+func TestGroupsPanics(t *testing.T) {
+	for _, bad := range [][]int64{nil, {}, {1, 0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Groups(%v) did not panic", bad)
+				}
+			}()
+			Groups(bad)
+		}()
+	}
+}

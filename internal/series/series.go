@@ -1,0 +1,232 @@
+// Package series implements broadcast series: the integer sequences that
+// determine the relative sizes of a video's data fragments under periodic
+// broadcast schemes.
+//
+// Skyscraper Broadcasting (Hua & Sheu, SIGCOMM '97, Section 3.2) fragments
+// each video according to the recursively defined series
+//
+//	1, 2, 2, 5, 5, 12, 12, 25, 25, 52, 52, 105, 105, ...
+//
+// optionally capped at a width W ("the width of the skyscraper"). The paper
+// notes (Section 6) that SB is a generalized technique characterized by a
+// broadcast series and a width, so this package exposes the series as an
+// interface with several implementations: the paper's skyscraper series, the
+// geometric series used by the pyramid-based schemes, and the constant
+// series of plain staggered broadcasting.
+package series
+
+import (
+	"fmt"
+	"math"
+)
+
+// A Series yields the relative size of the n-th data fragment (1-based).
+// Values are positive and non-decreasing in n. Implementations must be
+// usable from multiple goroutines after construction.
+type Series interface {
+	// At returns the n-th element of the series, n >= 1. It panics if
+	// n < 1. Values saturate at Max rather than overflowing.
+	At(n int) int64
+	// Name identifies the series in reports and traces.
+	Name() string
+}
+
+// Max is the saturation bound for series values. The skyscraper series
+// roughly doubles every other element, so int64 would overflow near n = 120;
+// every practical deployment caps fragments at a width W far below this.
+const Max = int64(1) << 62
+
+// Skyscraper is the broadcast series of Section 3.2:
+//
+//	f(1) = 1, f(2) = f(3) = 2, and for n > 3
+//	f(n) = 2*f(n-1) + 1  when n mod 4 == 0
+//	f(n) = f(n-1)        when n mod 4 == 1
+//	f(n) = 2*f(n-1) + 2  when n mod 4 == 2
+//	f(n) = f(n-1)        when n mod 4 == 3
+//
+// producing 1, 2, 2, 5, 5, 12, 12, 25, 25, 52, 52, ... Every element after
+// the first appears exactly twice in a row, which is what lets a client
+// receive the stream with only two loaders (Section 3.3).
+type Skyscraper struct{}
+
+// At returns f(n).
+func (Skyscraper) At(n int) int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("series: Skyscraper.At(%d): n must be >= 1", n))
+	}
+	switch n {
+	case 1:
+		return 1
+	case 2, 3:
+		return 2
+	}
+	f := int64(2) // f(3)
+	for i := 4; i <= n; i++ {
+		switch i % 4 {
+		case 0:
+			f = sat2x(f, 1)
+		case 2:
+			f = sat2x(f, 2)
+			// cases 1 and 3 repeat the previous element.
+		}
+	}
+	return f
+}
+
+// Name implements Series.
+func (Skyscraper) Name() string { return "skyscraper" }
+
+// sat2x returns 2*f+c, saturating at Max.
+func sat2x(f, c int64) int64 {
+	if f >= (Max-c)/2 {
+		return Max
+	}
+	return 2*f + c
+}
+
+// Geometric is the fragmentation series of the pyramid-based schemes
+// (Section 2): element n is alpha^(n-1) for a factor alpha > 1. Because the
+// skyscraper client machinery requires integer relative sizes, Geometric is
+// provided for the analytic models and for fragment-size computation, where
+// real-valued sizes are acceptable; At rounds to the nearest integer unit
+// and is mainly useful for comparative examples.
+type Geometric struct {
+	// Alpha is the geometric factor, > 1.
+	Alpha float64
+}
+
+// At returns round(Alpha^(n-1)), saturating at Max.
+func (g Geometric) At(n int) int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("series: Geometric.At(%d): n must be >= 1", n))
+	}
+	v := math.Pow(g.Alpha, float64(n-1))
+	if v >= float64(Max) {
+		return Max
+	}
+	if v < 1 {
+		return 1
+	}
+	return int64(math.Round(v))
+}
+
+// Name implements Series.
+func (g Geometric) Name() string { return fmt.Sprintf("geometric(%g)", g.Alpha) }
+
+// Constant is the degenerate series 1, 1, 1, ... of plain staggered
+// broadcasting: all fragments equal, so K channels reduce the access latency
+// only linearly (Section 1's critique of the earliest periodic broadcast
+// schemes).
+type Constant struct{}
+
+// At returns 1.
+func (Constant) At(n int) int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("series: Constant.At(%d): n must be >= 1", n))
+	}
+	return 1
+}
+
+// Name implements Series.
+func (Constant) Name() string { return "constant" }
+
+// Fibonacci-style doubling series 1, 2, 4, 8, ... is the W=infinity limit of
+// several follow-on protocols (e.g. Fast Broadcasting); it is included as an
+// ablation point for the series-choice study.
+type Doubling struct{}
+
+// At returns 2^(n-1), saturating at Max.
+func (Doubling) At(n int) int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("series: Doubling.At(%d): n must be >= 1", n))
+	}
+	if n > 62 {
+		return Max
+	}
+	return int64(1) << uint(n-1)
+}
+
+// Name implements Series.
+func (Doubling) Name() string { return "doubling" }
+
+// Values materializes the first k elements of s, capped at width w
+// (Section 3.2: "we use W to restrict the segments from becoming too
+// large"). A width of 0 or less means no cap (the paper's W = infinity
+// curves). The returned slice has length k.
+func Values(s Series, k int, w int64) []int64 {
+	if k < 0 {
+		panic(fmt.Sprintf("series: Values: k = %d must be >= 0", k))
+	}
+	out := make([]int64, k)
+	for i := 1; i <= k; i++ {
+		v := s.At(i)
+		if w > 0 && v > w {
+			v = w
+		}
+		out[i-1] = v
+	}
+	return out
+}
+
+// Sum returns the total of the first k elements of s capped at width w,
+// i.e. the denominator of the access-latency formula
+//
+//	D1 = D / sum_{i=1..K} min(f(i), W).
+func Sum(s Series, k int, w int64) int64 {
+	var total int64
+	for i := 1; i <= k; i++ {
+		v := s.At(i)
+		if w > 0 && v > w {
+			v = w
+		}
+		if total > Max-v {
+			return Max
+		}
+		total += v
+	}
+	return total
+}
+
+// WidthForElement returns the value of the skyscraper series at position n;
+// the paper's Section 5 studies W = 2, 52, 1705 and 54612, "the values of
+// the 2-nd, 10-th, 20-th and 30-th elements of the broadcast series". It is
+// a convenience wrapper over Skyscraper.At.
+func WidthForElement(n int) int64 { return Skyscraper{}.At(n) }
+
+// WidthForLatency returns the smallest width W such that the access latency
+// D / Sum(s, k, W) does not exceed target latency (both in minutes), or 0
+// (meaning uncapped) if even the uncapped series cannot reach the target.
+// This inverts the paper's formula "which can be used to determine W given
+// the desired access latency" (Section 3.2).
+//
+// The returned width is always an element of the series: capping at an
+// arbitrary value could leave the tail group with the same parity as its
+// predecessor, breaking the two-loader property (the paper's Section 5
+// likewise studies only widths that are series elements). Rounding up to
+// the next element only improves the latency.
+func WidthForLatency(s Series, k int, lengthMin, targetMin float64) int64 {
+	if targetMin <= 0 || k < 1 {
+		return 0
+	}
+	need := int64(math.Ceil(lengthMin / targetMin))
+	if Sum(s, k, 0) < need {
+		return 0
+	}
+	// The sum is monotone in W, so binary search on W in [1, s.At(k)].
+	lo, hi := int64(1), s.At(k)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if Sum(s, k, mid) >= need {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Round up to the nearest series element.
+	for n := 1; n <= k; n++ {
+		if v := s.At(n); v >= lo {
+			return v
+		}
+	}
+	return s.At(k)
+}

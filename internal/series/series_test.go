@@ -1,0 +1,224 @@
+package series
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSkyscraperPrefix checks the materialized series against the values
+// printed in Section 3.2 of the paper.
+func TestSkyscraperPrefix(t *testing.T) {
+	want := []int64{1, 2, 2, 5, 5, 12, 12, 25, 25, 52, 52}
+	s := Skyscraper{}
+	for i, w := range want {
+		if got := s.At(i + 1); got != w {
+			t.Errorf("f(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// TestSkyscraperStudyWidths checks the W values used in the paper's
+// performance study: "2, 52, 1705, and 54612 ... the values of the 2-nd,
+// 10-th, 20-th and 30-th elements of the broadcast series".
+func TestSkyscraperStudyWidths(t *testing.T) {
+	cases := map[int]int64{2: 2, 10: 52, 20: 1705, 30: 54612}
+	for n, want := range cases {
+		if got := WidthForElement(n); got != want {
+			t.Errorf("element %d = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSkyscraperRecurrence(t *testing.T) {
+	s := Skyscraper{}
+	prev := s.At(3)
+	for n := 4; n <= 60; n++ {
+		got := s.At(n)
+		var want int64
+		switch n % 4 {
+		case 0:
+			want = 2*prev + 1
+		case 1, 3:
+			want = prev
+		case 2:
+			want = 2*prev + 2
+		}
+		if got != want {
+			t.Fatalf("f(%d) = %d, want %d (prev %d)", n, got, want, prev)
+		}
+		prev = got
+	}
+}
+
+func TestSkyscraperPairs(t *testing.T) {
+	// Every element after the first appears exactly twice in a row; this
+	// is what makes a group at most two fragments (before capping).
+	s := Skyscraper{}
+	for n := 2; n < 50; n += 2 {
+		if s.At(n) != s.At(n+1) {
+			t.Errorf("f(%d) = %d != f(%d) = %d, want equal pair", n, s.At(n), n+1, s.At(n+1))
+		}
+		if n > 2 && s.At(n) <= s.At(n-1) {
+			t.Errorf("f(%d) = %d not greater than f(%d) = %d", n, s.At(n), n-1, s.At(n-1))
+		}
+	}
+}
+
+func TestSkyscraperSaturates(t *testing.T) {
+	s := Skyscraper{}
+	if got := s.At(500); got != Max {
+		t.Errorf("f(500) = %d, want saturation at %d", got, Max)
+	}
+	// Saturation must preserve monotonicity.
+	if s.At(499) > s.At(500) {
+		t.Error("series not monotone at saturation point")
+	}
+}
+
+func TestSeriesPanicsBelowOne(t *testing.T) {
+	for _, s := range []Series{Skyscraper{}, Constant{}, Doubling{}, Geometric{Alpha: 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s.At(0) did not panic", s.Name())
+				}
+			}()
+			s.At(0)
+		}()
+	}
+}
+
+func TestValuesCapping(t *testing.T) {
+	got := Values(Skyscraper{}, 8, 5)
+	want := []int64{1, 2, 2, 5, 5, 5, 5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values(k=8, w=5) = %v, want %v", got, want)
+		}
+	}
+	// w <= 0 means uncapped.
+	unc := Values(Skyscraper{}, 8, 0)
+	if unc[7] != 25 {
+		t.Errorf("uncapped Values[7] = %d, want 25", unc[7])
+	}
+}
+
+func TestSumMatchesValues(t *testing.T) {
+	f := func(k uint8, w uint16) bool {
+		kk := int(k%40) + 1
+		ww := int64(w%100) + 1
+		var total int64
+		for _, v := range Values(Skyscraper{}, kk, ww) {
+			total += v
+		}
+		return total == Sum(Skyscraper{}, kk, ww)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumPaperExamples checks denominators that back numbers quoted in the
+// paper's prose: with B = 320 (K = 21) and W = 2 the access latency is about
+// 2.93 minutes and the buffer is 33 MByte; with B = 600 (K = 40) and W = 52
+// the latency is about 0.1 minutes.
+func TestSumPaperExamples(t *testing.T) {
+	if got := Sum(Skyscraper{}, 21, 2); got != 41 {
+		t.Errorf("Sum(K=21, W=2) = %d, want 41", got)
+	}
+	if got := Sum(Skyscraper{}, 40, 52); got != 1701 {
+		t.Errorf("Sum(K=40, W=52) = %d, want 1701", got)
+	}
+	d1 := 120.0 / 41
+	if math.Abs(d1-2.9268) > 1e-3 {
+		t.Errorf("D1(K=21, W=2) = %v, want about 2.93 minutes", d1)
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	g := Geometric{Alpha: 2.5}
+	if g.At(1) != 1 {
+		t.Errorf("geometric At(1) = %d, want 1", g.At(1))
+	}
+	if g.At(3) != 6 { // 2.5^2 = 6.25 rounds to 6
+		t.Errorf("geometric At(3) = %d, want 6", g.At(3))
+	}
+	if g.At(400) != Max {
+		t.Errorf("geometric At(400) = %d, want saturation", g.At(400))
+	}
+}
+
+func TestDoubling(t *testing.T) {
+	d := Doubling{}
+	for n := 1; n <= 20; n++ {
+		if got, want := d.At(n), int64(1)<<uint(n-1); got != want {
+			t.Fatalf("doubling At(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if d.At(200) != Max {
+		t.Error("doubling does not saturate")
+	}
+}
+
+func TestWidthForLatency(t *testing.T) {
+	// Paper Section 5.4: with B > 200 Mbit/s (K >= 13), W = 52 offers an
+	// access latency of approximately 0.1 minutes for D = 120. Check that
+	// inverting a 0.3-minute target at K = 21 yields a width no larger
+	// than 52 and that the resulting latency meets the target.
+	const k, d = 21, 120.0
+	w := WidthForLatency(Skyscraper{}, k, d, 0.3)
+	if w == 0 {
+		t.Fatal("WidthForLatency returned infeasible for a feasible target")
+	}
+	got := d / float64(Sum(Skyscraper{}, k, w))
+	if got > 0.3 {
+		t.Errorf("latency with W=%d is %v, want <= 0.3", w, got)
+	}
+	// The result must be a series element (arbitrary caps can break the
+	// two-loader parity property).
+	isElement := false
+	prevElement := int64(0)
+	for n := 1; n <= k; n++ {
+		if v := (Skyscraper{}).At(n); v == w {
+			isElement = true
+			break
+		} else if v < w {
+			prevElement = v
+		}
+	}
+	if !isElement {
+		t.Fatalf("W=%d is not a series element", w)
+	}
+	// Minimality among series elements: the previous element must miss.
+	if prevElement > 0 {
+		if prev := d / float64(Sum(Skyscraper{}, k, prevElement)); prev <= 0.3 {
+			t.Errorf("W=%d is not minimal: element W=%d already achieves %v", w, prevElement, prev)
+		}
+	}
+}
+
+func TestWidthForLatencyInfeasible(t *testing.T) {
+	// With K = 2 the uncapped sum is 3, so a target below D/3 is
+	// unreachable.
+	if w := WidthForLatency(Skyscraper{}, 2, 120, 1); w != 0 {
+		t.Errorf("WidthForLatency(K=2, target=1) = %d, want 0 (infeasible)", w)
+	}
+}
+
+func TestWidthForLatencyProperty(t *testing.T) {
+	f := func(k uint8, targetTenths uint8) bool {
+		kk := int(k%30) + 2
+		target := (float64(targetTenths%80) + 1) / 10
+		const d = 120.0
+		w := WidthForLatency(Skyscraper{}, kk, d, target)
+		if w == 0 {
+			// Infeasible: the uncapped latency must indeed miss.
+			return d/float64(Sum(Skyscraper{}, kk, 0)) > target
+		}
+		return d/float64(Sum(Skyscraper{}, kk, w)) <= target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,357 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"skyscraper/internal/client"
+	"skyscraper/internal/core"
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/server"
+	"skyscraper/internal/vod"
+	"skyscraper/internal/wire"
+)
+
+// liveScheme builds a small broadcast: M videos, K channels each, W = 2.
+// With B = 1.5*M*K the config yields exactly K channels per video.
+func liveScheme(t *testing.T, m, k int, w int64) *core.Scheme {
+	t.Helper()
+	cfg := vod.Config{ServerMbps: 1.5 * float64(m*k), Videos: m, LengthMin: 120, RateMbps: 1.5}
+	sch, err := core.New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.K() != k {
+		t.Fatalf("K = %d, want %d", sch.K(), k)
+	}
+	return sch
+}
+
+// robustClient returns client settings tolerant of shared-machine
+// scheduling noise: a scheduling *bug* misplaces data by at least one
+// whole unit, so one unit of slack keeps jitter detection meaningful.
+func robustClient(addr string, video int) client.Config {
+	return client.Config{ServerAddr: addr, Video: video, JoinLeadFrac: 0.9, SlackFrac: 1.0}
+}
+
+func startServer(t *testing.T, sch *core.Scheme, unit time.Duration) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Scheme:       sch,
+		Unit:         unit,
+		BytesPerUnit: 4096,
+		ChunkBytes:   1024,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestLiveEndToEnd plays one full "two-hour video" (compressed to tens of
+// milliseconds per unit) through the real server over real UDP sockets,
+// verifying every byte, jitter-freeness and the latency bound.
+func TestLiveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 2, 5, 2) // fragments 1,2,2,2,2 - 9 units per playback
+	srv := startServer(t, sch, 60*time.Millisecond)
+
+	cfg := robustClient(srv.Addr(), 1)
+	cfg.Logf = t.Logf
+	stats, err := client.Watch(cfg)
+	if err != nil {
+		t.Fatalf("watch failed: %v (stats %+v)", err, stats)
+	}
+	wantBytes := int64(sch.TotalUnits()) * 4096
+	if stats.Bytes != wantBytes {
+		t.Errorf("received %d bytes, want %d", stats.Bytes, wantBytes)
+	}
+	if stats.ByteErrors != 0 || stats.LateChunks != 0 {
+		t.Errorf("byte errors %d, late chunks %d", stats.ByteErrors, stats.LateChunks)
+	}
+	if stats.WaitUnits > 1.95 { // 1 unit + join lead (0.9)
+		t.Errorf("wait = %v units, want <= 1.95", stats.WaitUnits)
+	}
+	// Buffer bound: (W-1) units of data plus one chunk of arrival
+	// granularity.
+	bound := (sch.EffectiveWidth()-1)*4096 + 1024
+	if stats.MaxBufferBytes > bound {
+		t.Errorf("max buffer %d bytes exceeds bound %d", stats.MaxBufferBytes, bound)
+	}
+}
+
+// TestLiveConcurrentClients runs several staggered clients on different
+// videos against one server — the whole point of broadcast is that server
+// load is independent of the audience.
+func TestLiveConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 2, 4, 2) // fragments 1,2,2,2 - 7 units
+	srv := startServer(t, sch, 100*time.Millisecond)
+
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	stats := make([]*client.Stats, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 25 * time.Millisecond)
+			stats[i], errs[i] = client.Watch(robustClient(srv.Addr(), i%2))
+		}()
+	}
+	wg.Wait()
+	want := int64(sch.TotalUnits()) * 4096
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Errorf("client %d: %v", i, errs[i])
+			continue
+		}
+		if stats[i].Bytes != want {
+			t.Errorf("client %d received %d bytes, want %d", i, stats[i].Bytes, want)
+		}
+	}
+}
+
+// TestLiveWiderSkyscraper exercises a multi-group schedule (W = 5) with a
+// capped tail, the shape that stresses loader hand-off between channels.
+func TestLiveWiderSkyscraper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 1, 6, 5) // fragments 1,2,2,5,5,5 - 20 units
+	srv := startServer(t, sch, 80*time.Millisecond)
+
+	stats, err := client.Watch(robustClient(srv.Addr(), 0))
+	if err != nil {
+		t.Fatalf("watch failed: %v (stats %+v)", err, stats)
+	}
+	if want := int64(sch.TotalUnits()) * 4096; stats.Bytes != want {
+		t.Errorf("received %d bytes, want %d", stats.Bytes, want)
+	}
+	if stats.Groups != 3 {
+		t.Errorf("groups = %d, want 3", stats.Groups)
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	sch := liveScheme(t, 1, 3, 2)
+	bad := []server.Config{
+		{Scheme: nil, Unit: time.Second, BytesPerUnit: 4096, ChunkBytes: 1024},
+		{Scheme: sch, Unit: 0, BytesPerUnit: 4096, ChunkBytes: 1024},
+		{Scheme: sch, Unit: time.Second, BytesPerUnit: 0, ChunkBytes: 1024},
+		{Scheme: sch, Unit: time.Second, BytesPerUnit: 4096, ChunkBytes: 0},
+		{Scheme: sch, Unit: time.Second, BytesPerUnit: 4096, ChunkBytes: 1000}, // does not divide
+		{Scheme: sch, Unit: time.Second, BytesPerUnit: 4096, ChunkBytes: wire.MaxPayload * 2},
+	}
+	for i, cfg := range bad {
+		if _, err := server.New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestControlProtocolErrors drives the control port directly and checks
+// the server rejects malformed requests without dying.
+func TestControlProtocolErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 1, 3, 2)
+	srv := startServer(t, sch, 50*time.Millisecond)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	// Join for a channel that does not exist.
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindJoin, Video: 0, Channel: 99, Port: 12345}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.ReadControl(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != wire.KindError {
+		t.Errorf("bad join answered with %q", m.Kind)
+	}
+
+	// Bad port.
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindJoin, Video: 0, Channel: 1, Port: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = wire.ReadControl(r); err != nil || m.Kind != wire.KindError {
+		t.Errorf("bad port: %v %v", m, err)
+	}
+
+	// Unknown kind.
+	if err := wire.WriteControl(conn, &wire.Control{Kind: "subscribe"}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = wire.ReadControl(r); err != nil || m.Kind != wire.KindError {
+		t.Errorf("unknown kind: %v %v", m, err)
+	}
+
+	// The connection still works: hello succeeds.
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindHello}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = wire.ReadControl(r); err != nil || m.Kind != wire.KindWelcome {
+		t.Errorf("hello after errors: %v %v", m, err)
+	}
+	if m.Welcome.ChannelsPerVideo != 3 || math.Abs(float64(m.Welcome.UnitNanos)-50e6) > 1 {
+		t.Errorf("welcome payload %+v", m.Welcome)
+	}
+}
+
+// TestDisconnectCleansMemberships verifies that dropping the control
+// connection removes the client's group memberships.
+func TestDisconnectCleansMemberships(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 1, 3, 2)
+	srv := startServer(t, sch, 50*time.Millisecond)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindJoin, Video: 0, Channel: 1, Port: 23456}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := wire.ReadControl(r); err != nil || m.Kind != wire.KindJoined {
+		t.Fatalf("join: %v %v", m, err)
+	}
+	conn.Close()
+	// The server reaps the membership when the control loop notices.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if srv.Hub().Members(mcast.Group{Video: 0, Channel: 1}) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("membership survived disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsEndpoint queries the server's operational snapshot over the
+// control protocol.
+func TestStatsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 2, 3, 2)
+	srv := startServer(t, sch, 50*time.Millisecond)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindJoin, Video: 0, Channel: 1, Port: 33333}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := wire.ReadControl(r); err != nil || m.Kind != wire.KindJoined {
+		t.Fatalf("join: %v %v", m, err)
+	}
+	time.Sleep(120 * time.Millisecond) // let the pacers send something
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindStats}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.ReadControl(r)
+	if err != nil || m.Kind != wire.KindStatsOK || m.Stats == nil {
+		t.Fatalf("stats: %+v %v", m, err)
+	}
+	if m.Stats.Channels != 6 {
+		t.Errorf("channels = %d, want 6", m.Stats.Channels)
+	}
+	if m.Stats.Members != 1 {
+		t.Errorf("members = %d, want 1", m.Stats.Members)
+	}
+	if m.Stats.DatagramsSent == 0 {
+		t.Error("no datagrams counted despite an active membership")
+	}
+	if m.Stats.UptimeNanos <= 0 {
+		t.Error("non-positive uptime")
+	}
+}
+
+// TestStatusHTTP exercises the ops-facing HTTP endpoint.
+func TestStatusHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 1, 4, 2)
+	srv := startServer(t, sch, 50*time.Millisecond)
+	base, err := srv.ServeStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.StatusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Videos != 1 || snap.ChannelsPerVideo != 4 || len(snap.SizeUnits) != 4 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	if snap.ControlAddr != srv.Addr() {
+		t.Errorf("control addr %q != %q", snap.ControlAddr, srv.Addr())
+	}
+	if snap.UnitMillis != 50 {
+		t.Errorf("unit %v ms", snap.UnitMillis)
+	}
+	// Unknown path is a 404.
+	resp, err = http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path status %d", resp.StatusCode)
+	}
+	// ServeStatus before Start is rejected.
+	raw, err := server.New(server.Config{Scheme: sch, Unit: 50 * time.Millisecond, BytesPerUnit: 4096, ChunkBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.ServeStatus(); err == nil {
+		t.Error("ServeStatus before Start accepted")
+	}
+}

@@ -1,0 +1,329 @@
+// Package server implements the live Skyscraper Broadcasting server of the
+// demo: for each of the M videos it runs K channel pacers, each repeatedly
+// broadcasting its fragment — chunked, framed (internal/wire) and fanned
+// out through the multicast hub (internal/mcast) — on a rigid absolute
+// schedule: channel i's broadcasts start at epoch + n*size_i*unit for all
+// n, which is the alignment property the client's two-loader reception
+// plan depends on. A TCP control port handles the hello/join/leave
+// signalling a real deployment would delegate to IGMP.
+//
+// Video minutes are compressed into short wall-clock units so examples and
+// tests can play whole "two-hour" videos in seconds.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"skyscraper/internal/content"
+	"skyscraper/internal/core"
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/wire"
+)
+
+// Config parameterizes a live broadcast server.
+type Config struct {
+	// Scheme is the SB configuration to broadcast (K channels per video,
+	// fragment sizes, M videos).
+	Scheme *core.Scheme
+	// Unit is the wall-clock duration of one D1 unit.
+	Unit time.Duration
+	// BytesPerUnit is the payload density: a fragment of s units carries
+	// s*BytesPerUnit bytes.
+	BytesPerUnit int
+	// ChunkBytes is the data-chunk payload size; it must divide
+	// BytesPerUnit so chunk boundaries never straddle units.
+	ChunkBytes int
+	// Logf, when non-nil, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Scheme == nil:
+		return errors.New("server: nil scheme")
+	case c.Unit < time.Millisecond:
+		return fmt.Errorf("server: unit %v too small to pace over UDP", c.Unit)
+	case c.BytesPerUnit <= 0:
+		return fmt.Errorf("server: BytesPerUnit = %d must be positive", c.BytesPerUnit)
+	case c.ChunkBytes <= 0 || c.ChunkBytes > wire.MaxPayload:
+		return fmt.Errorf("server: ChunkBytes = %d outside (0, %d]", c.ChunkBytes, wire.MaxPayload)
+	case c.BytesPerUnit%c.ChunkBytes != 0:
+		return fmt.Errorf("server: ChunkBytes %d must divide BytesPerUnit %d", c.ChunkBytes, c.BytesPerUnit)
+	}
+	return nil
+}
+
+// Server is a running broadcast server. Create with New, start with Start,
+// stop with Close.
+type Server struct {
+	cfg   Config
+	hub   *mcast.Hub
+	ln    net.Listener
+	epoch time.Time
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New validates the configuration and prepares a server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Start opens the control listener and launches every channel pacer. The
+// broadcast epoch is the moment Start returns.
+func (s *Server) Start() error {
+	hub, err := mcast.NewHub()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		hub.Close()
+		return fmt.Errorf("server: control listener: %w", err)
+	}
+	s.hub = hub
+	s.ln = ln
+	s.epoch = time.Now()
+
+	sch := s.cfg.Scheme
+	for v := 0; v < sch.Config().Videos; v++ {
+		for i := 1; i <= sch.K(); i++ {
+			s.wg.Add(1)
+			go s.pace(v, i)
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	s.cfg.Logf("server: broadcasting %d videos x %d channels on %s (unit %v)",
+		sch.Config().Videos, sch.K(), ln.Addr(), s.cfg.Unit)
+	return nil
+}
+
+// Addr returns the control address to dial, e.g. "127.0.0.1:41234".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Epoch returns the broadcast time origin.
+func (s *Server) Epoch() time.Time { return s.epoch }
+
+// Hub exposes the multicast hub (for tests and stats).
+func (s *Server) Hub() *mcast.Hub { return s.hub }
+
+// Close stops all pacers, the listener, and open control connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	close(s.stop)
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	s.hub.Close()
+}
+
+// fragmentBytes returns the byte size of channel i's fragment.
+func (s *Server) fragmentBytes(i int) int {
+	return int(s.cfg.Scheme.Sizes()[i-1]) * s.cfg.BytesPerUnit
+}
+
+// fragmentBase returns the absolute byte offset of channel i's fragment
+// within the video.
+func (s *Server) fragmentBase(i int) int64 {
+	var units int64
+	for _, sz := range s.cfg.Scheme.Sizes()[:i-1] {
+		units += sz
+	}
+	return units * int64(s.cfg.BytesPerUnit)
+}
+
+// pace runs one channel: video v, channel i. Chunks of repetition n are
+// sent evenly across [epoch + n*period, epoch + (n+1)*period).
+func (s *Server) pace(v, i int) {
+	defer s.wg.Done()
+	var (
+		size    = s.cfg.Scheme.Sizes()[i-1]
+		period  = time.Duration(size) * s.cfg.Unit
+		total   = s.fragmentBytes(i)
+		base    = s.fragmentBase(i)
+		chunks  = total / s.cfg.ChunkBytes
+		spacing = period / time.Duration(chunks)
+		group   = mcast.Group{Video: v, Channel: i}
+		payload = make([]byte, s.cfg.ChunkBytes)
+		frame   []byte
+		timer   = time.NewTimer(0)
+	)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for n := uint32(0); ; n++ {
+		repStart := s.epoch.Add(time.Duration(n) * period)
+		for c := 0; c < chunks; c++ {
+			at := repStart.Add(time.Duration(c) * spacing)
+			timer.Reset(time.Until(at))
+			select {
+			case <-s.stop:
+				return
+			case <-timer.C:
+			}
+			off := c * s.cfg.ChunkBytes
+			content.Fill(payload, v, base+int64(off))
+			ch := wire.Chunk{
+				Video:   uint16(v),
+				Channel: uint16(i),
+				Seq:     n,
+				Offset:  uint32(off),
+				Total:   uint32(total),
+				Payload: payload,
+			}
+			var err error
+			frame, err = ch.Encode(frame[:0])
+			if err != nil {
+				s.cfg.Logf("server: encoding %v seq %d: %v", group, n, err)
+				return
+			}
+			if _, err := s.hub.Send(group, frame); err != nil {
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+				s.cfg.Logf("server: sending %v seq %d: %v", group, n, err)
+			}
+		}
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveControl(conn)
+	}
+}
+
+// serveControl handles one client's control session, tracking its group
+// memberships so a dropped connection cleans up after itself.
+func (s *Server) serveControl(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	joined := make(map[mcast.Group]*net.UDPAddr)
+	defer func() {
+		for g, a := range joined {
+			s.hub.Leave(g, a)
+		}
+	}()
+
+	sch := s.cfg.Scheme
+	r := bufio.NewReader(conn)
+	fail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		s.cfg.Logf("server: %v: %s", conn.RemoteAddr(), msg)
+		_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindError, Error: msg})
+	}
+	for {
+		m, err := wire.ReadControl(r)
+		if err != nil {
+			return // disconnect
+		}
+		switch m.Kind {
+		case wire.KindHello:
+			w := &wire.Welcome{
+				Videos:           sch.Config().Videos,
+				ChannelsPerVideo: sch.K(),
+				Width:            sch.Width(),
+				UnitNanos:        int64(s.cfg.Unit),
+				EpochUnixNano:    s.epoch.UnixNano(),
+				SizeUnits:        append([]int64(nil), sch.Sizes()...),
+				BytesPerUnit:     s.cfg.BytesPerUnit,
+				ChunkBytes:       s.cfg.ChunkBytes,
+			}
+			if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindWelcome, Welcome: w}); err != nil {
+				return
+			}
+		case wire.KindJoin:
+			if m.Video < 0 || m.Video >= sch.Config().Videos || m.Channel < 1 || m.Channel > sch.K() {
+				fail("join: no channel %d/%d", m.Video, m.Channel)
+				continue
+			}
+			if m.Port <= 0 || m.Port > 65535 {
+				fail("join: bad port %d", m.Port)
+				continue
+			}
+			g := mcast.Group{Video: m.Video, Channel: m.Channel}
+			addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: m.Port}
+			if err := s.hub.Join(g, addr); err != nil {
+				fail("join: %v", err)
+				continue
+			}
+			joined[g] = addr
+			if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindJoined, Video: m.Video, Channel: m.Channel}); err != nil {
+				return
+			}
+		case wire.KindStats:
+			st := &wire.Stats{
+				UptimeNanos:   int64(time.Since(s.epoch)),
+				DatagramsSent: s.hub.Sent(),
+				Channels:      sch.Config().Videos * sch.K(),
+				Members:       s.hub.TotalMembers(),
+			}
+			if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindStatsOK, Stats: st}); err != nil {
+				return
+			}
+		case wire.KindLeave:
+			g := mcast.Group{Video: m.Video, Channel: m.Channel}
+			if a, ok := joined[g]; ok {
+				s.hub.Leave(g, a)
+				delete(joined, g)
+			}
+		case wire.KindBye:
+			return
+		default:
+			fail("unknown control kind %q", m.Kind)
+		}
+	}
+}

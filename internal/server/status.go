@@ -1,0 +1,85 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// StatusSnapshot is the JSON document served at /status.
+type StatusSnapshot struct {
+	// Videos and ChannelsPerVideo describe the broadcast layout.
+	Videos           int   `json:"videos"`
+	ChannelsPerVideo int   `json:"channelsPerVideo"`
+	Width            int64 `json:"width"`
+	// SizeUnits are the fragment sizes in D1 units.
+	SizeUnits []int64 `json:"sizeUnits"`
+	// UnitMillis is the wall duration of one D1 unit.
+	UnitMillis float64 `json:"unitMillis"`
+	// UptimeMillis is time since the broadcast epoch.
+	UptimeMillis float64 `json:"uptimeMillis"`
+	// DatagramsSent counts chunks written to receivers so far.
+	DatagramsSent int64 `json:"datagramsSent"`
+	// Memberships is the current total of (client, channel) joins.
+	Memberships int `json:"memberships"`
+	// ControlAddr is the TCP control address clients dial.
+	ControlAddr string `json:"controlAddr"`
+}
+
+// snapshot assembles the current status.
+func (s *Server) snapshot() StatusSnapshot {
+	sch := s.cfg.Scheme
+	return StatusSnapshot{
+		Videos:           sch.Config().Videos,
+		ChannelsPerVideo: sch.K(),
+		Width:            sch.Width(),
+		SizeUnits:        append([]int64(nil), sch.Sizes()...),
+		UnitMillis:       float64(s.cfg.Unit) / float64(time.Millisecond),
+		UptimeMillis:     float64(time.Since(s.epoch)) / float64(time.Millisecond),
+		DatagramsSent:    s.hub.Sent(),
+		Memberships:      s.hub.TotalMembers(),
+		ControlAddr:      s.Addr(),
+	}
+}
+
+// ServeStatus starts an HTTP status endpoint on a loopback ephemeral port,
+// returning its base URL. It serves:
+//
+//	GET /status    the StatusSnapshot as JSON
+//	GET /healthz   200 "ok" while the server runs
+//
+// The endpoint stops when the server is closed.
+func (s *Server) ServeStatus() (string, error) {
+	if s.hub == nil {
+		return "", fmt.Errorf("server: ServeStatus before Start")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("server: status listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-s.stop
+		_ = srv.Close()
+	}()
+	return "http://" + ln.Addr().String(), nil
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+
+	"skyscraper/internal/des"
+	"skyscraper/internal/metrics"
+)
+
+// SweepResult aggregates a population of simulated clients under one
+// scheme.
+type SweepResult struct {
+	Scheme string
+	// WaitMin, BufferMbit and Streams summarize per-client measurements.
+	WaitMin    metrics.Summary
+	BufferMbit metrics.Summary
+	Streams    metrics.Summary
+	// Clients is the population size.
+	Clients int
+}
+
+// Sweep simulates n clients with arrival times drawn uniformly over
+// [0, windowMin) and videos drawn uniformly over the broadcast set,
+// reporting aggregate statistics. It fails fast on any protocol violation.
+func Sweep(cs ClientSim, n int, windowMin float64, videos int, seed uint64) (*SweepResult, error) {
+	if n <= 0 || windowMin <= 0 || videos <= 0 {
+		return nil, fmt.Errorf("sim: Sweep needs positive n, window and videos (got %d, %v, %d)", n, windowMin, videos)
+	}
+	r := des.NewRand(seed)
+	res := &SweepResult{Scheme: cs.Name(), Clients: n}
+	for i := 0; i < n; i++ {
+		arrival := r.Float64() * windowMin
+		video := r.Intn(videos)
+		cr, err := cs.Client(arrival, video)
+		if err != nil {
+			return nil, fmt.Errorf("sim: client %d (arrival %.4f, video %d): %w", i, arrival, video, err)
+		}
+		res.WaitMin.Observe(cr.WaitMin)
+		res.BufferMbit.Observe(cr.MaxBufferMbit)
+		res.Streams.Observe(float64(cr.MaxStreams))
+	}
+	return res, nil
+}

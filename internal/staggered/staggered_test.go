@@ -1,0 +1,57 @@
+package staggered
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"skyscraper/internal/vod"
+)
+
+func TestLinearLatency(t *testing.T) {
+	// Section 1's critique: "the service latency can only be improved
+	// linearly with the increases in the server bandwidth."
+	s1, err := New(vod.DefaultConfig(150)) // N = 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(vod.DefaultConfig(300)) // N = 20
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.AccessLatencyMin(); math.Abs(got-12) > 1e-12 {
+		t.Errorf("latency at N=10 = %v, want 12", got)
+	}
+	if r := s1.AccessLatencyMin() / s2.AccessLatencyMin(); math.Abs(r-2) > 1e-12 {
+		t.Errorf("doubling B improved latency %vx, want exactly 2x (linear)", r)
+	}
+}
+
+func TestNoClientCost(t *testing.T) {
+	s, err := New(vod.DefaultConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BufferMbit() != 0 {
+		t.Errorf("buffer = %v, want 0", s.BufferMbit())
+	}
+	if s.DiskBandwidthMbps() != 1.5 {
+		t.Errorf("disk bw = %v, want b", s.DiskBandwidthMbps())
+	}
+	if s.Streams() != 20 {
+		t.Errorf("streams = %d, want 20", s.Streams())
+	}
+	if s.Name() != "Staggered" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if !strings.Contains(s.String(), "N=20") {
+		t.Errorf("String() = %q", s.String())
+	}
+	var _ vod.Performer = s
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(vod.Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}

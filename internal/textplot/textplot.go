@@ -1,0 +1,152 @@
+// Package textplot renders simple ASCII line charts and tables for the
+// figure-regeneration CLI, so the paper's plots can be eyeballed in a
+// terminal without any plotting dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	// X and Y are the sample coordinates; NaN Y values mark gaps (e.g.
+	// infeasible configurations).
+	X, Y []float64
+}
+
+// Plot renders curves on a width x height character grid with simple axis
+// annotations. Y may be log-scaled for the paper's latency/storage figures.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	LogY   bool
+	Series []Series
+}
+
+// markers assigns one rune per curve, cycling if needed.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~'}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yv := func(v float64) float64 {
+		if p.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || (p.LogY && s.Y[i] <= 0) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, yv(s.Y[i]))
+			maxY = math.Max(maxY, yv(s.Y[i]))
+		}
+	}
+	if minX > maxX { // no data at all
+		return p.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || (p.LogY && s.Y[i] <= 0) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((yv(s.Y[i])-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	top, bottom := maxY, minY
+	if p.LogY {
+		top, bottom = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	fmt.Fprintf(&b, "%12.4g |%s\n", top, grid[0])
+	for i := 1; i < h-1; i++ {
+		fmt.Fprintf(&b, "%12s |%s\n", "", grid[i])
+	}
+	fmt.Fprintf(&b, "%12.4g |%s\n", bottom, grid[h-1])
+	fmt.Fprintf(&b, "%12s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%12s  %-*g%*g\n", p.XLabel, w/2, minX, w-w/2, maxX)
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	if p.YLabel != "" {
+		scale := ""
+		if p.LogY {
+			scale = ", log scale"
+		}
+		fmt.Fprintf(&b, "  y: %s%s\n", p.YLabel, scale)
+	}
+	return b.String()
+}
+
+// Table renders rows with right-aligned columns under a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, hcell := range header {
+		widths[i] = len(hcell)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for i, wd := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", wd))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

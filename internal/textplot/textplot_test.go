@@ -1,0 +1,107 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := &Plot{
+		Title:  "Figure X",
+		XLabel: "B (Mb/s)",
+		YLabel: "latency",
+		Width:  40,
+		Height: 10,
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}},
+			{Name: "down", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}},
+		},
+	}
+	out := p.Render()
+	for _, want := range []string{"Figure X", "* up", "o down", "B (Mb/s)", "latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("only %d lines", len(lines))
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	p := &Plot{
+		LogY:   true,
+		Width:  30,
+		Height: 8,
+		Series: []Series{{Name: "exp", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}}},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "log scale") && !strings.Contains(out, "exp") {
+		t.Errorf("log plot output:\n%s", out)
+	}
+	// The midpoint must land midway on a log axis: row of the y=100
+	// marker should be near the vertical middle.
+	rows := strings.Split(out, "\n")
+	var markRows []int
+	for i, r := range rows {
+		// Only plot-area rows (containing the axis bar); the legend
+		// also prints the marker.
+		if strings.Contains(r, "|") && strings.Contains(r, "*") {
+			markRows = append(markRows, i)
+		}
+	}
+	if len(markRows) != 3 {
+		t.Fatalf("%d marker rows, want 3:\n%s", len(markRows), out)
+	}
+	mid := float64(markRows[0]+markRows[2]) / 2
+	if math.Abs(float64(markRows[1])-mid) > 1 {
+		t.Errorf("log middle marker at row %d, want about %v", markRows[1], mid)
+	}
+}
+
+func TestRenderSkipsNaNAndNonPositiveLog(t *testing.T) {
+	p := &Plot{
+		LogY:   true,
+		Series: []Series{{Name: "gappy", X: []float64{1, 2, 3}, Y: []float64{math.NaN(), -1, 10}}},
+	}
+	out := p.Render()
+	points := 0
+	for _, r := range strings.Split(out, "\n") {
+		if strings.Contains(r, "|") {
+			points += strings.Count(r, "*")
+		}
+	}
+	if points != 1 {
+		t.Errorf("want exactly one plotted point, got %d:\n%s", points, out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := &Plot{Title: "empty", Series: []Series{{Name: "none", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	if out := p.Render(); !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"scheme", "K"}, [][]string{{"SB", "21"}, {"PB:a", "8"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "scheme") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header malformed:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "SB") || !strings.Contains(lines[3], "PB:a") {
+		t.Errorf("rows malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,123 @@
+// Package trace is a bounded, allocation-light event journal for the
+// simulators and servers: fixed-capacity ring of timestamped events, safe
+// for concurrent writers, dumpable as text. It exists so a failing
+// simulation or live session can explain itself without unbounded logs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one journal entry.
+type Event struct {
+	// Seq numbers events from 0 in record order.
+	Seq int64
+	// VirtualMin is the simulation clock (or wall-relative time for live
+	// components), in minutes.
+	VirtualMin float64
+	// Kind is a short category, e.g. "tune", "stream-start", "renege".
+	Kind string
+	// Detail is a preformatted description.
+	Detail string
+}
+
+// Buffer is a fixed-capacity ring journal. The zero value is unusable;
+// create with New. A nil *Buffer is valid and discards all events, so
+// components can expose optional tracing without nil checks.
+type Buffer struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int64 // total events ever recorded
+	dropped int64
+}
+
+// New returns a journal keeping the most recent capacity events.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Buffer{ring: make([]Event, 0, capacity)}
+}
+
+// Addf records an event. On a nil Buffer it is a no-op.
+func (b *Buffer) Addf(virtualMin float64, kind, format string, args ...any) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := Event{
+		Seq:        b.next,
+		VirtualMin: virtualMin,
+		Kind:       kind,
+		Detail:     fmt.Sprintf(format, args...),
+	}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+	} else {
+		b.ring[b.next%int64(cap(b.ring))] = e
+		b.dropped++
+	}
+	b.next++
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ring)
+}
+
+// Dropped returns how many events were evicted by the ring.
+func (b *Buffer) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Events returns the retained events in record order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, 0, len(b.ring))
+	if len(b.ring) < cap(b.ring) {
+		return append(out, b.ring...)
+	}
+	// Ring is full: oldest entry is at next % cap.
+	c := int64(cap(b.ring))
+	for i := int64(0); i < c; i++ {
+		out = append(out, b.ring[(b.next+i)%c])
+	}
+	return out
+}
+
+// WriteTo dumps the journal as one event per line.
+func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	if d := b.Dropped(); d > 0 {
+		n, err := fmt.Fprintf(w, "... %d earlier events dropped ...\n", d)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, e := range b.Events() {
+		n, err := fmt.Fprintf(w, "[%6d] t=%-10.4f %-14s %s\n", e.Seq, e.VirtualMin, e.Kind, e.Detail)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndRead(t *testing.T) {
+	b := New(10)
+	b.Addf(1.5, "tune", "channel %d", 3)
+	b.Addf(2.5, "play", "segment %d", 1)
+	evs := b.Events()
+	if len(evs) != 2 || b.Len() != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Seq != 0 || evs[0].Kind != "tune" || evs[0].Detail != "channel 3" || evs[0].VirtualMin != 1.5 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Seq != 1 {
+		t.Errorf("event 1 seq = %d", evs[1].Seq)
+	}
+	if b.Dropped() != 0 {
+		t.Errorf("dropped = %d", b.Dropped())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Addf(float64(i), "k", "event %d", i)
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d retained, want 4", len(evs))
+	}
+	// Oldest retained is event 6; order preserved.
+	for i, e := range evs {
+		if e.Seq != int64(6+i) {
+			t.Errorf("position %d has seq %d, want %d", i, e.Seq, 6+i)
+		}
+	}
+	if b.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", b.Dropped())
+	}
+}
+
+func TestNilBufferIsSafe(t *testing.T) {
+	var b *Buffer
+	b.Addf(1, "k", "discarded")
+	if b.Len() != 0 || b.Dropped() != 0 || b.Events() != nil {
+		t.Error("nil buffer not inert")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	b := New(2)
+	for i := 0; i < 3; i++ {
+		b.Addf(float64(i), "kind", "detail-%d", i)
+	}
+	var sb strings.Builder
+	if _, err := b.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1 earlier events dropped") {
+		t.Errorf("missing drop notice:\n%s", out)
+	}
+	if !strings.Contains(out, "detail-2") || strings.Contains(out, "detail-0") {
+		t.Errorf("wrong retained window:\n%s", out)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	b := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Addf(0, "k", "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Dropped() + int64(b.Len()); got != 8000 {
+		t.Errorf("retained+dropped = %d, want 8000", got)
+	}
+	// Events must have distinct, increasing seqs.
+	evs := b.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq order broken at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 300; i++ {
+		b.Addf(0, "k", "x")
+	}
+	if b.Len() != 256 {
+		t.Errorf("default capacity retained %d, want 256", b.Len())
+	}
+}

@@ -1,0 +1,80 @@
+// Package unicast implements the user-centered baseline the paper's
+// introduction argues against: "dedicating a stream for each viewer will
+// quickly exhaust the network-I/O bandwidth at the server communication
+// ports" (Section 1, citing the bottleneck observed in Time Warner's Full
+// Service Network and Microsoft's Tiger fileserver). Each admitted request
+// occupies one server channel for the whole video; arrivals finding every
+// channel busy are refused (the classic Erlang loss model VoD trials ran
+// into). It exists so the broadcast schemes' motivation is reproducible,
+// not just quoted.
+package unicast
+
+import (
+	"fmt"
+
+	"skyscraper/internal/des"
+	"skyscraper/internal/metrics"
+	"skyscraper/internal/workload"
+)
+
+// Stats reports a unicast run.
+type Stats struct {
+	// Served requests got a dedicated channel immediately; Blocked found
+	// none free.
+	Served, Blocked int
+	// BusyFrac is the time-averaged fraction of channels occupied.
+	BusyFrac float64
+	// PeakBusy is the maximum simultaneous streams.
+	PeakBusy int
+}
+
+// BlockingProb returns the fraction of requests refused.
+func (s *Stats) BlockingProb() float64 {
+	if s.Served+s.Blocked == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Served+s.Blocked)
+}
+
+// Run simulates a user-centered server: channels dedicated streams, each
+// request served instantly or refused.
+func Run(channels int, lengthMin float64, reqs []workload.Request) (*Stats, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("unicast: need at least one channel, got %d", channels)
+	}
+	if lengthMin <= 0 {
+		return nil, fmt.Errorf("unicast: video length %v must be positive", lengthMin)
+	}
+	var (
+		sim  des.Sim
+		st   Stats
+		busy metrics.Gauge
+		used int
+		last float64
+	)
+	for _, r := range reqs {
+		if r.ArrivalMin < last {
+			return nil, fmt.Errorf("unicast: request %d arrives at %v before its predecessor", r.ID, r.ArrivalMin)
+		}
+		last = r.ArrivalMin
+		sim.At(r.ArrivalMin, func(now float64) {
+			if used == channels {
+				st.Blocked++
+				return
+			}
+			used++
+			st.Served++
+			if used > st.PeakBusy {
+				st.PeakBusy = used
+			}
+			busy.Set(now, float64(used))
+			sim.After(lengthMin, func(end float64) {
+				used--
+				busy.Set(end, float64(used))
+			})
+		})
+	}
+	sim.RunAll()
+	st.BusyFrac = busy.TimeAverage(sim.Now()) / float64(channels)
+	return &st, nil
+}

@@ -1,0 +1,104 @@
+package unicast
+
+import (
+	"math"
+	"testing"
+
+	"skyscraper/internal/catalog"
+	"skyscraper/internal/workload"
+)
+
+func reqs(t *testing.T, n int, rate float64, seed uint64) []workload.Request {
+	t.Helper()
+	cat, err := catalog.New(20, catalog.DefaultSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(workload.Config{RatePerMin: rate, Seed: seed}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Take(n)
+}
+
+func TestNoBlockingUnderLightLoad(t *testing.T) {
+	// Offered load = rate * length = 0.2 * 120 = 24 Erlangs against 100
+	// channels: essentially no blocking.
+	st, err := Run(100, 120, reqs(t, 500, 0.2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlockingProb() > 0.01 {
+		t.Errorf("blocking %v at 24 Erlangs on 100 channels", st.BlockingProb())
+	}
+	if st.Served+st.Blocked != 500 {
+		t.Errorf("requests unaccounted: %d + %d", st.Served, st.Blocked)
+	}
+}
+
+// TestNetworkIOBottleneck reproduces the paper's Section 1 motivation: at
+// metropolitan demand, a stream-per-viewer server refuses a large share of
+// its audience, while a broadcast server at the same bandwidth has zero
+// refusals by construction (its channel count is fixed regardless of
+// viewers).
+func TestNetworkIOBottleneck(t *testing.T) {
+	// 200 channels (= 300 Mbit/s at 1.5 Mbit/s), 4 requests/minute,
+	// 120-minute videos: 480 Erlangs offered against 200 servers.
+	st, err := Run(200, 120, reqs(t, 3000, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlockingProb() < 0.5 {
+		t.Errorf("blocking %v, want the paper's bottleneck (> 0.5 at 2.4x overload)", st.BlockingProb())
+	}
+	if st.PeakBusy != 200 {
+		t.Errorf("peak busy %d, want saturation at 200", st.PeakBusy)
+	}
+	// The time average includes the initial fill ramp and the final
+	// drain, so "saturated" means well above 0.8, not 1.0.
+	if st.BusyFrac < 0.8 {
+		t.Errorf("busy fraction %v, want near saturation", st.BusyFrac)
+	}
+}
+
+func TestErlangShape(t *testing.T) {
+	// Blocking must be monotone in offered load.
+	prev := -1.0
+	for _, rate := range []float64{0.5, 1, 2, 4} {
+		st, err := Run(100, 120, reqs(t, 2000, rate, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := st.BlockingProb(); p < prev-0.02 {
+			t.Errorf("blocking not monotone: %v after %v at rate %v", p, prev, rate)
+		} else {
+			prev = p
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(0, 120, nil); err == nil {
+		t.Error("accepted 0 channels")
+	}
+	if _, err := Run(1, 0, nil); err == nil {
+		t.Error("accepted 0 length")
+	}
+	unordered := []workload.Request{{ID: 0, ArrivalMin: 5}, {ID: 1, ArrivalMin: 1}}
+	if _, err := Run(1, 10, unordered); err == nil {
+		t.Error("accepted unordered arrivals")
+	}
+}
+
+func TestBlockingProbEmpty(t *testing.T) {
+	var st Stats
+	if st.BlockingProb() != 0 {
+		t.Error("empty stats blocking not 0")
+	}
+	if got, err := Run(5, 10, nil); err != nil || got.Served != 0 {
+		t.Errorf("empty run: %+v %v", got, err)
+	}
+	if math.IsNaN((&Stats{Served: 1}).BlockingProb()) {
+		t.Error("NaN blocking")
+	}
+}

@@ -1,0 +1,115 @@
+// Package vod holds the shared video-on-demand system model used by every
+// broadcasting scheme in this repository: the server/network parameters the
+// paper calls B, M, D and b, plus the derived per-video quantities that the
+// analytic formulas and the simulator both consume.
+//
+// Units follow the paper exactly:
+//
+//   - bandwidth is in Mbit/s,
+//   - video length and latency are in minutes,
+//   - buffer space is in Mbit (the paper's figures divide by 8 to plot
+//     MBytes; helpers for that conversion live here too).
+package vod
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes one metropolitan VoD deployment: a server with B Mbit/s
+// of network-I/O bandwidth periodically broadcasting the M most popular
+// videos, each D minutes long and displayed at b Mbit/s.
+//
+// The zero value is not usable; construct with the fields set and call
+// Validate, or use DefaultConfig for the paper's Section 5 workload.
+type Config struct {
+	// ServerMbps is B, the total server network-I/O bandwidth in Mbit/s.
+	ServerMbps float64
+	// Videos is M, the number of popular videos being broadcast.
+	Videos int
+	// LengthMin is D, the length of each video in minutes.
+	LengthMin float64
+	// RateMbps is b, the display (consumption) rate of each video in
+	// Mbit/s.
+	RateMbps float64
+}
+
+// DefaultConfig returns the workload used throughout the paper's
+// performance study (Section 5): M = 10 MPEG-1 videos of 120 minutes at
+// 1.5 Mbit/s, with the server bandwidth supplied by the caller.
+func DefaultConfig(serverMbps float64) Config {
+	return Config{
+		ServerMbps: serverMbps,
+		Videos:     10,
+		LengthMin:  120,
+		RateMbps:   1.5,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent and
+// sufficient to broadcast at least one channel per video.
+func (c Config) Validate() error {
+	switch {
+	case c.ServerMbps <= 0:
+		return fmt.Errorf("vod: server bandwidth B = %v Mbit/s must be positive", c.ServerMbps)
+	case c.Videos <= 0:
+		return fmt.Errorf("vod: video count M = %d must be positive", c.Videos)
+	case c.LengthMin <= 0:
+		return fmt.Errorf("vod: video length D = %v min must be positive", c.LengthMin)
+	case c.RateMbps <= 0:
+		return fmt.Errorf("vod: display rate b = %v Mbit/s must be positive", c.RateMbps)
+	}
+	if c.ChannelsPerVideo() < 1 {
+		return fmt.Errorf("vod: B = %v Mbit/s cannot afford one %v Mbit/s channel per video for M = %d videos",
+			c.ServerMbps, c.RateMbps, c.Videos)
+	}
+	return nil
+}
+
+// Channels returns floor(B/b), the number of b-Mbit/s logical channels the
+// server bandwidth can sustain (Section 3.1).
+func (c Config) Channels() int {
+	return int(c.ServerMbps / c.RateMbps)
+}
+
+// ChannelsPerVideo returns K = floor(B/(b*M)), the number of logical
+// channels dedicated to each video under Skyscraper Broadcasting's even
+// allocation (Section 3.1).
+func (c Config) ChannelsPerVideo() int {
+	return int(c.ServerMbps / (c.RateMbps * float64(c.Videos)))
+}
+
+// VideoMbits returns the size of one whole video in Mbit: 60*b*D.
+func (c Config) VideoMbits() float64 {
+	return 60 * c.RateMbps * c.LengthMin
+}
+
+// ErrInfeasible is returned by scheme constructors when the configuration
+// cannot satisfy a scheme's continuity constraints (for example PB and PPB
+// require alpha > 1, which fails below roughly 90 Mbit/s for the paper's
+// workload).
+var ErrInfeasible = errors.New("vod: configuration infeasible for this scheme")
+
+// MbitToMByte converts a quantity in Mbit to MByte, the unit the paper's
+// storage figures are plotted in.
+func MbitToMByte(mbit float64) float64 { return mbit / 8 }
+
+// MbpsToMBps converts Mbit/s to MByte/s, the unit of the paper's disk
+// bandwidth figure.
+func MbpsToMBps(mbps float64) float64 { return mbps / 8 }
+
+// Performer is the metric surface every broadcasting scheme in this
+// repository exposes; the paper's Table 1 is exactly one row per Performer
+// (Section 5 compares schemes on these three metrics).
+type Performer interface {
+	// Name identifies the scheme and its parameter method, e.g. "SB:W=52"
+	// or "PPB:b".
+	Name() string
+	// AccessLatencyMin is the worst-case service latency in minutes.
+	AccessLatencyMin() float64
+	// BufferMbit is the client disk-space requirement in Mbit.
+	BufferMbit() float64
+	// DiskBandwidthMbps is the client storage-I/O bandwidth requirement
+	// in Mbit/s.
+	DiskBandwidthMbps() float64
+}

@@ -1,0 +1,71 @@
+package vod
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig(320)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Videos != 10 || c.LengthMin != 120 || c.RateMbps != 1.5 {
+		t.Errorf("DefaultConfig = %+v, want the paper's Section 5 workload", c)
+	}
+	if c.Channels() != 213 {
+		t.Errorf("Channels = %d, want 213", c.Channels())
+	}
+	if c.ChannelsPerVideo() != 21 {
+		t.Errorf("ChannelsPerVideo = %d, want 21", c.ChannelsPerVideo())
+	}
+	if got := c.VideoMbits(); math.Abs(got-10800) > 1e-9 {
+		t.Errorf("VideoMbits = %v, want 10800", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Config{
+		{},
+		{ServerMbps: -1, Videos: 10, LengthMin: 120, RateMbps: 1.5},
+		{ServerMbps: 300, Videos: 0, LengthMin: 120, RateMbps: 1.5},
+		{ServerMbps: 300, Videos: 10, LengthMin: -5, RateMbps: 1.5},
+		{ServerMbps: 300, Videos: 10, LengthMin: 120, RateMbps: 0},
+		{ServerMbps: 10, Videos: 10, LengthMin: 120, RateMbps: 1.5}, // K = 0
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if MbitToMByte(800) != 100 {
+		t.Error("MbitToMByte wrong")
+	}
+	if MbpsToMBps(12) != 1.5 {
+		t.Error("MbpsToMBps wrong")
+	}
+}
+
+func TestChannelsPerVideoProperty(t *testing.T) {
+	f := func(bTenth uint16, m uint8) bool {
+		c := Config{
+			ServerMbps: float64(bTenth%6000)/10 + 15,
+			Videos:     int(m%20) + 1,
+			LengthMin:  120,
+			RateMbps:   1.5,
+		}
+		k := c.ChannelsPerVideo()
+		// K channels per video must fit within the budget, and K+1 must
+		// not.
+		fits := float64(k*c.Videos)*c.RateMbps <= c.ServerMbps
+		tight := float64((k+1)*c.Videos)*c.RateMbps > c.ServerMbps
+		return fits && tight
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Control message kinds exchanged over the TCP control connection.
+const (
+	KindHello   = "hello"
+	KindWelcome = "welcome"
+	KindJoin    = "join"
+	KindJoined  = "joined"
+	KindLeave   = "leave"
+	KindError   = "error"
+	KindBye     = "bye"
+	KindStats   = "stats"
+	KindStatsOK = "statsok"
+)
+
+// Control is the envelope for every control message; unused fields are
+// omitted from the JSON encoding.
+type Control struct {
+	Kind string `json:"kind"`
+	// Error text for KindError.
+	Error string `json:"error,omitempty"`
+	// Welcome payload.
+	Welcome *Welcome `json:"welcome,omitempty"`
+	// Join/Joined/Leave payload.
+	Video   int `json:"video,omitempty"`
+	Channel int `json:"channel,omitempty"`
+	// Port is the client's UDP port for Join.
+	Port int `json:"port,omitempty"`
+	// Stats payload for KindStatsOK.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Stats is the server's operational snapshot, returned for KindStats.
+type Stats struct {
+	// UptimeNanos is time since the broadcast epoch.
+	UptimeNanos int64 `json:"uptimeNanos"`
+	// DatagramsSent counts data chunks written to receivers.
+	DatagramsSent int64 `json:"datagramsSent"`
+	// Channels is the number of active channel pacers.
+	Channels int `json:"channels"`
+	// Members is the current total group memberships.
+	Members int `json:"members"`
+}
+
+// Welcome describes the broadcast the server is running, everything a
+// client needs to compute its reception schedule locally: the SB
+// parameters, the shared epoch, and the fragment layout.
+type Welcome struct {
+	// Videos is M; ChannelsPerVideo is K; Width is W.
+	Videos           int   `json:"videos"`
+	ChannelsPerVideo int   `json:"channelsPerVideo"`
+	Width            int64 `json:"width"`
+	// UnitNanos is the real-time duration of one D1 unit (the demo
+	// compresses video minutes into short wall-clock intervals).
+	UnitNanos int64 `json:"unitNanos"`
+	// EpochUnixNano anchors all channels' broadcast grids: channel i's
+	// broadcasts start at Epoch + n*Sizes[i-1]*Unit.
+	EpochUnixNano int64 `json:"epochUnixNano"`
+	// SizeUnits are the fragment sizes in D1 units, channel order.
+	SizeUnits []int64 `json:"sizeUnits"`
+	// BytesPerUnit is the fragment payload density: a fragment of s
+	// units carries s*BytesPerUnit bytes.
+	BytesPerUnit int `json:"bytesPerUnit"`
+	// ChunkBytes is the data-chunk payload size the server uses.
+	ChunkBytes int `json:"chunkBytes"`
+}
+
+// WriteControl writes one newline-delimited JSON control message.
+func WriteControl(w io.Writer, m *Control) error {
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: encoding control %q: %w", m.Kind, err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: writing control %q: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// ReadControl reads one newline-delimited JSON control message.
+func ReadControl(r *bufio.Reader) (*Control, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var m Control
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("wire: decoding control: %w", err)
+	}
+	if m.Kind == "" {
+		return nil, fmt.Errorf("wire: control message without kind")
+	}
+	return &m, nil
+}

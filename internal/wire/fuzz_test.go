@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary frames to the chunk decoder: it must never
+// panic, and anything it accepts must re-encode to the identical frame.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzDecode` explores.
+func FuzzDecode(f *testing.F) {
+	good, err := (&Chunk{Video: 1, Channel: 2, Seq: 3, Offset: 4, Total: 99, Payload: []byte("seed")}).Encode(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:headerSize])
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := c.Encode(nil)
+		if err != nil {
+			t.Fatalf("accepted chunk failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not idempotent:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
+// FuzzReadControl feeds arbitrary lines to the control decoder: no panics,
+// and accepted messages must carry a kind.
+func FuzzReadControl(f *testing.F) {
+	f.Add([]byte(`{"kind":"hello"}` + "\n"))
+	f.Add([]byte(`{"kind":"join","video":1,"channel":2,"port":3}` + "\n"))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("{}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadControl(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil && m.Kind == "" {
+			t.Fatal("accepted a kindless control message")
+		}
+	})
+}

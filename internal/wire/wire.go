@@ -1,0 +1,121 @@
+// Package wire defines the on-the-wire representation of the live
+// Skyscraper Broadcasting demo: a compact binary framing for video data
+// chunks carried over UDP, and JSON-encoded control messages exchanged over
+// TCP between a client and the broadcast server (the join/leave signalling
+// a real deployment would delegate to IP multicast group management).
+//
+// Data chunks are self-describing — video, channel, broadcast repetition,
+// byte offset — so a receiver can tune into any channel at a broadcast
+// boundary and reassemble the fragment without per-packet state on the
+// server, exactly the receiver model of Section 3.3.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies skyscraper data chunks; Version is the protocol
+// revision.
+const (
+	Magic   = 0x5B5C // "skyscraper broadcast"
+	Version = 1
+)
+
+// MaxPayload bounds chunk payloads so frames fit comfortably in a UDP
+// datagram on loopback.
+const MaxPayload = 32 * 1024
+
+// headerSize is the fixed encoded size before the payload:
+// magic(2) version(1) pad(1) video(2) channel(2) seq(4) offset(4) total(4)
+// length(4) crc(4).
+const headerSize = 28
+
+// Chunk is one datagram's worth of a fragment broadcast.
+type Chunk struct {
+	// Video is the catalog index of the video.
+	Video uint16
+	// Channel is the 1-based logical channel (= fragment index).
+	Channel uint16
+	// Seq numbers the channel's broadcast repetitions from 0, so
+	// receivers can detect tuning mid-broadcast.
+	Seq uint32
+	// Offset is the byte offset of Payload within the fragment.
+	Offset uint32
+	// Total is the full fragment size in bytes.
+	Total uint32
+	// Payload carries the fragment bytes at Offset.
+	Payload []byte
+}
+
+// Errors returned by Decode.
+var (
+	ErrShortFrame  = errors.New("wire: frame shorter than header")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadReserved = errors.New("wire: reserved header byte not zero")
+	ErrBadLength   = errors.New("wire: length field disagrees with frame size")
+	ErrBadCRC      = errors.New("wire: payload CRC mismatch")
+	ErrTooLarge    = errors.New("wire: payload exceeds MaxPayload")
+)
+
+// Encode appends the chunk's wire form to dst and returns the extended
+// slice.
+func (c *Chunk) Encode(dst []byte) ([]byte, error) {
+	if len(c.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(c.Payload))
+	}
+	var h [headerSize]byte
+	binary.BigEndian.PutUint16(h[0:], Magic)
+	h[2] = Version
+	h[3] = 0
+	binary.BigEndian.PutUint16(h[4:], c.Video)
+	binary.BigEndian.PutUint16(h[6:], c.Channel)
+	binary.BigEndian.PutUint32(h[8:], c.Seq)
+	binary.BigEndian.PutUint32(h[12:], c.Offset)
+	binary.BigEndian.PutUint32(h[16:], c.Total)
+	binary.BigEndian.PutUint32(h[20:], uint32(len(c.Payload)))
+	binary.BigEndian.PutUint32(h[24:], crc32.ChecksumIEEE(c.Payload))
+	dst = append(dst, h[:]...)
+	return append(dst, c.Payload...), nil
+}
+
+// Decode parses a frame. The returned chunk's Payload aliases frame; copy
+// it if the buffer will be reused.
+func Decode(frame []byte) (Chunk, error) {
+	var c Chunk
+	if len(frame) < headerSize {
+		return c, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(frame))
+	}
+	if binary.BigEndian.Uint16(frame[0:]) != Magic {
+		return c, ErrBadMagic
+	}
+	if frame[2] != Version {
+		return c, fmt.Errorf("%w: %d", ErrBadVersion, frame[2])
+	}
+	if frame[3] != 0 {
+		return c, ErrBadReserved
+	}
+	c.Video = binary.BigEndian.Uint16(frame[4:])
+	c.Channel = binary.BigEndian.Uint16(frame[6:])
+	c.Seq = binary.BigEndian.Uint32(frame[8:])
+	c.Offset = binary.BigEndian.Uint32(frame[12:])
+	c.Total = binary.BigEndian.Uint32(frame[16:])
+	n := binary.BigEndian.Uint32(frame[20:])
+	if n > MaxPayload {
+		return c, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if int(n) != len(frame)-headerSize {
+		return c, fmt.Errorf("%w: header says %d, frame carries %d", ErrBadLength, n, len(frame)-headerSize)
+	}
+	c.Payload = frame[headerSize:]
+	if crc32.ChecksumIEEE(c.Payload) != binary.BigEndian.Uint32(frame[24:]) {
+		return c, ErrBadCRC
+	}
+	return c, nil
+}
+
+// EncodedSize returns the frame size for a payload of n bytes.
+func EncodedSize(n int) int { return headerSize + n }

@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkRoundTrip(t *testing.T) {
+	c := Chunk{Video: 3, Channel: 7, Seq: 42, Offset: 1024, Total: 9000, Payload: []byte("fragment data")}
+	frame, err := c.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != EncodedSize(len(c.Payload)) {
+		t.Errorf("frame %d bytes, want %d", len(frame), EncodedSize(len(c.Payload)))
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Video != c.Video || got.Channel != c.Channel || got.Seq != c.Seq ||
+		got.Offset != c.Offset || got.Total != c.Total || !bytes.Equal(got.Payload, c.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, c)
+	}
+}
+
+func TestChunkRoundTripProperty(t *testing.T) {
+	f := func(video, channel uint16, seq, offset, total uint32, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		c := Chunk{Video: video, Channel: channel, Seq: seq, Offset: offset, Total: total, Payload: payload}
+		frame, err := c.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return got.Video == video && got.Channel == channel && got.Seq == seq &&
+			got.Offset == offset && got.Total == total && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	c := Chunk{Payload: []byte("xyz")}
+	prefix := []byte("prefix")
+	frame, err := c.Encode(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(frame, []byte("prefix")) {
+		t.Error("Encode did not append to dst")
+	}
+	if _, err := Decode(frame[len(prefix):]); err != nil {
+		t.Errorf("appended frame does not decode: %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, err := (&Chunk{Payload: []byte("data")}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Decode(good[:10]); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short frame: %v", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+
+	// Corrupt payload byte: CRC must catch it.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := Decode(bad); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("corruption: %v", err)
+	}
+
+	// Truncated payload: length disagreement.
+	if _, err := Decode(good[:len(good)-2]); !errors.Is(err, ErrBadLength) {
+		t.Errorf("truncation: %v", err)
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	c := Chunk{Payload: make([]byte, MaxPayload+1)}
+	if _, err := c.Encode(nil); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Control{
+		{Kind: KindHello},
+		{Kind: KindWelcome, Welcome: &Welcome{
+			Videos: 10, ChannelsPerVideo: 6, Width: 12,
+			UnitNanos: 50e6, EpochUnixNano: 12345,
+			SizeUnits: []int64{1, 2, 2, 5, 5, 12}, BytesPerUnit: 4096, ChunkBytes: 1024,
+		}},
+		{Kind: KindJoin, Video: 2, Channel: 3, Port: 40001},
+		{Kind: KindJoined, Video: 2, Channel: 3},
+		{Kind: KindLeave, Video: 2, Channel: 3},
+		{Kind: KindError, Error: "no such video"},
+		{Kind: KindBye},
+	}
+	for _, m := range msgs {
+		if err := WriteControl(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range msgs {
+		got, err := ReadControl(r)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Video != want.Video || got.Channel != want.Channel ||
+			got.Port != want.Port || got.Error != want.Error {
+			t.Errorf("message %d: %+v vs %+v", i, got, want)
+		}
+		if want.Welcome != nil {
+			if got.Welcome == nil || got.Welcome.ChannelsPerVideo != 6 || len(got.Welcome.SizeUnits) != 6 {
+				t.Errorf("welcome payload lost: %+v", got.Welcome)
+			}
+		}
+	}
+}
+
+func TestReadControlRejectsGarbage(t *testing.T) {
+	r := bufio.NewReader(bytes.NewBufferString("not json\n"))
+	if _, err := ReadControl(r); err == nil {
+		t.Error("garbage accepted")
+	}
+	r = bufio.NewReader(bytes.NewBufferString("{}\n"))
+	if _, err := ReadControl(r); err == nil {
+		t.Error("kindless message accepted")
+	}
+}
+
+func TestDecodeRejectsReservedByte(t *testing.T) {
+	good, err := (&Chunk{Payload: []byte("x")}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[3] = 1
+	if _, err := Decode(bad); !errors.Is(err, ErrBadReserved) {
+		t.Errorf("reserved byte: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package workload generates client request streams for the simulators: a
+// Poisson arrival process over a Zipf-distributed catalog, with optional
+// reneging (a client abandoning the queue after waiting too long — the
+// behavior periodic broadcast's guaranteed latency is designed to tame,
+// Section 1).
+package workload
+
+import (
+	"fmt"
+
+	"skyscraper/internal/catalog"
+	"skyscraper/internal/des"
+)
+
+// Request is one client's demand for a video.
+type Request struct {
+	// ID numbers requests in arrival order, from 0.
+	ID int
+	// ArrivalMin is the arrival time in minutes of virtual time.
+	ArrivalMin float64
+	// VideoRank is the requested video's popularity rank in the catalog.
+	VideoRank int
+	// PatienceMin is how long this client will wait before reneging;
+	// 0 means infinite patience.
+	PatienceMin float64
+}
+
+// Config parameterizes a request generator.
+type Config struct {
+	// RatePerMin is the Poisson arrival rate, requests per minute.
+	RatePerMin float64
+	// Seed makes the stream reproducible.
+	Seed uint64
+	// MeanPatienceMin, when positive, gives clients exponentially
+	// distributed patience with this mean.
+	MeanPatienceMin float64
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	cfg Config
+	cat *catalog.Catalog
+	rnd *des.Rand
+
+	next Request
+	now  float64
+}
+
+// NewGenerator builds a generator over cat.
+func NewGenerator(cfg Config, cat *catalog.Catalog) (*Generator, error) {
+	if cfg.RatePerMin <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %v must be positive", cfg.RatePerMin)
+	}
+	if cfg.MeanPatienceMin < 0 {
+		return nil, fmt.Errorf("workload: mean patience %v must be non-negative", cfg.MeanPatienceMin)
+	}
+	if cat == nil {
+		return nil, fmt.Errorf("workload: nil catalog")
+	}
+	g := &Generator{cfg: cfg, cat: cat, rnd: des.NewRand(cfg.Seed)}
+	return g, nil
+}
+
+// Next returns the next request; arrival times are strictly increasing.
+func (g *Generator) Next() Request {
+	g.now += g.rnd.ExpFloat64(g.cfg.RatePerMin)
+	r := Request{
+		ID:         g.next.ID,
+		ArrivalMin: g.now,
+		VideoRank:  g.cat.Sample(g.rnd),
+	}
+	if g.cfg.MeanPatienceMin > 0 {
+		r.PatienceMin = g.rnd.ExpFloat64(1 / g.cfg.MeanPatienceMin)
+	}
+	g.next.ID++
+	return r
+}
+
+// Take returns the first n requests of the stream.
+func (g *Generator) Take(n int) []Request {
+	out := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// Until returns all requests arriving before the given time in minutes.
+func (g *Generator) Until(endMin float64) []Request {
+	var out []Request
+	for {
+		r := g.Next()
+		if r.ArrivalMin >= endMin {
+			return out
+		}
+		out = append(out, r)
+	}
+}

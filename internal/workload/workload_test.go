@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"skyscraper/internal/catalog"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c, err := catalog.New(50, catalog.DefaultSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeneratorBasics(t *testing.T) {
+	g, err := NewGenerator(Config{RatePerMin: 2, Seed: 1}, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Take(1000)
+	prev := 0.0
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		if r.ArrivalMin <= prev {
+			t.Fatalf("arrivals not strictly increasing at %d: %v then %v", i, prev, r.ArrivalMin)
+		}
+		prev = r.ArrivalMin
+		if r.VideoRank < 0 || r.VideoRank >= 50 {
+			t.Fatalf("video rank %d out of range", r.VideoRank)
+		}
+		if r.PatienceMin != 0 {
+			t.Fatalf("patience %v without MeanPatienceMin", r.PatienceMin)
+		}
+	}
+	// Mean inter-arrival should be about 1/rate = 0.5 minutes.
+	mean := prev / 1000
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("mean inter-arrival %v, want about 0.5", mean)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cat := testCatalog(t)
+	g1, _ := NewGenerator(Config{RatePerMin: 1, Seed: 9}, cat)
+	g2, _ := NewGenerator(Config{RatePerMin: 1, Seed: 9}, cat)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestPatience(t *testing.T) {
+	g, err := NewGenerator(Config{RatePerMin: 1, Seed: 2, MeanPatienceMin: 5}, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := g.Next().PatienceMin
+		if p <= 0 {
+			t.Fatal("patience not positive")
+		}
+		sum += p
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.2 {
+		t.Errorf("mean patience %v, want about 5", mean)
+	}
+}
+
+func TestUntil(t *testing.T) {
+	g, err := NewGenerator(Config{RatePerMin: 4, Seed: 3}, testCatalog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Until(100)
+	if len(reqs) == 0 {
+		t.Fatal("no requests in 100 minutes at rate 4")
+	}
+	for _, r := range reqs {
+		if r.ArrivalMin >= 100 {
+			t.Fatalf("request at %v past the window", r.ArrivalMin)
+		}
+	}
+	// Expect about 400 requests.
+	if len(reqs) < 300 || len(reqs) > 500 {
+		t.Errorf("%d requests in 100 min at rate 4, want about 400", len(reqs))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := NewGenerator(Config{RatePerMin: 0}, cat); err == nil {
+		t.Error("accepted zero rate")
+	}
+	if _, err := NewGenerator(Config{RatePerMin: 1, MeanPatienceMin: -1}, cat); err == nil {
+		t.Error("accepted negative patience")
+	}
+	if _, err := NewGenerator(Config{RatePerMin: 1}, nil); err == nil {
+		t.Error("accepted nil catalog")
+	}
+}

@@ -1,0 +1,203 @@
+package skyscraper_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"skyscraper"
+)
+
+// TestPublicAPIQuickstart exercises the README's quickstart path through
+// the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := skyscraper.DefaultConfig(320)
+	sb, err := skyscraper.New(cfg, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.K() != 21 {
+		t.Errorf("K = %d, want 21", sb.K())
+	}
+	if lat := sb.AccessLatencyMin(); lat <= 0 || lat > 0.2 {
+		t.Errorf("latency = %v", lat)
+	}
+	plan, err := sb.PlanSchedule(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MaxConcurrentDownloads() > 2 {
+		t.Error("more than two loaders needed")
+	}
+	prof, err := sb.Profile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.MaxMbit(cfg.RateMbps, sb.UnitMinutes()) > sb.BufferMbit() {
+		t.Error("profile exceeds analytic bound")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	cfg := skyscraper.DefaultConfig(320)
+	var perf []skyscraper.Performer
+	pb, err := skyscraper.NewPyramid(cfg, skyscraper.PyramidB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf = append(perf, pb)
+	pp, err := skyscraper.NewPPB(cfg, skyscraper.PPBB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf = append(perf, pp)
+	st, err := skyscraper.NewStaggered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf = append(perf, st)
+	for _, p := range perf {
+		if p.Name() == "" || p.AccessLatencyMin() < 0 || p.DiskBandwidthMbps() < cfg.RateMbps {
+			t.Errorf("performer %q misbehaves", p.Name())
+		}
+	}
+	if _, err := skyscraper.NewPyramid(skyscraper.DefaultConfig(40), skyscraper.PyramidB); !errors.Is(err, skyscraper.ErrInfeasible) {
+		t.Errorf("infeasibility not surfaced: %v", err)
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	sb, err := skyscraper.New(skyscraper.DefaultConfig(150), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := skyscraper.Sweep(skyscraper.SimulateSB(sb), 100, 300, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WaitMin.Max() > sb.AccessLatencyMin()+1e-9 {
+		t.Error("sweep exceeded latency bound")
+	}
+}
+
+func TestPublicAPIWidthForLatency(t *testing.T) {
+	w := skyscraper.WidthForLatency(21, 120, 0.2)
+	if w == 0 {
+		t.Fatal("0.2-minute target should be feasible at K=21")
+	}
+	sb, err := skyscraper.New(skyscraper.DefaultConfig(320), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.AccessLatencyMin(); got > 0.2 {
+		t.Errorf("latency %v with computed width %d", got, w)
+	}
+}
+
+func TestPublicAPIHybrid(t *testing.T) {
+	cat, err := skyscraper.NewCatalog(40, skyscraper.ZipfSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := skyscraper.NewGenerator(skyscraper.WorkloadConfig{RatePerMin: 2, Seed: 3}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := skyscraper.RunBatch(skyscraper.BatchConfig{
+		Channels: 6, Videos: 40, LengthMin: 120,
+	}, skyscraper.MQL, gen.Take(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served != 200 {
+		t.Errorf("served %d of 200", stats.Served)
+	}
+}
+
+func TestPublicAPILive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	cfg := skyscraper.Config{ServerMbps: 1.5 * 4, Videos: 1, LengthMin: 120, RateMbps: 1.5}
+	sb, err := skyscraper.New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := skyscraper.NewLiveServer(skyscraper.LiveServerConfig{
+		Scheme: sb, Unit: 60 * time.Millisecond, BytesPerUnit: 4096, ChunkBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stats, err := skyscraper.WatchLive(skyscraper.LiveClientConfig{ServerAddr: srv.Addr(), Video: 0, JoinLeadFrac: 0.9, SlackFrac: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(sb.TotalUnits()) * 4096; stats.Bytes != want {
+		t.Errorf("received %d, want %d", stats.Bytes, want)
+	}
+}
+
+func TestPublicAPICustomSeries(t *testing.T) {
+	// The paper's generalization: any alternating-parity series works.
+	if math.Abs(float64(skyscraper.SkyscraperSeries.At(10))-52) > 0 {
+		t.Error("series re-export broken")
+	}
+	if _, err := skyscraper.NewWithSeries(skyscraper.DefaultConfig(320), skyscraper.SkyscraperSeries, 12); err != nil {
+		t.Errorf("custom-series constructor: %v", err)
+	}
+}
+
+// TestPublicAPISimulatorWrappers exercises every Simulate* facade wrapper.
+func TestPublicAPISimulatorWrappers(t *testing.T) {
+	cfg := skyscraper.DefaultConfig(320)
+	pb, err := skyscraper.NewPyramid(cfg, skyscraper.PyramidA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := skyscraper.NewPPB(cfg, skyscraper.PPBA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := skyscraper.NewStaggered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range []skyscraper.ClientSim{
+		skyscraper.SimulatePyramid(pb),
+		skyscraper.SimulatePPB(pp),
+		skyscraper.SimulateStaggered(st),
+	} {
+		res, err := cs.Client(3.7, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", cs.Name(), err)
+		}
+		if res.WaitMin < 0 || res.DownloadedMbit <= 0 {
+			t.Errorf("%s: result %+v", cs.Name(), res)
+		}
+	}
+}
+
+// TestPublicAPIHybridOptimize drives the facade's optimizer end to end.
+func TestPublicAPIHybridOptimize(t *testing.T) {
+	cat, err := skyscraper.NewCatalog(16, skyscraper.ZipfSkew, 120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := skyscraper.NewGenerator(skyscraper.WorkloadConfig{RatePerMin: 3, Seed: 4, MeanPatienceMin: 30}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, rep, err := skyscraper.OptimizeHybrid(150, cat, gen.Take(300), []int64{2, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || rep == nil || rep.Served+rep.Reneged != 300 {
+		t.Errorf("plan %v report %+v", plan, rep)
+	}
+}
