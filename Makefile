@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-sweep
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel sweep engine and the bench scheme cache are concurrent;
+# every PR must pass the race detector over them.
+race:
+	$(GO) test -race ./internal/des ./internal/metrics ./internal/sim ./internal/bench
+
+# The PR gate: tier-1 build+test, vet, and race-checked concurrency.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Record the sweep/figure benchmark trajectory (see EXPERIMENTS.md).
+bench-sweep:
+	$(GO) test -bench 'Sweep|Figures' -run '^$$' -json . > BENCH_sweep.json

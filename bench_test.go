@@ -10,7 +10,9 @@
 package skyscraper_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"skyscraper"
 	"skyscraper/internal/bench"
@@ -182,6 +184,106 @@ func BenchmarkFigure8Storage(b *testing.B) {
 	figureMetric(b, curves, "SB:W=52", 600, "SBw52-MB-at-600")
 	figureMetric(b, curves, "PPB:b", 320, "PPBb-MB-at-320")
 	figureMetric(b, curves, "PB:b", 600, "PBb-MB-at-600")
+}
+
+// sweepBenchClients sizes the Sweep benchmarks: big enough to span many
+// shards, small enough to iterate.
+const sweepBenchClients = 2000
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	sch, err := core.New(vod.DefaultConfig(320), 52)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs := sim.NewSB(sch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Sweep(cs, sweepBenchClients, 1000, 10, 42, sim.Workers(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sweepBenchClients)*float64(b.N)/b.Elapsed().Seconds(), "clients/sec")
+}
+
+// BenchmarkSweepSerial is the one-worker baseline of the population sweep.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the sweep on the default worker pool
+// (GOMAXPROCS) and reports the measured speedup over a serial run of the
+// same population — the determinism contract makes the two sweeps
+// bit-identical, so the speedup is free.
+func BenchmarkSweepParallel(b *testing.B) {
+	sch, err := core.New(vod.DefaultConfig(320), 52)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs := sim.NewSB(sch)
+	serialStart := time.Now()
+	if _, err := sim.Sweep(cs, sweepBenchClients, 1000, 10, 42, sim.Workers(1)); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(serialStart)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Sweep(cs, sweepBenchClients, 1000, 10, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sweepBenchClients)*float64(b.N)/b.Elapsed().Seconds(), "clients/sec")
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(serial.Seconds()/perOp, "speedup-vs-serial")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// regenerateSweepFigures rebuilds every bandwidth-sweep figure (5a-8).
+func regenerateSweepFigures(bands []float64) {
+	bench.Figure5a(bands)
+	bench.Figure5b(bands)
+	bench.Figure6(bands)
+	bench.Figure7(bands)
+	bench.Figure8(bands)
+}
+
+// BenchmarkFiguresCold regenerates Figures 5-8 with a cold scheme cache
+// each iteration: every curve's points re-materialize their schemes.
+func BenchmarkFiguresCold(b *testing.B) {
+	bands := bench.Bandwidths(20)
+	before := bench.CacheBuilds()
+	for i := 0; i < b.N; i++ {
+		bench.ResetCache()
+		regenerateSweepFigures(bands)
+	}
+	b.ReportMetric(float64(bench.CacheBuilds()-before)/float64(b.N), "constructions/op")
+}
+
+// BenchmarkFiguresMemoized regenerates Figures 5-8 against a warm
+// sweep-level cache: each bandwidth point's schemes were constructed
+// exactly once (constructions-per-point = 1), and regeneration itself
+// constructs nothing.
+func BenchmarkFiguresMemoized(b *testing.B) {
+	bands := bench.Bandwidths(20)
+	bench.ResetCache()
+	warmStart := bench.CacheBuilds()
+	regenerateSweepFigures(bands) // warm the cache
+	warmed := bench.CacheBuilds() - warmStart
+	if warmed != int64(len(bands)) {
+		b.Fatalf("warming built %d schemes for %d points, want one each", warmed, len(bands))
+	}
+	before := bench.CacheBuilds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regenerateSweepFigures(bands)
+	}
+	b.StopTimer()
+	if built := bench.CacheBuilds() - before; built != 0 {
+		b.Fatalf("memoized regeneration rebuilt %d schemes", built)
+	}
+	b.ReportMetric(float64(warmed)/float64(len(bands)), "constructions-per-point")
 }
 
 // BenchmarkCrossValidation runs the event simulator against the closed

@@ -38,6 +38,7 @@ func main() {
 		clients   = flag.Int("clients", 1000, "simulated clients")
 		window    = flag.Float64("window", 1000, "arrival window, minutes")
 		seed      = flag.Uint64("seed", 1, "workload seed")
+		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS); results are identical for any value")
 		policy    = flag.String("policy", "mql", "batching policy: fcfs, mql or mfql")
 		channels  = flag.Int("channels", 10, "batching channels")
 		reqRate   = flag.Float64("rate", 2, "batching arrival rate, requests/minute")
@@ -46,14 +47,14 @@ func main() {
 	)
 	flag.Parse()
 	cfg := vod.Config{ServerMbps: *bandwidth, Videos: *videos, LengthMin: *length, RateMbps: *rate}
-	if err := run(*scheme, cfg, *width, *clients, *window, *seed, *policy, *channels, *reqRate, *patience, *traceN); err != nil {
+	if err := run(*scheme, cfg, *width, *clients, *window, *seed, *workers, *policy, *channels, *reqRate, *patience, *traceN); err != nil {
 		fmt.Fprintln(os.Stderr, "skysim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(scheme string, cfg vod.Config, width int64, clients int, window float64, seed uint64,
-	policy string, channels int, reqRate, patience float64, traceN int) error {
+	workers int, policy string, channels int, reqRate, patience float64, traceN int) error {
 	if scheme == "batch" {
 		return runBatch(cfg, policy, channels, reqRate, patience, clients, seed, traceN)
 	}
@@ -61,7 +62,7 @@ func run(scheme string, cfg vod.Config, width int64, clients int, window float64
 	if err != nil {
 		return err
 	}
-	res, err := sim.Sweep(cs, clients, window, cfg.Videos, seed)
+	res, err := sim.Sweep(cs, clients, window, cfg.Videos, seed, sim.Workers(workers))
 	if err != nil {
 		return err
 	}

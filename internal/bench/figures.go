@@ -10,6 +10,9 @@ package bench
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"skyscraper/internal/core"
 	"skyscraper/internal/ppb"
@@ -78,13 +81,100 @@ func at(bandwidth float64) schemes {
 	return s
 }
 
+// cacheEntry holds one bandwidth point's materialized schemes; the Once
+// makes construction happen exactly once even under concurrent misses.
+type cacheEntry struct {
+	once sync.Once
+	s    schemes
+}
+
+// schemeCache memoizes at() per bandwidth. Every curve of every figure —
+// Figures 5-8 sweep the same points for nine variants each — and
+// CrossValidate share it, so a full regeneration constructs each schemes
+// value once per bandwidth point instead of once per (curve, point). The
+// entries are immutable after construction and safe to share across the
+// goroutines evaluating points concurrently.
+var schemeCache = struct {
+	mu     sync.Mutex
+	m      map[float64]*cacheEntry
+	builds atomic.Int64
+}{m: make(map[float64]*cacheEntry)}
+
+// cachedAt returns the memoized schemes for one bandwidth point.
+func cachedAt(bandwidth float64) schemes {
+	schemeCache.mu.Lock()
+	e := schemeCache.m[bandwidth]
+	if e == nil {
+		e = &cacheEntry{}
+		schemeCache.m[bandwidth] = e
+	}
+	schemeCache.mu.Unlock()
+	e.once.Do(func() {
+		e.s = at(bandwidth)
+		schemeCache.builds.Add(1)
+	})
+	return e.s
+}
+
+// ResetCache discards every memoized bandwidth point (benchmarks use it to
+// measure cold regeneration).
+func ResetCache() {
+	schemeCache.mu.Lock()
+	schemeCache.m = make(map[float64]*cacheEntry)
+	schemeCache.mu.Unlock()
+}
+
+// CacheBuilds reports how many times a schemes value has been constructed
+// since process start (ResetCache does not reset it), so callers can
+// assert the once-per-point guarantee.
+func CacheBuilds() int64 { return schemeCache.builds.Load() }
+
+// parallelOff disables concurrent point evaluation when set (the
+// default is concurrent; cmd/skyfigs exposes this as -parallel).
+var parallelOff atomic.Bool
+
+// SetParallel toggles concurrent evaluation of a figure's bandwidth
+// points. Results are identical either way — each point writes its own
+// slot — only wall-clock changes.
+func SetParallel(on bool) { parallelOff.Store(!on) }
+
+// ParallelEnabled reports whether point evaluation runs concurrently.
+func ParallelEnabled() bool { return !parallelOff.Load() }
+
 // metric builds one curve over the bandwidth sweep, with eval returning
-// NaN for infeasible points.
+// NaN for infeasible points. Points are independent, so they are evaluated
+// concurrently (unless SetParallel(false)); every point hits the
+// sweep-level scheme cache.
 func metric(name string, bands []float64, eval func(s schemes) float64) Curve {
 	c := Curve{Name: name, X: bands, Y: make([]float64, len(bands))}
-	for i, b := range bands {
-		c.Y[i] = eval(at(b))
+	workers := runtime.GOMAXPROCS(0)
+	if parallelOff.Load() {
+		workers = 1
+	} else if workers > len(bands) {
+		workers = len(bands)
 	}
+	if workers == 1 {
+		for i, b := range bands {
+			c.Y[i] = eval(cachedAt(b))
+		}
+		return c
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(bands) {
+					return
+				}
+				c.Y[i] = eval(cachedAt(bands[i]))
+			}
+		}()
+	}
+	wg.Wait()
 	return c
 }
 
@@ -304,7 +394,7 @@ type CrossRow struct {
 func CrossValidate(bands []float64, phases int) ([]CrossRow, error) {
 	var rows []CrossRow
 	for _, b := range bands {
-		s := at(b)
+		s := cachedAt(b)
 		type pair struct {
 			p vod.Performer
 			c sim.ClientSim

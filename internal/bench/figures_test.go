@@ -185,6 +185,57 @@ func TestCombinedWin(t *testing.T) {
 	}
 }
 
+// TestSchemeCacheBuildsOncePerPoint: regenerating every sweep figure
+// constructs each bandwidth point's schemes exactly once, no matter how
+// many curves and figures share it or whether points run concurrently.
+func TestSchemeCacheBuildsOncePerPoint(t *testing.T) {
+	for _, parallel := range []bool{true, false} {
+		SetParallel(parallel)
+		ResetCache()
+		before := CacheBuilds()
+		bands := Bandwidths(50)
+		Figure5a(bands)
+		Figure5b(bands)
+		Figure6(bands)
+		Figure7(bands)
+		Figure8(bands)
+		if got := CacheBuilds() - before; got != int64(len(bands)) {
+			t.Errorf("parallel=%v: %d constructions for %d bandwidth points, want one each",
+				parallel, got, len(bands))
+		}
+	}
+	SetParallel(true)
+	ResetCache()
+}
+
+// TestParallelPointsIdentical: concurrent point evaluation changes only
+// wall-clock, never values.
+func TestParallelPointsIdentical(t *testing.T) {
+	bands := Bandwidths(100)
+	figs := []func([]float64) []Curve{Figure5a, Figure5b, Figure6, Figure7, Figure8}
+	for fi, fig := range figs {
+		SetParallel(false)
+		serial := fig(bands)
+		SetParallel(true)
+		parallel := fig(bands)
+		if len(serial) != len(parallel) {
+			t.Fatalf("figure %d: curve counts differ", fi)
+		}
+		for ci := range serial {
+			if serial[ci].Name != parallel[ci].Name {
+				t.Fatalf("figure %d curve %d: names differ", fi, ci)
+			}
+			for i := range serial[ci].Y {
+				sv, pv := serial[ci].Y[i], parallel[ci].Y[i]
+				if sv != pv && !(math.IsNaN(sv) && math.IsNaN(pv)) {
+					t.Errorf("figure %d %s at B=%v: serial %v != parallel %v",
+						fi, serial[ci].Name, bands[i], sv, pv)
+				}
+			}
+		}
+	}
+}
+
 func TestTransitions(t *testing.T) {
 	sch, err := core.New(vod.DefaultConfig(45), 2) // K=3: Figure 1's layout
 	if err != nil {

@@ -21,7 +21,7 @@ type Table1Row struct {
 // Table1 evaluates the Table 1 formulas at the given bandwidth for the
 // paper's default workload.
 func Table1(bandwidth float64) []Table1Row {
-	s := at(bandwidth)
+	s := cachedAt(bandwidth)
 	rows := []Table1Row{}
 	add := func(name, iof, lf, bf string, p vod.Performer) {
 		r := Table1Row{Scheme: name, IOFormula: iof, LatencyFormula: lf, BufferFormula: bf,
@@ -54,7 +54,7 @@ type Table2Row struct {
 
 // Table2 evaluates the parameter rules at the given bandwidth.
 func Table2(bandwidth float64) []Table2Row {
-	s := at(bandwidth)
+	s := cachedAt(bandwidth)
 	rows := []Table2Row{}
 	if s.pbA != nil {
 		rows = append(rows, Table2Row{Scheme: "PB:a", KRule: "ceil(B/(bMe))", PRule: "n/a",

@@ -3,6 +3,7 @@ package des
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Rand is a small deterministic pseudo-random source (xorshift64*),
@@ -18,6 +19,25 @@ func NewRand(seed uint64) *Rand {
 	}
 	return &Rand{state: seed}
 }
+
+// SubSeed derives the seed of substream i from a root seed using the
+// SplitMix64 finalizer. Substreams of one root are pairwise decorrelated
+// (the finalizer is a bijection on uint64 with full avalanche), so a
+// population of clients can each own stream SubSeed(seed, i) and draw the
+// same values no matter which worker, or how many workers, play them.
+func SubSeed(seed, i uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(i+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Split returns an independent source for substream i of r's current
+// state. Splitting does not advance r.
+func (r *Rand) Split(i uint64) *Rand { return NewRand(SubSeed(r.state, i)) }
 
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
@@ -35,11 +55,25 @@ func (r *Rand) Float64() float64 {
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
+//
+// It uses Lemire's multiply-shift method: the high 64 bits of a 64x64
+// product map a draw into [0, n) without division, and the rare draws that
+// land in the biased low-word region (fewer than n of 2^64 values) are
+// rejected and redrawn, so every value is exactly equally likely — a plain
+// Uint64() % n would favor small values whenever n does not divide 2^64.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic(fmt.Sprintf("des: Intn(%d): n must be positive", n))
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // ExpFloat64 returns an exponential variate with the given rate (events

@@ -91,11 +91,30 @@ func (s *Summary) StdDev() float64 {
 	return math.Sqrt(ss / float64(n))
 }
 
-// Merge absorbs every observation of other into s.
-func (s *Summary) Merge(other *Summary) {
-	for _, v := range other.values {
-		s.Observe(v)
+// ReserveHint grows s's capacity so that n further observations (via
+// Observe or Merge) append without reallocating. It records nothing.
+func (s *Summary) ReserveHint(n int) {
+	if n <= 0 {
+		return
 	}
+	if need := len(s.values) + n; cap(s.values) < need {
+		grown := make([]float64, len(s.values), need)
+		copy(grown, s.values)
+		s.values = grown
+	}
+}
+
+// Merge absorbs every observation of other into s. It bulk-appends the
+// raw observations and adds the running sums — one copy and one add
+// rather than a per-element Observe loop — since it sits on the parallel
+// sweep's shard-merge hot path. other is unchanged.
+func (s *Summary) Merge(other *Summary) {
+	if other == nil || len(other.values) == 0 {
+		return
+	}
+	s.values = append(s.values, other.values...)
+	s.sorted = false
+	s.sum += other.sum
 }
 
 func (s *Summary) sort() {

@@ -85,6 +85,96 @@ func TestQuantileOrderProperty(t *testing.T) {
 	}
 }
 
+func TestSummaryMerge(t *testing.T) {
+	var a, b Summary
+	for _, v := range []float64{5, 1, 3} {
+		a.Observe(v)
+	}
+	_ = a.Max() // force a sort; Merge must invalidate it
+	for _, v := range []float64{4, 2} {
+		b.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != 5 || a.Sum() != 15 || a.Mean() != 3 {
+		t.Errorf("merged count/sum/mean = %d/%v/%v", a.Count(), a.Sum(), a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 5 || a.Quantile(0.5) != 3 {
+		t.Errorf("merged min/max/median = %v/%v/%v", a.Min(), a.Max(), a.Quantile(0.5))
+	}
+	// other is unchanged, and nil/empty merges are no-ops.
+	if b.Count() != 2 || b.Sum() != 6 {
+		t.Errorf("Merge mutated its argument: %d/%v", b.Count(), b.Sum())
+	}
+	before := a.Count()
+	a.Merge(nil)
+	a.Merge(&Summary{})
+	if a.Count() != before {
+		t.Error("empty merge changed the summary")
+	}
+}
+
+func TestSummaryMergeMatchesObserve(t *testing.T) {
+	// Bulk Merge must match per-element Observe: exactly for the
+	// order-insensitive statistics, and within floating-point grouping
+	// noise for the sum (Merge adds two partial sums where Observe adds
+	// element by element; addition is not associative).
+	f := func(xs, ys []float64) bool {
+		var viaMerge, viaObserve, other Summary
+		for _, v := range xs {
+			if math.IsNaN(v) || math.Abs(v) > 1e12 {
+				return true
+			}
+			viaMerge.Observe(v)
+			viaObserve.Observe(v)
+		}
+		for _, v := range ys {
+			if math.IsNaN(v) || math.Abs(v) > 1e12 {
+				return true
+			}
+			other.Observe(v)
+			viaObserve.Observe(v)
+		}
+		viaMerge.Merge(&other)
+		scale := 1.0
+		for _, v := range viaMerge.values {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		sumClose := math.Abs(viaMerge.Sum()-viaObserve.Sum()) <=
+			1e-9*scale*float64(viaMerge.Count()+1)
+		return viaMerge.Count() == viaObserve.Count() &&
+			sumClose &&
+			viaMerge.Min() == viaObserve.Min() &&
+			viaMerge.Max() == viaObserve.Max() &&
+			viaMerge.Quantile(0.5) == viaObserve.Quantile(0.5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryReserveHint(t *testing.T) {
+	var s Summary
+	s.ReserveHint(100)
+	if s.Count() != 0 {
+		t.Error("ReserveHint recorded observations")
+	}
+	s.Observe(1)
+	p := &s.values[0]
+	for i := 0; i < 99; i++ {
+		s.Observe(float64(i))
+	}
+	if &s.values[0] != p {
+		t.Error("reserved summary reallocated within its hinted capacity")
+	}
+	s.ReserveHint(0)
+	s.ReserveHint(-5)
+	if s.Count() != 100 {
+		t.Error("no-op hints changed the summary")
+	}
+}
+
 func TestGauge(t *testing.T) {
 	var g Gauge
 	g.Set(0, 2)
