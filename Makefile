@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-sweep
+.PHONY: build test vet race chaos verify bench bench-sweep
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The parallel sweep engine and the bench scheme cache are concurrent;
-# every PR must pass the race detector over them.
+# The parallel sweep engine, the bench scheme cache, and the fault
+# injector are concurrent; every PR must pass the race detector over them.
 race:
-	$(GO) test -race ./internal/des ./internal/metrics ./internal/sim ./internal/bench
+	$(GO) test -race ./internal/des ./internal/metrics ./internal/sim ./internal/bench ./internal/faults
 
-# The PR gate: tier-1 build+test, vet, and race-checked concurrency.
-verify: build vet test race
+# The chaos gate: the fault-injection and loss-recovery suites — seeded
+# drop/duplicate/reorder plans, unicast repair, reconnects, idle reaping,
+# graceful degradation — under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle' \
+		./internal/faults ./internal/client ./internal/server
+
+# The PR gate: tier-1 build+test, vet, race-checked concurrency, and the
+# chaos suite.
+verify: build vet test race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -5,6 +5,15 @@
 // channels in video order, always at a broadcast beginning; the player
 // verifies every byte against the deterministic content function and
 // checks the jitter-freeness the paper proves.
+//
+// The paper proves that guarantee over a lossless channel; this client
+// additionally survives a lossy one. Each loader detects gaps in the
+// broadcast via the wire sequence numbering and chunk offsets, requests
+// the missing chunks over unicast (the REPAIR control verb) with
+// exponential backoff and capped retries, and bounds every recovery
+// attempt by the chunk's scheduled playback time. Chunks that cannot be
+// recovered in time degrade into counted losses instead of a wedged
+// session, and a broken control connection is re-dialed with backoff.
 package client
 
 import (
@@ -21,8 +30,12 @@ import (
 	"skyscraper/internal/core"
 	"skyscraper/internal/mcast"
 	"skyscraper/internal/series"
+	"skyscraper/internal/trace"
 	"skyscraper/internal/wire"
 )
+
+// maxRepairAttempts caps the unicast round trips spent on one chunk.
+const maxRepairAttempts = 5
 
 // Config parameterizes one viewing session.
 type Config struct {
@@ -37,11 +50,32 @@ type Config struct {
 	// SlackFrac is the fraction of one unit a chunk may arrive after its
 	// scheduled playback before it counts as jitter. Defaults to 0.5.
 	SlackFrac float64
+	// RepairLagFrac is how long after a chunk's expected arrival, as a
+	// fraction of one unit, a loader waits before requesting a unicast
+	// repair (absorbs pacing drift and reordering before declaring a
+	// gap). Defaults to 0.5.
+	RepairLagFrac float64
+	// DisableRepair turns the loss-recovery path off: missing chunks are
+	// never requested from the server and become LostChunks when their
+	// playback deadline passes.
+	DisableRepair bool
+	// AllowDegraded lets a session complete, with losses and jitter
+	// counted in Stats, instead of failing when chunks could not be
+	// recovered before their playback deadline. Content-verification
+	// errors always fail the session.
+	AllowDegraded bool
+	// ControlTimeout bounds each control round trip (join acks, repair
+	// replies) and each reconnect dial. Defaults to 5 seconds.
+	ControlTimeout time.Duration
 	// MaxBufferBytes, when positive, is the client's disk capacity; the
 	// session fails if reception would exceed it. Provision it from the
 	// scheme's 60*b*D1*(W-1) bound (in the live demo's units:
 	// (W-1)*BytesPerUnit plus one chunk of arrival granularity).
 	MaxBufferBytes int64
+	// Trace, when non-nil, journals recovery events — gaps, repair round
+	// trips, losses, reconnects — on the wall-minutes scale of the
+	// broadcast epoch, so a failing chaos run can explain itself.
+	Trace *trace.Buffer
 	// Logf, when non-nil, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -56,10 +90,21 @@ type Stats struct {
 	// ByteErrors counts content-verification mismatches (must be 0).
 	ByteErrors int64
 	// LateChunks counts payload chunks that arrived after their
-	// scheduled playback time plus slack (jitter; must be 0).
+	// scheduled playback time plus slack (jitter; 0 when the paper's
+	// guarantee holds).
 	LateChunks int64
-	// DuplicateChunks counts retransmissions discarded (tuning overlap).
+	// DuplicateChunks counts retransmissions discarded (tuning overlap
+	// or injected duplication).
 	DuplicateChunks int64
+	// LostChunks counts chunks neither broadcast nor repaired before
+	// their playback deadline (0 in a healthy or repairable session).
+	LostChunks int64
+	// RepairedChunks counts chunks recovered over unicast REPAIR.
+	RepairedChunks int64
+	// RepairRequests counts REPAIR round trips issued, retries included.
+	RepairRequests int64
+	// Reconnects counts control-connection re-dials that succeeded.
+	Reconnects int64
 	// MaxBufferBytes is the high-water mark of downloaded-but-unplayed
 	// data.
 	MaxBufferBytes int64
@@ -68,9 +113,9 @@ type Stats struct {
 }
 
 // Watch runs a full viewing session: handshake, two-loader reception of
-// every fragment, byte verification, and jitter accounting. It returns
-// when the whole video has been received and its playback window has
-// passed.
+// every fragment, loss recovery, byte verification, and jitter accounting.
+// It returns when the whole video has been received and its playback
+// window has passed.
 func Watch(cfg Config) (*Stats, error) {
 	if cfg.JoinLeadFrac <= 0 {
 		cfg.JoinLeadFrac = 0.5
@@ -78,31 +123,32 @@ func Watch(cfg Config) (*Stats, error) {
 	if cfg.SlackFrac <= 0 {
 		cfg.SlackFrac = 0.5
 	}
+	if cfg.RepairLagFrac <= 0 {
+		cfg.RepairLagFrac = 0.5
+	}
+	if cfg.ControlTimeout <= 0 {
+		cfg.ControlTimeout = 5 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 
-	conn, err := net.Dial("tcp", cfg.ServerAddr)
+	conn, err := net.DialTimeout("tcp", cfg.ServerAddr, cfg.ControlTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing control: %w", err)
 	}
-	defer conn.Close()
 	r := bufio.NewReader(conn)
-	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindHello}); err != nil {
+	w, err := handshake(conn, r, cfg.ControlTimeout)
+	if err != nil {
+		conn.Close()
 		return nil, err
 	}
-	m, err := wire.ReadControl(r)
-	if err != nil {
-		return nil, fmt.Errorf("client: reading welcome: %w", err)
-	}
-	if m.Kind != wire.KindWelcome || m.Welcome == nil {
-		return nil, fmt.Errorf("client: expected welcome, got %q (%s)", m.Kind, m.Error)
-	}
-	w := m.Welcome
 	if cfg.Video < 0 || cfg.Video >= w.Videos {
+		conn.Close()
 		return nil, fmt.Errorf("client: video %d outside catalog 0..%d", cfg.Video, w.Videos-1)
 	}
 	if len(w.SizeUnits) != w.ChannelsPerVideo || w.ChannelsPerVideo == 0 {
+		conn.Close()
 		return nil, fmt.Errorf("client: malformed welcome: %d sizes for %d channels", len(w.SizeUnits), w.ChannelsPerVideo)
 	}
 
@@ -114,7 +160,28 @@ func Watch(cfg Config) (*Stats, error) {
 		conn:  conn,
 		cr:    r,
 	}
+	defer sess.closeControl()
 	return sess.run()
+}
+
+// handshake sends hello and reads the server's welcome, bounding the round
+// trip with timeout.
+func handshake(conn net.Conn, r *bufio.Reader, timeout time.Duration) (*wire.Welcome, error) {
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindHello}); err != nil {
+		return nil, err
+	}
+	m, err := wire.ReadControl(r)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading welcome: %w", err)
+	}
+	if m.Kind != wire.KindWelcome || m.Welcome == nil {
+		return nil, fmt.Errorf("client: expected welcome, got %q (%s)", m.Kind, m.Error)
+	}
+	return m.Welcome, nil
 }
 
 // session carries one Watch invocation's state.
@@ -124,9 +191,9 @@ type session struct {
 	unit  time.Duration
 	epoch time.Time
 
-	conn net.Conn
+	cmu  sync.Mutex // serializes control round trips and reconnects
+	conn net.Conn   // nil after an unrecovered break
 	cr   *bufio.Reader
-	cmu  sync.Mutex // serializes control writes and joined replies
 
 	// playStartUnit anchors playback; byte x of the video plays at
 	// unitTime(playStartUnit) + x * unit/BytesPerUnit.
@@ -134,6 +201,7 @@ type session struct {
 
 	// Counters shared by the two loader goroutines.
 	downloaded, bytes, byteErrors, lateChunks, dupChunks, maxBuffer atomic.Int64
+	lost, repaired, repairReqs, reconnects                          atomic.Int64
 }
 
 // maxInt64 raises the atomic to at least v.
@@ -151,19 +219,113 @@ func (s *session) unitTime(u int64) time.Time {
 	return s.epoch.Add(time.Duration(u) * s.unit)
 }
 
-// control performs one join or leave round-trip; joins wait for the ack so
-// the membership is in place before the broadcast starts.
-func (s *session) control(kind string, video, channel, port int) error {
+// tracef journals one recovery event on the broadcast epoch's wall scale.
+func (s *session) tracef(kind, format string, args ...any) {
+	s.cfg.Trace.Addf(trace.Wall(s.epoch, time.Now()), kind, format, args...)
+}
+
+func (s *session) closeControl() {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
-	msg := &wire.Control{Kind: kind, Video: video, Channel: channel, Port: port}
-	if err := wire.WriteControl(s.conn, msg); err != nil {
-		return err
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.cr = nil
 	}
-	if kind != wire.KindJoin {
+}
+
+// redialLocked replaces a broken control connection, re-handshaking and
+// verifying the peer still runs the same broadcast. Callers hold cmu.
+func (s *session) redialLocked() error {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.cr = nil
+	}
+	backoff := 10 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", s.cfg.ServerAddr, s.cfg.ControlTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r := bufio.NewReader(conn)
+		w, err := handshake(conn, r, s.cfg.ControlTimeout)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		if w.EpochUnixNano != s.w.EpochUnixNano {
+			conn.Close()
+			return errors.New("client: server restarted (broadcast epoch changed); session cannot continue")
+		}
+		s.conn, s.cr = conn, r
+		s.reconnects.Add(1)
+		s.tracef("reconnect", "control connection re-established (attempt %d)", attempt+1)
+		s.cfg.Logf("client: control connection re-established")
 		return nil
 	}
-	reply, err := wire.ReadControl(s.cr)
+	return fmt.Errorf("client: reconnecting control: %w", lastErr)
+}
+
+// roundTrip performs one control request (and, when wantReply, reads the
+// server's answer) under the control lock, transparently re-dialing a
+// broken connection with backoff. Protocol-level rejections are returned
+// as the reply, not as an error; only transport failures are retried.
+func (s *session) roundTrip(msg *wire.Control, wantReply bool) (*wire.Control, error) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if s.conn == nil {
+			if !wantReply {
+				return nil, nil // fire-and-forget on a dead link: drop it
+			}
+			if err := s.redialLocked(); err != nil {
+				return nil, err
+			}
+		}
+		reply, err := s.tryLocked(msg, wantReply)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		s.tracef("control-error", "%s round trip: %v", msg.Kind, err)
+		s.conn.Close()
+		s.conn, s.cr = nil, nil
+	}
+	return nil, lastErr
+}
+
+// tryLocked is one deadline-bounded write (and optional reply read) on the
+// current connection. Callers hold cmu and have a non-nil conn.
+func (s *session) tryLocked(msg *wire.Control, wantReply bool) (*wire.Control, error) {
+	_ = s.conn.SetDeadline(time.Now().Add(s.cfg.ControlTimeout))
+	defer s.conn.SetDeadline(time.Time{})
+	if err := wire.WriteControl(s.conn, msg); err != nil {
+		return nil, err
+	}
+	if !wantReply {
+		return nil, nil
+	}
+	return wire.ReadControl(s.cr)
+}
+
+// control performs one join or leave; joins wait for the ack so the
+// membership is in place before the broadcast starts.
+func (s *session) control(kind string, video, channel, port int) error {
+	msg := &wire.Control{Kind: kind, Video: video, Channel: channel, Port: port}
+	if kind != wire.KindJoin {
+		_, err := s.roundTrip(msg, false)
+		return err
+	}
+	reply, err := s.roundTrip(msg, true)
 	if err != nil {
 		return fmt.Errorf("client: waiting for join ack: %w", err)
 	}
@@ -171,6 +333,24 @@ func (s *session) control(kind string, video, channel, port int) error {
 		return fmt.Errorf("client: join rejected: %s", reply.Error)
 	}
 	return nil
+}
+
+// repairChunk asks the server to retransmit one chunk over unicast.
+func (s *session) repairChunk(channel int, seq uint32, offset int64, length int) ([]byte, error) {
+	s.repairReqs.Add(1)
+	req := &wire.Repair{Video: s.cfg.Video, Channel: channel, Seq: seq, Offset: offset, Length: length}
+	reply, err := s.roundTrip(&wire.Control{Kind: wire.KindRepair, Repair: req}, true)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind != wire.KindRepairOK || reply.Repair == nil {
+		return nil, fmt.Errorf("repair rejected: %s", reply.Error)
+	}
+	rp := reply.Repair
+	if rp.Video != req.Video || rp.Channel != req.Channel || rp.Offset != req.Offset || len(rp.Data) != length {
+		return nil, fmt.Errorf("repair reply mismatch: got %d/%d@%d (%d bytes)", rp.Video, rp.Channel, rp.Offset, len(rp.Data))
+	}
+	return rp.Data, nil
 }
 
 func (s *session) run() (*Stats, error) {
@@ -214,7 +394,7 @@ func (s *session) run() (*Stats, error) {
 	if err := <-errs; err != nil {
 		return nil, err
 	}
-	_ = wire.WriteControl(s.conn, &wire.Control{Kind: wire.KindBye})
+	_, _ = s.roundTrip(&wire.Control{Kind: wire.KindBye}, false)
 
 	stats := &Stats{
 		WaitUnits:       waitUnits,
@@ -222,14 +402,23 @@ func (s *session) run() (*Stats, error) {
 		ByteErrors:      s.byteErrors.Load(),
 		LateChunks:      s.lateChunks.Load(),
 		DuplicateChunks: s.dupChunks.Load(),
+		LostChunks:      s.lost.Load(),
+		RepairedChunks:  s.repaired.Load(),
+		RepairRequests:  s.repairReqs.Load(),
+		Reconnects:      s.reconnects.Load(),
 		MaxBufferBytes:  s.maxBuffer.Load(),
 		Groups:          len(groups),
 	}
 	if stats.ByteErrors > 0 {
 		return stats, fmt.Errorf("client: %d byte verification errors", stats.ByteErrors)
 	}
-	if stats.LateChunks > 0 {
-		return stats, fmt.Errorf("client: jitter: %d chunks arrived after their playback time", stats.LateChunks)
+	if !s.cfg.AllowDegraded {
+		if stats.LostChunks > 0 {
+			return stats, fmt.Errorf("client: %d chunks lost (unrepaired before playback)", stats.LostChunks)
+		}
+		if stats.LateChunks > 0 {
+			return stats, fmt.Errorf("client: jitter: %d chunks arrived after their playback time", stats.LateChunks)
+		}
 	}
 	return stats, nil
 }
@@ -255,28 +444,104 @@ func (s *session) loader(ld core.LoaderID, downloads []core.Download) error {
 	return nil
 }
 
+// accountChunk verifies and books one received or repaired chunk payload.
+func (s *session) accountChunk(payload []byte, videoOffset int64, playAt time.Time, slack time.Duration, now time.Time) error {
+	if bad := content.Verify(payload, s.cfg.Video, videoOffset); bad >= 0 {
+		s.byteErrors.Add(1)
+	}
+	s.bytes.Add(int64(len(payload)))
+
+	// Jitter check: data is useful only if it lands by its playback time.
+	if now.After(playAt.Add(slack)) {
+		s.lateChunks.Add(1)
+	}
+
+	// Buffer accounting: downloaded minus played, sampled at arrivals
+	// (the high-water mark occurs at an arrival).
+	d := s.downloaded.Add(int64(len(payload)))
+	lvl := d - s.playedBytes(now)
+	maxInt64(&s.maxBuffer, lvl)
+	if s.cfg.MaxBufferBytes > 0 && lvl > s.cfg.MaxBufferBytes {
+		return fmt.Errorf("buffer capacity exceeded: %d > %d bytes", lvl, s.cfg.MaxBufferBytes)
+	}
+	return nil
+}
+
 // receiveFragment tunes one channel at a broadcast beginning and collects
-// the complete fragment.
+// the complete fragment, recovering gaps over unicast as playback
+// deadlines approach.
 func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g series.Group, j int, tuneUnit int64) error {
 	var (
 		size       = g.Size
 		totalBytes = int(size) * s.w.BytesPerUnit
 		wantSeq    = uint32(tuneUnit / size) // broadcast repetition starting at tuneUnit
 		start      = s.unitTime(tuneUnit)
+		period     = time.Duration(size) * s.unit
+		nchunks    = (totalBytes + s.w.ChunkBytes - 1) / s.w.ChunkBytes
+		spacing    = period / time.Duration(nchunks)
 		// Receive cutoff: the broadcast nominally ends at
 		// tuneUnit+size; several units of grace absorb server pacing
-		// drift on a loaded machine (late data is still accounted as
-		// jitter by the slack check — this deadline only bounds how
-		// long to wait before concluding data was lost outright).
+		// drift on a loaded machine. Chunks still missing here are lost.
 		deadline = s.unitTime(tuneUnit + size).Add(6 * s.unit)
-		have     = make([]bool, (totalBytes+s.w.ChunkBytes-1)/s.w.ChunkBytes)
+		have     = make([]bool, nchunks)
 		got      = 0
 		buf      = make([]byte, wire.EncodedSize(wire.MaxPayload))
 		slack    = time.Duration(s.cfg.SlackFrac * float64(s.unit))
+		lag      = time.Duration(s.cfg.RepairLagFrac * float64(s.unit))
+		// Per-chunk recovery state: when to next act, and round trips
+		// burned so far.
+		tryAt    = make([]time.Time, nchunks)
+		attempts = make([]int, nchunks)
 	)
 	// Playback timing of this fragment.
 	playUnit := s.playStartUnit + g.StartUnit + int64(j)*size
 	videoBase := g.StartUnit*int64(s.w.BytesPerUnit) + int64(j)*size*int64(s.w.BytesPerUnit)
+
+	// playAt is when chunk idx's first byte is consumed by the player.
+	playAt := func(idx int) time.Time {
+		off := idx * s.w.ChunkBytes
+		return s.unitTime(playUnit).Add(time.Duration(float64(off) / float64(s.w.BytesPerUnit) * float64(s.unit)))
+	}
+	chunkLen := func(idx int) int {
+		if rem := totalBytes - idx*s.w.ChunkBytes; rem < s.w.ChunkBytes {
+			return rem
+		}
+		return s.w.ChunkBytes
+	}
+	// lostBy is the point past which chunk idx can no longer play
+	// jitter-free; recovery gives up there (bounded by the receive
+	// cutoff for chunks whose playback lies far in the future).
+	lostBy := func(idx int) time.Time {
+		lb := playAt(idx).Add(slack)
+		if lb.After(deadline) {
+			return deadline
+		}
+		return lb
+	}
+	markLost := func(idx int) {
+		have[idx] = true
+		got++
+		s.lost.Add(1)
+		s.tracef("chunk-lost", "ch %d seq %d chunk %d lost (%d repair attempts)", channel, wantSeq, idx, attempts[idx])
+		s.cfg.Logf("client: ch %d chunk %d lost after %d repair attempts", channel, idx, attempts[idx])
+	}
+
+	// The gap detector's per-chunk checkpoint: the server paces chunk
+	// idx at start + idx*spacing, so if it has not arrived one lag past
+	// that, it is presumed missing and repair begins — early enough,
+	// though, that a repair round trip still fits before the chunk's
+	// playback deadline.
+	for idx := range tryAt {
+		expected := start.Add(time.Duration(idx+1) * spacing)
+		t := expected.Add(lag)
+		if latest := lostBy(idx).Add(-spacing); t.After(latest) {
+			t = latest
+		}
+		if t.Before(expected) {
+			t = expected
+		}
+		tryAt[idx] = t
+	}
 
 	// Join ahead of the broadcast start.
 	lead := time.Duration(s.cfg.JoinLeadFrac * float64(s.unit))
@@ -288,15 +553,77 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g seri
 	}
 	defer func() { _ = s.control(wire.KindLeave, s.cfg.Video, channel, 0) }()
 
-	for got < len(have) {
-		if err := rcv.Conn.SetReadDeadline(deadline); err != nil {
+	for got < nchunks {
+		// Recovery pass: declare overdue chunks lost, fire due repairs,
+		// and find the next deadline to wake at.
+		now := time.Now()
+		next := deadline
+		for idx := 0; idx < nchunks; idx++ {
+			if have[idx] {
+				continue
+			}
+			lb := lostBy(idx)
+			if !now.Before(lb) {
+				markLost(idx)
+				continue
+			}
+			repairable := !s.cfg.DisableRepair && attempts[idx] < maxRepairAttempts
+			if repairable && !now.Before(tryAt[idx]) {
+				off := int64(idx) * int64(s.w.ChunkBytes)
+				s.tracef("repair-req", "ch %d seq %d chunk %d (attempt %d)", channel, wantSeq, idx, attempts[idx]+1)
+				data, err := s.repairChunk(channel, wantSeq, off, chunkLen(idx))
+				now = time.Now()
+				attempts[idx]++
+				if err != nil {
+					s.tracef("repair-fail", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
+					if attempts[idx] >= maxRepairAttempts {
+						markLost(idx)
+						continue
+					}
+					// Exponential backoff, bounded below by a
+					// millisecond so retries never spin.
+					backoff := time.Duration(1<<attempts[idx]) * 2 * time.Millisecond
+					tryAt[idx] = now.Add(backoff)
+				} else {
+					have[idx] = true
+					got++
+					s.repaired.Add(1)
+					s.tracef("repair-ok", "ch %d seq %d chunk %d repaired (attempt %d)", channel, wantSeq, idx, attempts[idx])
+					if err := s.accountChunk(data, videoBase+off, playAt(idx), slack, now); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			ev := lb
+			if repairable && tryAt[idx].Before(ev) {
+				ev = tryAt[idx]
+			}
+			if ev.Before(next) {
+				next = ev
+			}
+		}
+		if got >= nchunks {
+			break
+		}
+
+		// Block on the broadcast until the next recovery deadline.
+		wake := next
+		if earliest := now.Add(time.Millisecond); wake.Before(earliest) {
+			wake = earliest
+		}
+		if err := rcv.Conn.SetReadDeadline(wake); err != nil {
 			return err
 		}
 		n, _, err := rcv.Conn.ReadFromUDP(buf)
 		if err != nil {
-			return fmt.Errorf("receiving (have %d/%d chunks): %w", got, len(have), err)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue // run another recovery pass
+			}
+			return fmt.Errorf("receiving (have %d/%d chunks): %w", got, nchunks, err)
 		}
-		now := time.Now()
+		now = time.Now()
 		c, err := wire.Decode(buf[:n])
 		if err != nil {
 			if errors.Is(err, wire.ErrBadCRC) {
@@ -318,27 +645,8 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g seri
 		}
 		have[idx] = true
 		got++
-
-		// Verify payload bytes end to end.
-		if bad := content.Verify(c.Payload, s.cfg.Video, videoBase+int64(c.Offset)); bad >= 0 {
-			s.byteErrors.Add(1)
-		}
-		s.bytes.Add(int64(len(c.Payload)))
-
-		// Jitter check: the chunk's bytes play back starting at
-		// playUnit plus its proportional offset.
-		playAt := s.unitTime(playUnit).Add(time.Duration(float64(c.Offset) / float64(s.w.BytesPerUnit) * float64(s.unit)))
-		if now.After(playAt.Add(slack)) {
-			s.lateChunks.Add(1)
-		}
-
-		// Buffer accounting: downloaded minus played, sampled at
-		// arrivals (the high-water mark occurs at an arrival).
-		d := s.downloaded.Add(int64(len(c.Payload)))
-		lvl := d - s.playedBytes(now)
-		maxInt64(&s.maxBuffer, lvl)
-		if s.cfg.MaxBufferBytes > 0 && lvl > s.cfg.MaxBufferBytes {
-			return fmt.Errorf("buffer capacity exceeded: %d > %d bytes", lvl, s.cfg.MaxBufferBytes)
+		if err := s.accountChunk(c.Payload, videoBase+int64(c.Offset), playAt(idx), slack, now); err != nil {
+			return err
 		}
 	}
 	return nil

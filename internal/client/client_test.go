@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"skyscraper/internal/content"
+	"skyscraper/internal/faults"
+	"skyscraper/internal/mcast"
 	"skyscraper/internal/wire"
 )
 
@@ -28,7 +30,26 @@ type fakeServer struct {
 	corruptContent atomic.Bool // valid CRC over wrong bytes
 	duplicate      atomic.Bool // send every chunk twice
 	refuseJoins    atomic.Bool
+	refuseRepairs  atomic.Bool
 	garbleWelcome  atomic.Bool
+	// closeAfterJoins, when positive, drops the control connection after
+	// that many joins, exercising the client's reconnect path.
+	closeAfterJoins atomic.Int32
+	// plan, when set (before any client connects), routes every data
+	// chunk through a deterministic fault injector.
+	plan *faults.Plan
+}
+
+// udpSender adapts a (socket, destination) pair to mcast.Sender so the
+// fake's data plane can run through the same faults.Injector the real
+// server uses.
+type udpSender struct {
+	udp *net.UDPConn
+	dst *net.UDPAddr
+}
+
+func (u udpSender) Send(_ mcast.Group, frame []byte) (int, error) {
+	return u.udp.WriteToUDP(frame, u.dst)
 }
 
 func newFakeServer(t *testing.T) *fakeServer {
@@ -100,6 +121,23 @@ func (f *fakeServer) serve(conn net.Conn) {
 			dst := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: m.Port}
 			_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindJoined, Video: m.Video, Channel: m.Channel})
 			go f.sendFragment(udp, dst, m.Channel)
+			if n := f.closeAfterJoins.Load(); n > 0 && f.closeAfterJoins.Add(-1) == 0 {
+				return // hang up; the client must reconnect
+			}
+		case wire.KindRepair:
+			rp := m.Repair
+			if rp == nil || rp.Channel < 1 || rp.Channel > len(f.sizes) || rp.Length <= 0 || f.refuseRepairs.Load() {
+				_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindError, Error: "repair refused"})
+				continue
+			}
+			var base int64
+			for _, s := range f.sizes[:rp.Channel-1] {
+				base += s
+			}
+			reply := *rp
+			reply.Data = make([]byte, rp.Length)
+			content.Fill(reply.Data, rp.Video, base*int64(f.bytesPerUnit)+rp.Offset)
+			_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindRepairOK, Repair: &reply})
 		case wire.KindLeave, wire.KindBye:
 			if m.Kind == wire.KindBye {
 				return
@@ -116,6 +154,16 @@ func (f *fakeServer) sendFragment(udp *net.UDPConn, dst *net.UDPAddr, channel in
 	var base int64
 	for _, s := range f.sizes[:channel-1] {
 		base += s
+	}
+	var snd mcast.Sender = udpSender{udp: udp, dst: dst}
+	if f.plan != nil {
+		inj, err := faults.New(snd, *f.plan)
+		if err != nil {
+			f.t.Errorf("fake server fault plan: %v", err)
+			return
+		}
+		snd = inj
+		defer inj.Flush()
 	}
 	baseBytes := base * int64(f.bytesPerUnit)
 	total := int(size) * f.bytesPerUnit
@@ -146,9 +194,9 @@ func (f *fakeServer) sendFragment(udp *net.UDPConn, dst *net.UDPAddr, channel in
 				bad[len(bad)-1] ^= 0x01
 				_, _ = udp.WriteToUDP(bad, dst)
 			}
-			_, _ = udp.WriteToUDP(frame, dst)
+			_, _ = snd.Send(mcast.Group{}, frame)
 			if f.duplicate.Load() {
-				_, _ = udp.WriteToUDP(frame, dst)
+				_, _ = snd.Send(mcast.Group{}, frame)
 			}
 		}
 	}
@@ -262,6 +310,156 @@ func TestMaxInt64(t *testing.T) {
 	maxInt64(&a, 9)
 	if a.Load() != 9 {
 		t.Errorf("maxInt64 = %d, want 9", a.Load())
+	}
+}
+
+// signature is the deterministic subset of Stats: the fields that depend
+// only on the fault plan's decisions, not on wall-clock timing (WaitUnits
+// and MaxBufferBytes vary run to run; repair retries may too).
+type signature struct {
+	bytes, byteErrors, lost, repaired, dups int64
+	groups                                  int
+}
+
+func sig(s *Stats) signature {
+	return signature{
+		bytes: s.Bytes, byteErrors: s.ByteErrors, lost: s.LostChunks,
+		repaired: s.RepairedChunks, dups: s.DuplicateChunks, groups: s.Groups,
+	}
+}
+
+// faultyWatch runs one session against a fake with the given plan,
+// using timing loose enough that every repair window is comfortable.
+func faultyWatch(t *testing.T, plan faults.Plan, cfg Config) (*Stats, error) {
+	t.Helper()
+	f := newFakeServer(t)
+	f.unit = 80 * time.Millisecond // widen repair windows vs the 30ms default
+	f.plan = &plan
+	cfg.ServerAddr = f.addr()
+	cfg.SlackFrac = 1.0
+	return Watch(cfg)
+}
+
+// TestWatchRecoversFromFaultPlans is the client-side chaos table: under
+// seeded drop, duplication, reordering, and delay the session must still
+// complete with every byte verified, zero losses, zero jitter — and the
+// recovery statistics must be identical for identical seeds.
+func TestWatchRecoversFromFaultPlans(t *testing.T) {
+	plans := []struct {
+		name string
+		plan faults.Plan
+	}{
+		{"drop-only", faults.Plan{Drop: 0.3}},
+		{"duplicate-only", faults.Plan{Duplicate: 0.4}},
+		{"reorder-only", faults.Plan{Reorder: 0.4}},
+		{"combined", faults.Plan{Drop: 0.2, Duplicate: 0.2, Reorder: 0.2, Delay: 0.2, MaxDelay: 5 * time.Millisecond}},
+	}
+	var totalRepaired, totalDups int64
+	for _, tc := range plans {
+		for _, seed := range []uint64{1, 11} {
+			t.Run(tc.name, func(t *testing.T) {
+				plan := tc.plan
+				plan.Seed = seed
+				var sigs [2]signature
+				for run := 0; run < 2; run++ {
+					stats, err := faultyWatch(t, plan, Config{Video: 0})
+					if err != nil {
+						t.Fatalf("seed %d run %d: %v (stats %+v)", seed, run, err, stats)
+					}
+					if stats.ByteErrors != 0 || stats.LostChunks != 0 || stats.LateChunks != 0 {
+						t.Fatalf("seed %d run %d degraded: %+v", seed, run, stats)
+					}
+					if want := int64(3 * 64); stats.Bytes != want {
+						t.Errorf("seed %d run %d: bytes = %d, want %d", seed, run, stats.Bytes, want)
+					}
+					sigs[run] = sig(stats)
+					totalRepaired += stats.RepairedChunks
+					totalDups += stats.DuplicateChunks
+				}
+				if sigs[0] != sigs[1] {
+					t.Errorf("seed %d: runs diverge: %+v vs %+v", seed, sigs[0], sigs[1])
+				}
+			})
+		}
+	}
+	// Across the whole table the faults must actually have fired: some
+	// chunk was repaired and some duplicate discarded.
+	if totalRepaired == 0 {
+		t.Error("no chunk was ever repaired across all drop plans")
+	}
+	if totalDups == 0 {
+		t.Error("no duplicate was ever discarded across all duplicate plans")
+	}
+}
+
+// TestWatchDegradesWithoutRepair: with the recovery path disabled, losses
+// must degrade the session gracefully — counted, not hung or panicked.
+func TestWatchDegradesWithoutRepair(t *testing.T) {
+	stats, err := faultyWatch(t, faults.Plan{Seed: 11, Drop: 0.3},
+		Config{Video: 0, DisableRepair: true, AllowDegraded: true})
+	if err != nil {
+		t.Fatalf("degraded session failed outright: %v (stats %+v)", err, stats)
+	}
+	if stats.LostChunks == 0 {
+		t.Fatal("a 30% drop plan lost nothing; seed choice broken")
+	}
+	if stats.RepairRequests != 0 || stats.RepairedChunks != 0 {
+		t.Errorf("repairs issued despite DisableRepair: %+v", stats)
+	}
+	if want := int64(3*64) - stats.LostChunks*32; stats.Bytes != want {
+		t.Errorf("bytes = %d, want %d (total minus %d lost chunks)", stats.Bytes, want, stats.LostChunks)
+	}
+}
+
+// TestWatchStrictModeFailsOnLoss: the default (non-degraded) mode must
+// surface unrepaired losses as an error.
+func TestWatchStrictModeFailsOnLoss(t *testing.T) {
+	stats, err := faultyWatch(t, faults.Plan{Seed: 11, Drop: 0.3},
+		Config{Video: 0, DisableRepair: true})
+	if err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("losses not surfaced: %v (stats %+v)", err, stats)
+	}
+}
+
+// TestWatchReconnectsControl: the server hangs up the control connection
+// after the first join; the client must re-dial, re-handshake, and still
+// complete the session — including repairs over the new connection.
+func TestWatchReconnectsControl(t *testing.T) {
+	f := newFakeServer(t)
+	f.unit = 80 * time.Millisecond
+	f.plan = &faults.Plan{Seed: 11, Drop: 0.3}
+	f.closeAfterJoins.Store(1)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0, SlackFrac: 1.0})
+	if err != nil {
+		t.Fatalf("session did not survive a control hangup: %v (stats %+v)", err, stats)
+	}
+	if stats.Reconnects == 0 {
+		t.Error("no reconnect counted after server hangup")
+	}
+	if stats.ByteErrors != 0 || stats.LostChunks != 0 {
+		t.Errorf("degraded after reconnect: %+v", stats)
+	}
+	if want := int64(3 * 64); stats.Bytes != want {
+		t.Errorf("bytes = %d, want %d", stats.Bytes, want)
+	}
+}
+
+// TestWatchRepairRefused: a server that refuses repairs must not wedge the
+// client — capped retries, then counted losses in degraded mode.
+func TestWatchRepairRefused(t *testing.T) {
+	f := newFakeServer(t)
+	f.unit = 80 * time.Millisecond
+	f.plan = &faults.Plan{Seed: 11, Drop: 0.3}
+	f.refuseRepairs.Store(true)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0, SlackFrac: 1.0, AllowDegraded: true})
+	if err != nil {
+		t.Fatalf("refused repairs wedged the session: %v", err)
+	}
+	if stats.LostChunks == 0 {
+		t.Error("refused repairs produced no losses")
+	}
+	if stats.RepairRequests == 0 {
+		t.Error("no repair was ever attempted")
 	}
 }
 

@@ -1,0 +1,226 @@
+// Package faults is a deterministic fault-injection layer for the live
+// broadcast stack. The paper proves its jitter-free guarantee over a
+// lossless channel; this package makes the channel lossy on purpose — an
+// Injector interposes between the server's channel pacers and the
+// multicast hub and drops, duplicates, reorders, or delays data chunks
+// according to a seeded Plan — so the client's loss-recovery path can be
+// exercised and regression-tested.
+//
+// Every decision is a pure function of (seed, video, channel, chunk
+// offset), derived through the same SplitMix64 substream machinery the
+// sweep engine uses (des.SubSeed). Deliberately, the broadcast repetition
+// number is NOT part of the key: a chunk position that the plan injures is
+// injured in every repetition. Chaos runs are therefore bit-reproducible —
+// the set of injured chunks is independent of wall time, of when a client
+// tunes in, and of goroutine scheduling — which is what lets tests assert
+// identical recovery statistics for identical seeds.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skyscraper/internal/des"
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/trace"
+	"skyscraper/internal/wire"
+)
+
+// Plan configures one chaos run. Rates are per-chunk probabilities in
+// [0, 1]; independent decisions are drawn per chunk with the precedence
+// drop > delay > reorder > duplicate (a dropped chunk is not also
+// duplicated, and so on).
+type Plan struct {
+	// Seed roots every decision substream. Two injectors with equal
+	// plans injure exactly the same chunk positions.
+	Seed uint64
+	// Drop is the probability a chunk never reaches the hub.
+	Drop float64
+	// Duplicate is the probability a chunk is sent twice back-to-back.
+	Duplicate float64
+	// Reorder is the probability a chunk is held back and released only
+	// after the channel's next chunk, swapping the pair on the wire.
+	Reorder float64
+	// Delay is the probability a chunk is deferred by a deterministic
+	// duration drawn uniformly from [0, MaxDelay].
+	Delay float64
+	// MaxDelay bounds injected delays; required positive when Delay > 0.
+	MaxDelay time.Duration
+	// Trace, when non-nil, receives one event per injected fault so a
+	// failing chaos run is diagnosable from the ring buffer dump.
+	Trace *trace.Buffer
+}
+
+// Validate reports the first configuration error, or nil.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"Drop", p.Drop}, {"Duplicate", p.Duplicate}, {"Reorder", p.Reorder}, {"Delay", p.Delay}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s = %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if p.Delay > 0 && p.MaxDelay <= 0 {
+		return fmt.Errorf("faults: Delay = %v needs a positive MaxDelay", p.Delay)
+	}
+	return nil
+}
+
+// Decision substream indices; each fault kind draws from its own
+// substream so enabling one rate never shifts another's decisions.
+const (
+	rollDrop = iota
+	rollDup
+	rollReorder
+	rollDelay
+	rollDelayDur
+)
+
+// roll maps one (chunk position, decision kind) to a uniform value in
+// [0, 1). Seq is deliberately absent from the key — see the package
+// comment.
+func (p Plan) roll(kind int, video, channel uint16, offset uint32) float64 {
+	key := uint64(video)<<40 | uint64(channel)<<8 | uint64(kind)
+	u := des.SubSeed(des.SubSeed(p.Seed, key), uint64(offset))
+	return float64(u>>11) / (1 << 53)
+}
+
+// Counts summarizes the faults an Injector has injected so far.
+type Counts struct {
+	Dropped    int64 `json:"dropped"`
+	Duplicated int64 `json:"duplicated"`
+	Reordered  int64 `json:"reordered"`
+	Delayed    int64 `json:"delayed"`
+}
+
+// Injector wraps a Sender with a fault plan. It is safe for concurrent
+// use by multiple pacers; per-channel effects (reordering) assume each
+// group's sends are themselves sequential, which the server guarantees
+// (one pacer goroutine per channel).
+type Injector struct {
+	plan  Plan
+	next  mcast.Sender
+	epoch time.Time
+
+	mu   sync.Mutex
+	held map[mcast.Group][]byte
+
+	dropped, duplicated, reordered, delayed atomic.Int64
+}
+
+// New validates the plan and wraps next with it.
+func New(next mcast.Sender, plan Plan) (*Injector, error) {
+	if next == nil {
+		return nil, fmt.Errorf("faults: nil sender")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: plan, next: next, epoch: time.Now(), held: make(map[mcast.Group][]byte)}, nil
+}
+
+// Counts reports the faults injected so far.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Dropped:    in.dropped.Load(),
+		Duplicated: in.duplicated.Load(),
+		Reordered:  in.reordered.Load(),
+		Delayed:    in.delayed.Load(),
+	}
+}
+
+func (in *Injector) tracef(kind string, g mcast.Group, seq, offset uint32, format string, args ...any) {
+	in.plan.Trace.Addf(trace.Wall(in.epoch, time.Now()), kind,
+		"%v seq %d off %d%s", g, seq, offset, fmt.Sprintf(format, args...))
+}
+
+// Send applies the plan to one datagram. Frames that do not parse as data
+// chunks (control traffic never passes through here, but be safe) are
+// forwarded untouched.
+func (in *Injector) Send(g mcast.Group, frame []byte) (int, error) {
+	video, channel, seq, offset, ok := wire.PeekID(frame)
+	if !ok {
+		return in.next.Send(g, frame)
+	}
+
+	// A frame held from the group's previous send is released after this
+	// send completes, so the held chunk follows its successor onto the
+	// wire.
+	in.mu.Lock()
+	prev := in.held[g]
+	delete(in.held, g)
+	in.mu.Unlock()
+
+	n, err := in.apply(g, frame, video, channel, seq, offset)
+	if prev != nil {
+		pn, perr := in.next.Send(g, prev)
+		n += pn
+		if err == nil {
+			err = perr
+		}
+	}
+	return n, err
+}
+
+// apply executes the plan's decision for one chunk.
+func (in *Injector) apply(g mcast.Group, frame []byte, video, channel uint16, seq, offset uint32) (int, error) {
+	p := in.plan
+	switch {
+	case p.Drop > 0 && p.roll(rollDrop, video, channel, offset) < p.Drop:
+		in.dropped.Add(1)
+		in.tracef("fault-drop", g, seq, offset, "")
+		return 0, nil
+
+	case p.Delay > 0 && p.roll(rollDelay, video, channel, offset) < p.Delay:
+		d := time.Duration(p.roll(rollDelayDur, video, channel, offset) * float64(p.MaxDelay))
+		in.delayed.Add(1)
+		in.tracef("fault-delay", g, seq, offset, " by %v", d)
+		// The pacer reuses its frame buffer, so the deferred send must
+		// own a copy. Errors after the hub closes are expected noise.
+		cp := append([]byte(nil), frame...)
+		time.AfterFunc(d, func() { _, _ = in.next.Send(g, cp) })
+		return 0, nil
+
+	case p.Reorder > 0 && p.roll(rollReorder, video, channel, offset) < p.Reorder:
+		in.reordered.Add(1)
+		in.tracef("fault-reorder", g, seq, offset, " held for next send")
+		in.mu.Lock()
+		already := in.held[g] != nil
+		if !already {
+			in.held[g] = append([]byte(nil), frame...)
+		}
+		in.mu.Unlock()
+		if already {
+			// Can only hold one frame per group; send straight through.
+			return in.next.Send(g, frame)
+		}
+		return 0, nil
+
+	default:
+		n, err := in.next.Send(g, frame)
+		if err == nil && p.Duplicate > 0 && p.roll(rollDup, video, channel, offset) < p.Duplicate {
+			in.duplicated.Add(1)
+			in.tracef("fault-dup", g, seq, offset, "")
+			if dn, derr := in.next.Send(g, frame); derr == nil {
+				n += dn
+			}
+		}
+		return n, err
+	}
+}
+
+// Flush releases every frame currently held for reordering. The server
+// calls it on shutdown; tests call it after a bounded send sequence so no
+// chunk is withheld forever.
+func (in *Injector) Flush() {
+	in.mu.Lock()
+	held := in.held
+	in.held = make(map[mcast.Group][]byte)
+	in.mu.Unlock()
+	for g, f := range held {
+		_, _ = in.next.Send(g, f)
+	}
+}

@@ -1,0 +1,274 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/wire"
+)
+
+// recorder is an mcast.Sender that keeps a copy of every frame, in send
+// order. Copies matter: the injector may pass through the caller's buffer,
+// which real pacers reuse.
+type recorder struct {
+	mu     sync.Mutex
+	frames map[mcast.Group][][]byte
+}
+
+func newRecorder() *recorder {
+	return &recorder{frames: make(map[mcast.Group][][]byte)}
+}
+
+func (r *recorder) Send(g mcast.Group, frame []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frames[g] = append(r.frames[g], append([]byte(nil), frame...))
+	return len(frame), nil
+}
+
+func (r *recorder) offsets(g mcast.Group) []uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []uint32
+	for _, f := range r.frames[g] {
+		_, _, _, off, ok := wire.PeekID(f)
+		if !ok {
+			out = append(out, ^uint32(0))
+			continue
+		}
+		out = append(out, off)
+	}
+	return out
+}
+
+// sendStream pushes nchunks frames for one channel through the injector,
+// reusing the encode buffer the way the server's pacer does.
+func sendStream(t *testing.T, in *Injector, g mcast.Group, video, channel uint16, nchunks int) {
+	t.Helper()
+	var buf []byte
+	for i := 0; i < nchunks; i++ {
+		c := wire.Chunk{
+			Video: video, Channel: channel, Seq: 1,
+			Offset: uint32(i * 64), Total: uint32(nchunks * 64),
+			Payload: make([]byte, 64),
+		}
+		frame, err := c.Encode(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = frame
+		if _, err := in.Send(g, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Drop: -0.1},
+		{Duplicate: 1.5},
+		{Reorder: 2},
+		{Delay: -1},
+		{Delay: 0.5}, // MaxDelay missing
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d (%+v) accepted", i, p)
+		}
+	}
+	good := Plan{Drop: 0.1, Duplicate: 0.2, Reorder: 0.3, Delay: 0.4, MaxDelay: time.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if _, err := New(nil, Plan{}); err == nil {
+		t.Error("nil sender accepted")
+	}
+}
+
+// TestFaultPlanDeterministic is the heart of the chaos design: two
+// injectors built from the same plan must injure exactly the same chunk
+// positions, regardless of when they run.
+func TestFaultPlanDeterministic(t *testing.T) {
+	g := mcast.Group{}
+	plan := Plan{Seed: 42, Drop: 0.3, Duplicate: 0.2, Reorder: 0.2}
+	var seqs [2][]uint32
+	var counts [2]Counts
+	for run := 0; run < 2; run++ {
+		rec := newRecorder()
+		in, err := New(rec, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendStream(t, in, g, 1, 3, 200)
+		in.Flush()
+		seqs[run] = rec.offsets(g)
+		counts[run] = in.Counts()
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("fault counts differ between identical plans: %+v vs %+v", counts[0], counts[1])
+	}
+	if len(seqs[0]) != len(seqs[1]) {
+		t.Fatalf("output lengths differ: %d vs %d", len(seqs[0]), len(seqs[1]))
+	}
+	for i := range seqs[0] {
+		if seqs[0][i] != seqs[1][i] {
+			t.Fatalf("send order diverges at %d: %d vs %d", i, seqs[0][i], seqs[1][i])
+		}
+	}
+	if counts[0].Dropped == 0 || counts[0].Duplicated == 0 || counts[0].Reordered == 0 {
+		t.Errorf("expected all enabled faults to fire over 200 chunks: %+v", counts[0])
+	}
+}
+
+// TestFaultSeqIndependence checks the deliberate design choice that a chunk
+// position injured in one broadcast repetition is injured in every one.
+func TestFaultSeqIndependence(t *testing.T) {
+	plan := Plan{Seed: 7, Drop: 0.4}
+	g := mcast.Group{}
+	var perSeq [2]Counts
+	for i, seq := range []uint32{1, 900} {
+		rec := newRecorder()
+		in, err := New(rec, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 100; c++ {
+			frame, err := (&wire.Chunk{
+				Video: 2, Channel: 1, Seq: seq,
+				Offset: uint32(c * 64), Total: 6400, Payload: make([]byte, 64),
+			}).Encode(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := in.Send(g, frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perSeq[i] = in.Counts()
+	}
+	if perSeq[0] != perSeq[1] {
+		t.Errorf("fault pattern depends on repetition number: %+v vs %+v", perSeq[0], perSeq[1])
+	}
+}
+
+func TestFaultDropRate(t *testing.T) {
+	const n, rate = 2000, 0.25
+	rec := newRecorder()
+	in, err := New(rec, Plan{Seed: 11, Drop: rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendStream(t, in, mcast.Group{}, 1, 2, n)
+	dropped := float64(in.Counts().Dropped)
+	if got := dropped / n; got < rate-0.05 || got > rate+0.05 {
+		t.Errorf("drop rate %v far from configured %v", got, rate)
+	}
+	if sent := len(rec.offsets(mcast.Group{})); sent != n-int(dropped) {
+		t.Errorf("sent %d frames, want %d", sent, n-int(dropped))
+	}
+}
+
+// TestFaultReorderSwaps verifies held frames are released after their
+// successor, and that Flush releases a frame held at stream end.
+func TestFaultReorderSwaps(t *testing.T) {
+	g := mcast.Group{}
+	rec := newRecorder()
+	in, err := New(rec, Plan{Seed: 3, Reorder: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	sendStream(t, in, g, 1, 1, n)
+	in.Flush()
+	offs := rec.offsets(g)
+	if len(offs) != n {
+		t.Fatalf("reordering changed frame count: %d vs %d", len(offs), n)
+	}
+	seen := make(map[uint32]bool)
+	inOrder := true
+	var prev uint32
+	for i, o := range offs {
+		if seen[o] {
+			t.Fatalf("offset %d sent twice", o)
+		}
+		seen[o] = true
+		if i > 0 && o < prev {
+			inOrder = false
+		}
+		prev = o
+	}
+	if got := in.Counts().Reordered; got == 0 {
+		t.Fatal("no reorders over 100 chunks at rate 0.3")
+	}
+	if inOrder {
+		t.Error("reordering left the stream fully ordered")
+	}
+}
+
+func TestFaultDelayDefers(t *testing.T) {
+	g := mcast.Group{}
+	rec := newRecorder()
+	in, err := New(rec, Plan{Seed: 5, Delay: 0.5, MaxDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	sendStream(t, in, g, 1, 1, n)
+	delayed := in.Counts().Delayed
+	if delayed == 0 {
+		t.Fatal("no delays over 60 chunks at rate 0.5")
+	}
+	// Deferred sends land within MaxDelay; wait it out, then everything
+	// must have arrived exactly once.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if got := len(rec.offsets(g)); got == n {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d frames after delay window", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFaultNonChunkPassthrough: frames that are not data chunks go through
+// untouched.
+func TestFaultNonChunkPassthrough(t *testing.T) {
+	g := mcast.Group{}
+	rec := newRecorder()
+	in, err := New(rec, Plan{Seed: 1, Drop: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Send(g, []byte("not a chunk frame")); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.frames[g]) != 1 {
+		t.Errorf("non-chunk frame was dropped by a Drop=1 plan")
+	}
+}
+
+// TestFaultZeroPlanTransparent: an all-zero plan must be a perfect wire.
+func TestFaultZeroPlanTransparent(t *testing.T) {
+	g := mcast.Group{}
+	rec := newRecorder()
+	in, err := New(rec, Plan{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendStream(t, in, g, 1, 1, 50)
+	offs := rec.offsets(g)
+	if len(offs) != 50 {
+		t.Fatalf("zero plan changed frame count: %d", len(offs))
+	}
+	for i, o := range offs {
+		if o != uint32(i*64) {
+			t.Fatalf("zero plan changed order at %d: %d", i, o)
+		}
+	}
+	if c := in.Counts(); c != (Counts{}) {
+		t.Errorf("zero plan injected faults: %+v", c)
+	}
+}

@@ -22,6 +22,15 @@ type Group struct {
 // String implements fmt.Stringer.
 func (g Group) String() string { return fmt.Sprintf("video%d/ch%d", g.Video, g.Channel) }
 
+// Sender is the hub's datagram fan-out, factored out so a fault-injection
+// layer (internal/faults) can interpose between the channel pacers and the
+// wire without the pacers knowing.
+type Sender interface {
+	// Send delivers one datagram to every current member of g, returning
+	// how many receivers it was written to.
+	Send(g Group, frame []byte) (int, error)
+}
+
 // Hub is the group registry and sender. All methods are safe for
 // concurrent use.
 type Hub struct {
@@ -32,6 +41,8 @@ type Hub struct {
 	// sent counts datagrams actually written, for tests and stats.
 	sent int64
 }
+
+var _ Sender = (*Hub)(nil)
 
 // NewHub opens the hub's sending socket.
 func NewHub() (*Hub, error) {

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skyscraper/internal/content"
 	"skyscraper/internal/core"
+	"skyscraper/internal/faults"
 	"skyscraper/internal/mcast"
 	"skyscraper/internal/wire"
 )
@@ -38,6 +40,19 @@ type Config struct {
 	// ChunkBytes is the data-chunk payload size; it must divide
 	// BytesPerUnit so chunk boundaries never straddle units.
 	ChunkBytes int
+	// Faults, when non-nil, interposes the deterministic fault injector
+	// of internal/faults between the channel pacers and the multicast
+	// hub: chunks are dropped, duplicated, reordered, or delayed per the
+	// plan, so the client's loss-recovery path can be exercised.
+	Faults *faults.Plan
+	// ControlIdleTimeout bounds how long a control connection may sit
+	// idle between requests before the server reaps it (and its group
+	// memberships); a half-open client therefore cannot pin a handler
+	// goroutine forever. Defaults to 2 minutes.
+	ControlIdleTimeout time.Duration
+	// ControlWriteTimeout bounds each control reply write. Defaults to
+	// 10 seconds.
+	ControlWriteTimeout time.Duration
 	// Logf, when non-nil, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +70,11 @@ func (c Config) validate() error {
 	case c.BytesPerUnit%c.ChunkBytes != 0:
 		return fmt.Errorf("server: ChunkBytes %d must divide BytesPerUnit %d", c.ChunkBytes, c.BytesPerUnit)
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -63,12 +83,17 @@ func (c Config) validate() error {
 type Server struct {
 	cfg   Config
 	hub   *mcast.Hub
+	send  mcast.Sender
+	inj   *faults.Injector
 	ln    net.Listener
 	epoch time.Time
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
+
+	// repairs counts unicast chunk repairs answered.
+	repairs atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -81,6 +106,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.ControlIdleTimeout <= 0 {
+		cfg.ControlIdleTimeout = 2 * time.Minute
+	}
+	if cfg.ControlWriteTimeout <= 0 {
+		cfg.ControlWriteTimeout = 10 * time.Second
 	}
 	return &Server{cfg: cfg, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}, nil
 }
@@ -98,6 +129,18 @@ func (s *Server) Start() error {
 		return fmt.Errorf("server: control listener: %w", err)
 	}
 	s.hub = hub
+	s.send = hub
+	if s.cfg.Faults != nil {
+		inj, err := faults.New(hub, *s.cfg.Faults)
+		if err != nil {
+			ln.Close()
+			hub.Close()
+			return err
+		}
+		s.inj = inj
+		s.send = inj
+		s.cfg.Logf("server: fault injection enabled: %+v", *s.cfg.Faults)
+	}
 	s.ln = ln
 	s.epoch = time.Now()
 
@@ -124,6 +167,13 @@ func (s *Server) Epoch() time.Time { return s.epoch }
 // Hub exposes the multicast hub (for tests and stats).
 func (s *Server) Hub() *mcast.Hub { return s.hub }
 
+// Injector exposes the fault injector when a chaos plan is configured,
+// nil otherwise (for tests and cmd/skychaos).
+func (s *Server) Injector() *faults.Injector { return s.inj }
+
+// RepairsServed returns how many unicast chunk repairs have been answered.
+func (s *Server) RepairsServed() int64 { return s.repairs.Load() }
+
 // Close stops all pacers, the listener, and open control connections.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -144,6 +194,9 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.inj != nil {
+		s.inj.Flush()
+	}
 	s.hub.Close()
 }
 
@@ -208,7 +261,7 @@ func (s *Server) pace(v, i int) {
 				s.cfg.Logf("server: encoding %v seq %d: %v", group, n, err)
 				return
 			}
-			if _, err := s.hub.Send(group, frame); err != nil {
+			if _, err := s.send.Send(group, frame); err != nil {
 				select {
 				case <-s.stop:
 					return
@@ -260,14 +313,28 @@ func (s *Server) serveControl(conn net.Conn) {
 
 	sch := s.cfg.Scheme
 	r := bufio.NewReader(conn)
+	// Every reply write is deadline-bounded so a client that stops
+	// draining its socket cannot wedge the handler.
+	write := func(m *wire.Control) error {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.ControlWriteTimeout))
+		return wire.WriteControl(conn, m)
+	}
 	fail := func(format string, args ...any) {
 		msg := fmt.Sprintf(format, args...)
 		s.cfg.Logf("server: %v: %s", conn.RemoteAddr(), msg)
-		_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindError, Error: msg})
+		_ = write(&wire.Control{Kind: wire.KindError, Error: msg})
 	}
 	for {
+		// Idle reaping: a half-open or silent client times out here, the
+		// handler returns, and the deferred cleanup drops its
+		// memberships.
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ControlIdleTimeout))
 		m, err := wire.ReadControl(r)
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.cfg.Logf("server: reaping idle control connection %v (%d memberships)",
+					conn.RemoteAddr(), len(joined))
+			}
 			return // disconnect
 		}
 		switch m.Kind {
@@ -282,7 +349,7 @@ func (s *Server) serveControl(conn net.Conn) {
 				BytesPerUnit:     s.cfg.BytesPerUnit,
 				ChunkBytes:       s.cfg.ChunkBytes,
 			}
-			if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindWelcome, Welcome: w}); err != nil {
+			if err := write(&wire.Control{Kind: wire.KindWelcome, Welcome: w}); err != nil {
 				return
 			}
 		case wire.KindJoin:
@@ -301,7 +368,31 @@ func (s *Server) serveControl(conn net.Conn) {
 				continue
 			}
 			joined[g] = addr
-			if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindJoined, Video: m.Video, Channel: m.Channel}); err != nil {
+			if err := write(&wire.Control{Kind: wire.KindJoined, Video: m.Video, Channel: m.Channel}); err != nil {
+				return
+			}
+		case wire.KindRepair:
+			rp := m.Repair
+			if rp == nil {
+				fail("repair: missing parameters")
+				continue
+			}
+			if rp.Video < 0 || rp.Video >= sch.Config().Videos || rp.Channel < 1 || rp.Channel > sch.K() {
+				fail("repair: no channel %d/%d", rp.Video, rp.Channel)
+				continue
+			}
+			total := s.fragmentBytes(rp.Channel)
+			if rp.Length <= 0 || rp.Length > wire.MaxPayload || rp.Offset < 0 || rp.Offset+int64(rp.Length) > int64(total) {
+				fail("repair: bad range [%d, %d) of %d-byte fragment", rp.Offset, rp.Offset+int64(rp.Length), total)
+				continue
+			}
+			// The content function regenerates any chunk on demand, so
+			// repairs need no retransmission buffer.
+			reply := *rp
+			reply.Data = make([]byte, rp.Length)
+			content.Fill(reply.Data, rp.Video, s.fragmentBase(rp.Channel)+rp.Offset)
+			s.repairs.Add(1)
+			if err := write(&wire.Control{Kind: wire.KindRepairOK, Repair: &reply}); err != nil {
 				return
 			}
 		case wire.KindStats:
@@ -310,8 +401,9 @@ func (s *Server) serveControl(conn net.Conn) {
 				DatagramsSent: s.hub.Sent(),
 				Channels:      sch.Config().Videos * sch.K(),
 				Members:       s.hub.TotalMembers(),
+				RepairsServed: s.repairs.Load(),
 			}
-			if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindStatsOK, Stats: st}); err != nil {
+			if err := write(&wire.Control{Kind: wire.KindStatsOK, Stats: st}); err != nil {
 				return
 			}
 		case wire.KindLeave:

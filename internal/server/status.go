@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"skyscraper/internal/faults"
 )
 
 // StatusSnapshot is the JSON document served at /status.
@@ -24,6 +26,11 @@ type StatusSnapshot struct {
 	DatagramsSent int64 `json:"datagramsSent"`
 	// Memberships is the current total of (client, channel) joins.
 	Memberships int `json:"memberships"`
+	// RepairsServed counts unicast chunk repairs answered.
+	RepairsServed int64 `json:"repairsServed"`
+	// FaultsInjected summarizes the fault injector's activity when a
+	// chaos plan is configured; absent otherwise.
+	FaultsInjected *faults.Counts `json:"faultsInjected,omitempty"`
 	// ControlAddr is the TCP control address clients dial.
 	ControlAddr string `json:"controlAddr"`
 }
@@ -31,7 +38,14 @@ type StatusSnapshot struct {
 // snapshot assembles the current status.
 func (s *Server) snapshot() StatusSnapshot {
 	sch := s.cfg.Scheme
+	var injected *faults.Counts
+	if s.inj != nil {
+		c := s.inj.Counts()
+		injected = &c
+	}
 	return StatusSnapshot{
+		RepairsServed:  s.repairs.Load(),
+		FaultsInjected: injected,
 		Videos:           sch.Config().Videos,
 		ChannelsPerVideo: sch.K(),
 		Width:            sch.Width(),

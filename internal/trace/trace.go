@@ -8,7 +8,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
+
+// Wall converts a wall-clock instant to the journal's VirtualMin scale:
+// minutes elapsed since epoch. Live components (the server, the fault
+// injector, the client's loss-recovery path) journal on this scale so one
+// dump of a shared buffer interleaves their events chronologically.
+func Wall(epoch, t time.Time) float64 { return t.Sub(epoch).Minutes() }
 
 // Event is one journal entry.
 type Event struct {

@@ -36,6 +36,45 @@ func (s *Stats) BlockingProb() float64 {
 	return float64(s.Blocked) / float64(s.Served+s.Blocked)
 }
 
+// RepairLoadStats estimates the unicast burden that chunk repair places on
+// a broadcast server, in the same channel currency as Run.
+type RepairLoadStats struct {
+	// RequestsPerSession is the expected number of repair round trips one
+	// viewing session issues.
+	RequestsPerSession float64
+	// StreamFrac is the expected fraction of one full unicast stream the
+	// repairs amount to: repaired bytes over video bytes. It equals the
+	// loss rate, which is the point — at loss rate p, repair costs p of a
+	// dedicated channel, while the user-centered baseline costs a whole
+	// one.
+	StreamFrac float64
+	// ChannelsPer100 is the dedicated-channel equivalent of repairing 100
+	// concurrent sessions (100 * StreamFrac).
+	ChannelsPer100 float64
+}
+
+// RepairLoad estimates the unicast repair load of the loss-recovery path:
+// at chunk-loss probability p, a session covering chunksPerVideo chunks
+// requests p*chunksPerVideo repairs, each carrying one chunk — so the
+// server spends only a fraction p of a dedicated stream per viewer. This
+// quantifies why a repair path does not resurrect the bandwidth bottleneck
+// the paper's Section 1 attributes to user-centered (one stream per
+// viewer) service.
+func RepairLoad(p float64, chunksPerVideo int) (*RepairLoadStats, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("unicast: loss probability %v outside [0, 1]", p)
+	}
+	if chunksPerVideo <= 0 {
+		return nil, fmt.Errorf("unicast: chunksPerVideo %d must be positive", chunksPerVideo)
+	}
+	reqs := p * float64(chunksPerVideo)
+	return &RepairLoadStats{
+		RequestsPerSession: reqs,
+		StreamFrac:         p,
+		ChannelsPer100:     100 * p,
+	}, nil
+}
+
 // Run simulates a user-centered server: channels dedicated streams, each
 // request served instantly or refused.
 func Run(channels int, lengthMin float64, reqs []workload.Request) (*Stats, error) {

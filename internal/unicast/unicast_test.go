@@ -102,3 +102,38 @@ func TestBlockingProbEmpty(t *testing.T) {
 		t.Error("NaN blocking")
 	}
 }
+
+func TestRepairLoad(t *testing.T) {
+	// At 5% chunk loss over a 1200-chunk video, repair costs 60 unicast
+	// round trips and 5% of a dedicated stream per viewer — versus the
+	// 100% a user-centered server pays.
+	st, err := RepairLoad(0.05, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.RequestsPerSession-60) > 1e-9 {
+		t.Errorf("RequestsPerSession = %v, want 60", st.RequestsPerSession)
+	}
+	if math.Abs(st.StreamFrac-0.05) > 1e-9 {
+		t.Errorf("StreamFrac = %v, want 0.05", st.StreamFrac)
+	}
+	if math.Abs(st.ChannelsPer100-5) > 1e-9 {
+		t.Errorf("ChannelsPer100 = %v, want 5", st.ChannelsPer100)
+	}
+	// Lossless channel: repair is free.
+	if st, err = RepairLoad(0, 100); err != nil || st.RequestsPerSession != 0 || st.StreamFrac != 0 {
+		t.Errorf("lossless: %+v %v", st, err)
+	}
+}
+
+func TestRepairLoadValidation(t *testing.T) {
+	if _, err := RepairLoad(-0.1, 100); err == nil {
+		t.Error("accepted negative loss rate")
+	}
+	if _, err := RepairLoad(1.1, 100); err == nil {
+		t.Error("accepted loss rate above 1")
+	}
+	if _, err := RepairLoad(0.1, 0); err == nil {
+		t.Error("accepted 0 chunks")
+	}
+}

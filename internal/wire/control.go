@@ -3,21 +3,36 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
 
 // Control message kinds exchanged over the TCP control connection.
 const (
-	KindHello   = "hello"
-	KindWelcome = "welcome"
-	KindJoin    = "join"
-	KindJoined  = "joined"
-	KindLeave   = "leave"
-	KindError   = "error"
-	KindBye     = "bye"
-	KindStats   = "stats"
-	KindStatsOK = "statsok"
+	KindHello    = "hello"
+	KindWelcome  = "welcome"
+	KindJoin     = "join"
+	KindJoined   = "joined"
+	KindLeave    = "leave"
+	KindError    = "error"
+	KindBye      = "bye"
+	KindStats    = "stats"
+	KindStatsOK  = "statsok"
+	KindRepair   = "repair"
+	KindRepairOK = "repairok"
+)
+
+// Errors returned by ReadControl, so callers can distinguish a connection
+// cut off mid-message (retryable after reconnect) from a peer speaking
+// garbage (corruption; not retryable).
+var (
+	// ErrTruncated reports a control line that ended before its newline
+	// delimiter: the connection died mid-message.
+	ErrTruncated = errors.New("wire: truncated control message")
+	// ErrBadControl reports a complete line that is not a valid control
+	// message.
+	ErrBadControl = errors.New("wire: malformed control message")
 )
 
 // Control is the envelope for every control message; unused fields are
@@ -35,6 +50,29 @@ type Control struct {
 	Port int `json:"port,omitempty"`
 	// Stats payload for KindStatsOK.
 	Stats *Stats `json:"stats,omitempty"`
+	// Repair payload for KindRepair/KindRepairOK.
+	Repair *Repair `json:"repair,omitempty"`
+}
+
+// Repair is a unicast chunk-repair round trip: a client that detected a
+// gap in a channel's broadcast asks the server to retransmit one chunk
+// over the control connection. The request leaves Data empty; the reply
+// echoes the identifying fields and fills Data with the chunk bytes.
+type Repair struct {
+	// Video and Channel identify the fragment, exactly as in a Join.
+	Video   int `json:"video"`
+	Channel int `json:"channel"`
+	// Seq is the broadcast repetition the lost chunk belonged to. Chunk
+	// content is repetition-independent, but echoing it lets the client
+	// match replies to the reception it is recovering.
+	Seq uint32 `json:"seq"`
+	// Offset is the byte offset of the chunk within the fragment.
+	Offset int64 `json:"offset"`
+	// Length is the number of chunk bytes requested.
+	Length int `json:"length"`
+	// Data carries the chunk bytes in a KindRepairOK reply (base64 in
+	// the JSON encoding).
+	Data []byte `json:"data,omitempty"`
 }
 
 // Stats is the server's operational snapshot, returned for KindStats.
@@ -47,6 +85,8 @@ type Stats struct {
 	Channels int `json:"channels"`
 	// Members is the current total group memberships.
 	Members int `json:"members"`
+	// RepairsServed counts unicast chunk repairs answered.
+	RepairsServed int64 `json:"repairsServed,omitempty"`
 }
 
 // Welcome describes the broadcast the server is running, everything a
@@ -85,18 +125,24 @@ func WriteControl(w io.Writer, m *Control) error {
 	return nil
 }
 
-// ReadControl reads one newline-delimited JSON control message.
+// ReadControl reads one newline-delimited JSON control message. A read
+// that ends cleanly between messages returns the underlying error (io.EOF
+// on an orderly close); one that ends mid-line returns ErrTruncated, and a
+// complete but undecodable line returns ErrBadControl.
 func ReadControl(r *bufio.Reader) (*Control, error) {
 	line, err := r.ReadBytes('\n')
 	if err != nil {
+		if len(line) > 0 {
+			return nil, fmt.Errorf("%w: %d bytes then %v", ErrTruncated, len(line), err)
+		}
 		return nil, err
 	}
 	var m Control
 	if err := json.Unmarshal(line, &m); err != nil {
-		return nil, fmt.Errorf("wire: decoding control: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrBadControl, err)
 	}
 	if m.Kind == "" {
-		return nil, fmt.Errorf("wire: control message without kind")
+		return nil, fmt.Errorf("%w: missing kind", ErrBadControl)
 	}
 	return &m, nil
 }

@@ -38,6 +38,10 @@ func FuzzDecode(f *testing.F) {
 func FuzzReadControl(f *testing.F) {
 	f.Add([]byte(`{"kind":"hello"}` + "\n"))
 	f.Add([]byte(`{"kind":"join","video":1,"channel":2,"port":3}` + "\n"))
+	f.Add([]byte(`{"kind":"repair","repair":{"video":1,"channel":2,"seq":7,"offset":1024,"length":512}}` + "\n"))
+	f.Add([]byte(`{"kind":"repairok","repair":{"video":1,"channel":2,"seq":7,"offset":1024,"length":4,"data":"3q2+7w=="}}` + "\n"))
+	f.Add([]byte(`{"kind":"repair","repair":{"offset":-9223372036854775808,"length":-1}}` + "\n"))
+	f.Add([]byte(`{"kind":"repair"`)) // truncated mid-message
 	f.Add([]byte("garbage\n"))
 	f.Add([]byte("{}\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -119,3 +119,16 @@ func Decode(frame []byte) (Chunk, error) {
 
 // EncodedSize returns the frame size for a payload of n bytes.
 func EncodedSize(n int) int { return headerSize + n }
+
+// PeekID extracts a chunk's identity — video, channel, broadcast
+// repetition, fragment offset — from an encoded frame without touching the
+// payload or its CRC. The fault injector (internal/faults) keys its
+// per-chunk decisions on this, so injection costs no checksum work. ok is
+// false when the frame is too short or carries the wrong magic or version.
+func PeekID(frame []byte) (video, channel uint16, seq, offset uint32, ok bool) {
+	if len(frame) < headerSize || binary.BigEndian.Uint16(frame[0:]) != Magic || frame[2] != Version {
+		return 0, 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint16(frame[4:]), binary.BigEndian.Uint16(frame[6:]),
+		binary.BigEndian.Uint32(frame[8:]), binary.BigEndian.Uint32(frame[12:]), true
+}

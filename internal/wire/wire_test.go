@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"io"
 	"testing"
 	"testing/quick"
 )
@@ -146,12 +147,78 @@ func TestControlRoundTrip(t *testing.T) {
 
 func TestReadControlRejectsGarbage(t *testing.T) {
 	r := bufio.NewReader(bytes.NewBufferString("not json\n"))
-	if _, err := ReadControl(r); err == nil {
-		t.Error("garbage accepted")
+	if _, err := ReadControl(r); !errors.Is(err, ErrBadControl) {
+		t.Errorf("garbage: got %v, want ErrBadControl", err)
 	}
 	r = bufio.NewReader(bytes.NewBufferString("{}\n"))
-	if _, err := ReadControl(r); err == nil {
-		t.Error("kindless message accepted")
+	if _, err := ReadControl(r); !errors.Is(err, ErrBadControl) {
+		t.Errorf("kindless message: got %v, want ErrBadControl", err)
+	}
+}
+
+func TestReadControlTruncated(t *testing.T) {
+	// A line cut off before its newline is a connection dying mid-message:
+	// callers should see ErrTruncated, distinct from a clean EOF.
+	r := bufio.NewReader(bytes.NewBufferString(`{"kind":"hel`))
+	if _, err := ReadControl(r); !errors.Is(err, ErrTruncated) {
+		t.Errorf("mid-line cut: got %v, want ErrTruncated", err)
+	}
+	// Clean EOF between messages passes through untouched.
+	r = bufio.NewReader(bytes.NewBufferString(""))
+	if _, err := ReadControl(r); !errors.Is(err, io.EOF) {
+		t.Errorf("clean close: got %v, want io.EOF", err)
+	}
+}
+
+func TestRepairRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Control{Kind: KindRepair, Repair: &Repair{
+		Video: 4, Channel: 2, Seq: 17, Offset: 3072, Length: 1024,
+	}}
+	reply := &Control{Kind: KindRepairOK, Repair: &Repair{
+		Video: 4, Channel: 2, Seq: 17, Offset: 3072, Length: 1024,
+		Data: bytes.Repeat([]byte{0xAB, 0x5C}, 512),
+	}}
+	for _, m := range []*Control{req, reply} {
+		if err := WriteControl(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range []*Control{req, reply} {
+		got, err := ReadControl(r)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Repair == nil {
+			t.Fatalf("message %d: %+v vs %+v", i, got, want)
+		}
+		gr, wr := got.Repair, want.Repair
+		if gr.Video != wr.Video || gr.Channel != wr.Channel || gr.Seq != wr.Seq ||
+			gr.Offset != wr.Offset || gr.Length != wr.Length || !bytes.Equal(gr.Data, wr.Data) {
+			t.Errorf("message %d repair payload: %+v vs %+v", i, gr, wr)
+		}
+	}
+}
+
+func TestPeekID(t *testing.T) {
+	c := Chunk{Video: 9, Channel: 3, Seq: 1234, Offset: 4096, Total: 8192, Payload: []byte("peek")}
+	frame, err := c.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	video, channel, seq, offset, ok := PeekID(frame)
+	if !ok || video != c.Video || channel != c.Channel || seq != c.Seq || offset != c.Offset {
+		t.Errorf("PeekID = %d/%d seq %d off %d ok=%v, want %d/%d seq %d off %d",
+			video, channel, seq, offset, ok, c.Video, c.Channel, c.Seq, c.Offset)
+	}
+	if _, _, _, _, ok := PeekID(frame[:headerSize-1]); ok {
+		t.Error("PeekID accepted a short frame")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 0xFF
+	if _, _, _, _, ok := PeekID(bad); ok {
+		t.Error("PeekID accepted a bad magic")
 	}
 }
 
