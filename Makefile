@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos verify bench bench-sweep
+.PHONY: build test vet race chaos verify bench bench-sweep bench-datapath
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The parallel sweep engine, the bench scheme cache, and the fault
-# injector are concurrent; every PR must pass the race detector over them.
+# The parallel sweep engine, the bench scheme cache, the fault injector,
+# and the lock-free hub/frame-cache data path are concurrent; every PR
+# must pass the race detector over them.
 race:
-	$(GO) test -race ./internal/des ./internal/metrics ./internal/sim ./internal/bench ./internal/faults
+	$(GO) test -race ./internal/des ./internal/metrics ./internal/sim ./internal/bench \
+		./internal/faults ./internal/mcast
 
 # The chaos gate: the fault-injection and loss-recovery suites — seeded
 # drop/duplicate/reorder plans, unicast repair, reconnects, idle reaping,
@@ -23,9 +25,9 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle' \
 		./internal/faults ./internal/client ./internal/server
 
-# The PR gate: tier-1 build+test, vet, race-checked concurrency, and the
-# chaos suite.
-verify: build vet test race chaos
+# The PR gate: tier-1 build+test, vet, race-checked concurrency, the
+# chaos suite, and the data-path benchmark record.
+verify: build vet test race chaos bench-datapath
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -33,3 +35,10 @@ bench:
 # Record the sweep/figure benchmark trajectory (see EXPERIMENTS.md).
 bench-sweep:
 	$(GO) test -bench 'Sweep|Figures' -run '^$$' -json . > BENCH_sweep.json
+
+# Record the broadcast data-path benchmarks — per-chunk encode (seed vs
+# cached), word-wise content generation, lock-free hub fan-out — with
+# allocation counts (see EXPERIMENTS.md "Data-path throughput").
+bench-datapath:
+	$(GO) test -bench 'PaceEncode|ContentFill|ContentVerify|HubSend' -benchmem -run '^$$' -json \
+		./internal/server ./internal/content ./internal/mcast > BENCH_datapath.json

@@ -147,6 +147,19 @@ func sweep(videos, channels int, width int64, unit time.Duration,
 		drop, injected.Dropped, stats.RepairedChunks, stats.RepairRequests,
 		stats.DuplicateChunks, stats.LostChunks, stats.LateChunks, stats.Bytes, verdict)
 
+	// The data-path ledger: what the hub actually put on the wire and how
+	// much of it the frame cache served without re-encoding.
+	hub := srv.Hub()
+	cs := srv.FrameCacheStats()
+	hitPct := 0.0
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		hitPct = 100 * float64(cs.Hits) / float64(lookups)
+	}
+	fmt.Printf("       data path: %d datagrams (%d bytes) sent, %d send failures; "+
+		"frame cache %d hits / %d misses (%.1f%% hit, %d bytes resident)\n",
+		hub.Sent(), hub.SentBytes(), hub.SendFailures(),
+		cs.Hits, cs.Misses, hitPct, cs.Bytes)
+
 	// Put the repair traffic in the paper's terms: the unicast burden of
 	// recovering this loss rate, versus one dedicated stream per viewer.
 	chunksPerVideo := int(sch.TotalUnits()) * 4096 / 1024

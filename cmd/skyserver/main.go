@@ -30,15 +30,18 @@ func main() {
 		bpu      = flag.Int("bytes-per-unit", 4096, "payload bytes per unit")
 		chunk    = flag.Int("chunk", 1024, "chunk payload bytes (must divide bytes-per-unit)")
 		status   = flag.Bool("status", true, "serve an HTTP /status endpoint")
+		cacheB   = flag.Int64("frame-cache-bytes", 0,
+			"frame cache budget in bytes (0 = default, negative = disable frame residency)")
+		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the status endpoint")
 	)
 	flag.Parse()
-	if err := run(*videos, *channels, *width, *unit, *bpu, *chunk, *status); err != nil {
+	if err := run(*videos, *channels, *width, *unit, *bpu, *chunk, *status, *cacheB, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "skyserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, status bool) error {
+func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, status bool, cacheBytes int64, pprofOn bool) error {
 	cfg := vod.Config{
 		ServerMbps: 1.5 * float64(videos*channels),
 		Videos:     videos,
@@ -50,11 +53,13 @@ func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, 
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Scheme:       sch,
-		Unit:         unit,
-		BytesPerUnit: bpu,
-		ChunkBytes:   chunk,
-		Logf:         log.Printf,
+		Scheme:          sch,
+		Unit:            unit,
+		BytesPerUnit:    bpu,
+		ChunkBytes:      chunk,
+		FrameCacheBytes: cacheBytes,
+		EnablePprof:     pprofOn,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		return err

@@ -69,3 +69,99 @@ func TestValueSpread(t *testing.T) {
 		t.Errorf("only %d distinct byte values in 64 KiB", len(seen))
 	}
 }
+
+// fillReference is the byte-at-a-time seed implementation, kept as the
+// oracle for the word-wise fast paths.
+func fillReference(dst []byte, video int, offset int64) {
+	for i := range dst {
+		dst[i] = ByteAt(video, offset+int64(i))
+	}
+}
+
+// TestFillDifferential sweeps randomized (video, offset, length) triples —
+// including unaligned offsets, zero lengths and sub-word tails — asserting
+// the word-wise Fill agrees with the ByteAt reference byte for byte.
+func TestFillDifferential(t *testing.T) {
+	f := func(video uint8, off uint64, n uint16) bool {
+		length := int(n % 512)
+		offset := int64(off % (1 << 40))
+		got := make([]byte, length)
+		want := make([]byte, length)
+		Fill(got, int(video), offset)
+		fillReference(want, int(video), offset)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Deterministic edge sweep: every (alignment, length) pair around the
+	// word size, plus zero-length at every alignment.
+	for align := int64(0); align < 8; align++ {
+		for length := 0; length <= 24; length++ {
+			got := make([]byte, length)
+			want := make([]byte, length)
+			Fill(got, 3, 1000+align)
+			fillReference(want, 3, 1000+align)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Fill(len=%d, off=%d) diverges from ByteAt", length, 1000+align)
+			}
+		}
+	}
+}
+
+// TestVerifyDifferential flips one byte at a random position and asserts
+// the word-wise Verify locates exactly it, across unaligned offsets and
+// sub-word tails.
+func TestVerifyDifferential(t *testing.T) {
+	f := func(video uint8, off uint64, n uint16, pos uint16) bool {
+		length := int(n%512) + 1
+		offset := int64(off % (1 << 40))
+		buf := make([]byte, length)
+		Fill(buf, int(video), offset)
+		if Verify(buf, int(video), offset) != -1 {
+			return false
+		}
+		p := int(pos) % length
+		buf[p] ^= 0x5A
+		return Verify(buf, int(video), offset) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Zero-length buffers verify trivially at any alignment.
+	for align := int64(0); align < 8; align++ {
+		if Verify(nil, 1, align) != -1 {
+			t.Errorf("Verify(nil) at alignment %d != -1", align)
+		}
+	}
+}
+
+func BenchmarkContentFill(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Fill(buf, 1, int64(i)*1024)
+	}
+}
+
+func BenchmarkContentFillReference(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fillReference(buf, 1, int64(i)*1024)
+	}
+}
+
+func BenchmarkContentVerify(b *testing.B) {
+	buf := make([]byte, 1024)
+	Fill(buf, 1, 4096)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Verify(buf, 1, 4096) != -1 {
+			b.Fatal("clean buffer failed verification")
+		}
+	}
+}

@@ -96,6 +96,24 @@ type Counts struct {
 	Delayed    int64 `json:"delayed"`
 }
 
+// framePool recycles the frame copies the injector makes for delayed and
+// held (reordered) chunks. The pacers reuse their send buffers, so every
+// deferred send must own a copy; pooling those copies keeps sustained
+// chaos runs from allocating one slab per injected fault.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, wire.EncodedSize(wire.MaxPayload))
+		return &b
+	},
+}
+
+// copyFrame checks a pooled buffer out and fills it with frame.
+func copyFrame(frame []byte) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	*bp = append((*bp)[:0], frame...)
+	return bp
+}
+
 // Injector wraps a Sender with a fault plan. It is safe for concurrent
 // use by multiple pacers; per-channel effects (reordering) assume each
 // group's sends are themselves sequential, which the server guarantees
@@ -106,7 +124,7 @@ type Injector struct {
 	epoch time.Time
 
 	mu   sync.Mutex
-	held map[mcast.Group][]byte
+	held map[mcast.Group]*[]byte
 
 	dropped, duplicated, reordered, delayed atomic.Int64
 }
@@ -119,7 +137,7 @@ func New(next mcast.Sender, plan Plan) (*Injector, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	return &Injector{plan: plan, next: next, epoch: time.Now(), held: make(map[mcast.Group][]byte)}, nil
+	return &Injector{plan: plan, next: next, epoch: time.Now(), held: make(map[mcast.Group]*[]byte)}, nil
 }
 
 // Counts reports the faults injected so far.
@@ -156,7 +174,8 @@ func (in *Injector) Send(g mcast.Group, frame []byte) (int, error) {
 
 	n, err := in.apply(g, frame, video, channel, seq, offset)
 	if prev != nil {
-		pn, perr := in.next.Send(g, prev)
+		pn, perr := in.next.Send(g, *prev)
+		framePool.Put(prev)
 		n += pn
 		if err == nil {
 			err = perr
@@ -179,18 +198,22 @@ func (in *Injector) apply(g mcast.Group, frame []byte, video, channel uint16, se
 		in.delayed.Add(1)
 		in.tracef("fault-delay", g, seq, offset, " by %v", d)
 		// The pacer reuses its frame buffer, so the deferred send must
-		// own a copy. Errors after the hub closes are expected noise.
-		cp := append([]byte(nil), frame...)
-		time.AfterFunc(d, func() { _, _ = in.next.Send(g, cp) })
+		// own a copy (pooled). Errors after the hub closes are expected
+		// noise.
+		cp := copyFrame(frame)
+		time.AfterFunc(d, func() {
+			_, _ = in.next.Send(g, *cp)
+			framePool.Put(cp)
+		})
 		return 0, nil
 
 	case p.Reorder > 0 && p.roll(rollReorder, video, channel, offset) < p.Reorder:
 		in.reordered.Add(1)
 		in.tracef("fault-reorder", g, seq, offset, " held for next send")
 		in.mu.Lock()
-		already := in.held[g] != nil
+		_, already := in.held[g]
 		if !already {
-			in.held[g] = append([]byte(nil), frame...)
+			in.held[g] = copyFrame(frame)
 		}
 		in.mu.Unlock()
 		if already {
@@ -218,9 +241,10 @@ func (in *Injector) apply(g mcast.Group, frame []byte, video, channel uint16, se
 func (in *Injector) Flush() {
 	in.mu.Lock()
 	held := in.held
-	in.held = make(map[mcast.Group][]byte)
+	in.held = make(map[mcast.Group]*[]byte)
 	in.mu.Unlock()
 	for g, f := range held {
-		_, _ = in.next.Send(g, f)
+		_, _ = in.next.Send(g, *f)
+		framePool.Put(f)
 	}
 }

@@ -5,12 +5,22 @@
 // a multicast group (senders are unaware of membership; receivers join and
 // leave at will), physically unicast datagrams, which preserves exactly the
 // delivery behavior the broadcasting schemes depend on.
+//
+// Membership is kept in copy-on-write snapshots behind an atomic pointer:
+// Join and Leave copy under a mutex, while Send — the per-datagram hot
+// path of every channel pacer — reads the current snapshot with no locking
+// and no allocation. Delivery is best-effort, as multicast is: one
+// failing receiver never starves the rest of the group.
 package mcast
 
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
+
+	"skyscraper/internal/metrics"
 )
 
 // Group identifies one logical broadcast channel: a (video, channel) pair.
@@ -31,15 +41,25 @@ type Sender interface {
 	Send(g Group, frame []byte) (int, error)
 }
 
+// membership is one immutable snapshot of every group's subscribers.
+// Snapshots are never mutated after publication; Join and Leave build a
+// replacement and swap the pointer.
+type membership map[Group][]netip.AddrPort
+
 // Hub is the group registry and sender. All methods are safe for
 // concurrent use.
 type Hub struct {
-	mu     sync.Mutex
-	conn   *net.UDPConn
-	groups map[Group]map[string]*net.UDPAddr
-	closed bool
-	// sent counts datagrams actually written, for tests and stats.
-	sent int64
+	// mu serializes the writers (Join, Leave, Close). Send never takes it.
+	mu      sync.Mutex
+	conn    *net.UDPConn
+	members atomic.Pointer[membership]
+	closed  atomic.Bool
+
+	// sent and sentBytes count datagrams and payload bytes actually
+	// written; failed counts members a Send could not reach.
+	sent      metrics.AtomicCounter
+	sentBytes metrics.AtomicCounter
+	failed    metrics.AtomicCounter
 }
 
 var _ Sender = (*Hub)(nil)
@@ -50,7 +70,28 @@ func NewHub() (*Hub, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mcast: opening sender socket: %w", err)
 	}
-	return &Hub{conn: conn, groups: make(map[Group]map[string]*net.UDPAddr)}, nil
+	h := &Hub{conn: conn}
+	m := make(membership)
+	h.members.Store(&m)
+	return h, nil
+}
+
+// addrPort converts a UDP address to the netip form the lock-free send
+// loop writes to, unmapping 4-in-6 so it matches the hub's IPv4 socket.
+func addrPort(addr *net.UDPAddr) netip.AddrPort {
+	ap := addr.AddrPort()
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
+// clone copies the snapshot, deep-copying only group g — the one the
+// caller is about to edit; other groups share their (immutable) slices.
+func (m membership) clone(g Group) membership {
+	next := make(membership, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	next[g] = append([]netip.AddrPort(nil), m[g]...)
+	return next
 }
 
 // Join subscribes addr to group g. Joining twice is a no-op.
@@ -58,17 +99,21 @@ func (h *Hub) Join(g Group, addr *net.UDPAddr) error {
 	if addr == nil {
 		return fmt.Errorf("mcast: join %v with nil address", g)
 	}
+	ap := addrPort(addr)
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.closed {
+	if h.closed.Load() {
 		return fmt.Errorf("mcast: hub closed")
 	}
-	m := h.groups[g]
-	if m == nil {
-		m = make(map[string]*net.UDPAddr)
-		h.groups[g] = m
+	cur := *h.members.Load()
+	for _, have := range cur[g] {
+		if have == ap {
+			return nil
+		}
 	}
-	m[addr.String()] = addr
+	next := cur.clone(g)
+	next[g] = append(next[g], ap)
+	h.members.Store(&next)
 	return nil
 }
 
@@ -78,79 +123,97 @@ func (h *Hub) Leave(g Group, addr *net.UDPAddr) {
 	if addr == nil {
 		return
 	}
+	ap := addrPort(addr)
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if m := h.groups[g]; m != nil {
-		delete(m, addr.String())
-		if len(m) == 0 {
-			delete(h.groups, g)
+	cur := *h.members.Load()
+	idx := -1
+	for i, have := range cur[g] {
+		if have == ap {
+			idx = i
+			break
 		}
 	}
+	if idx < 0 {
+		return
+	}
+	next := cur.clone(g)
+	next[g] = append(next[g][:idx], next[g][idx+1:]...)
+	if len(next[g]) == 0 {
+		delete(next, g)
+	}
+	h.members.Store(&next)
 }
 
 // Members returns the current subscriber count of g.
 func (h *Hub) Members(g Group) int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.groups[g])
+	return len((*h.members.Load())[g])
 }
 
 // Send delivers one datagram to every current member of g, returning how
 // many receivers it was written to. A send to an empty group succeeds and
 // reaches zero receivers — broadcast semantics, senders never block on
 // membership.
+//
+// Send reads the membership snapshot without locking and allocates
+// nothing on the success path. Delivery is best-effort: a member whose
+// write fails is skipped, the rest of the group still receives the
+// datagram, and the failures are aggregated into the returned error.
 func (h *Hub) Send(g Group, frame []byte) (int, error) {
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
+	if h.closed.Load() {
 		return 0, fmt.Errorf("mcast: hub closed")
 	}
-	members := make([]*net.UDPAddr, 0, len(h.groups[g]))
-	for _, a := range h.groups[g] {
-		members = append(members, a)
-	}
-	conn := h.conn
-	h.mu.Unlock()
-
+	members := (*h.members.Load())[g]
 	n := 0
-	for _, a := range members {
-		if _, err := conn.WriteToUDP(frame, a); err != nil {
-			return n, fmt.Errorf("mcast: sending to %v: %w", a, err)
+	nfail := 0
+	var first error
+	for _, ap := range members {
+		if _, err := h.conn.WriteToUDPAddrPort(frame, ap); err != nil {
+			nfail++
+			if first == nil {
+				first = err
+			}
+			continue
 		}
 		n++
 	}
-	h.mu.Lock()
-	h.sent += int64(n)
-	h.mu.Unlock()
+	if n > 0 {
+		h.sent.Add(int64(n))
+		h.sentBytes.Add(int64(n) * int64(len(frame)))
+	}
+	if nfail > 0 {
+		h.failed.Add(int64(nfail))
+		return n, fmt.Errorf("mcast: %d of %d sends to %v failed: %w", nfail, len(members), g, first)
+	}
 	return n, nil
 }
 
 // TotalMembers returns the membership count across all groups.
 func (h *Hub) TotalMembers() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	n := 0
-	for _, m := range h.groups {
+	for _, m := range *h.members.Load() {
 		n += len(m)
 	}
 	return n
 }
 
 // Sent returns the total datagrams written since creation.
-func (h *Hub) Sent() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sent
-}
+func (h *Hub) Sent() int64 { return h.sent.Value() }
+
+// SentBytes returns the total datagram bytes written since creation.
+func (h *Hub) SentBytes() int64 { return h.sentBytes.Value() }
+
+// SendFailures returns how many member writes have failed since creation;
+// each failed member was skipped while the rest of its group was served.
+func (h *Hub) SendFailures() int64 { return h.failed.Value() }
 
 // Close shuts the sending socket; subsequent Joins and Sends fail.
 func (h *Hub) Close() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.closed {
+	if h.closed.Swap(true) {
 		return nil
 	}
-	h.closed = true
 	return h.conn.Close()
 }
 

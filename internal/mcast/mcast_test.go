@@ -2,6 +2,7 @@ package mcast
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -161,5 +162,219 @@ func TestClosedHub(t *testing.T) {
 func TestGroupString(t *testing.T) {
 	if got := (Group{Video: 4, Channel: 2}).String(); got != "video4/ch2" {
 		t.Errorf("String = %q", got)
+	}
+}
+
+// TestSendBestEffort is the regression test for the fan-out abort bug: a
+// member whose write fails mid-group (here an IPv6 destination the hub's
+// IPv4 socket cannot reach, joined between two healthy receivers) must not
+// starve the members after it. Delivery continues, the failure is counted,
+// and the aggregated error reports how many writes failed.
+func TestSendBestEffort(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	g := Group{Video: 1, Channel: 1}
+
+	first, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if err := hub.Join(g, first.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// The poisoned member: an address family the sending socket rejects,
+	// so every write to it fails deterministically.
+	bad := &net.UDPAddr{IP: net.IPv6loopback, Port: 40000}
+	if err := hub.Join(g, bad); err != nil {
+		t.Fatal(err)
+	}
+	last, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer last.Close()
+	if err := hub.Join(g, last.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := hub.Send(g, []byte("best effort"))
+	if n != 2 {
+		t.Errorf("delivered to %d members, want 2 (the healthy ones)", n)
+	}
+	if err == nil {
+		t.Error("a failing member produced no aggregated error")
+	}
+	for i, r := range []*Receiver{first, last} {
+		buf := make([]byte, 32)
+		r.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		rn, _, err := r.Conn.ReadFromUDP(buf)
+		if err != nil || string(buf[:rn]) != "best effort" {
+			t.Errorf("healthy receiver %d starved: %q, %v", i, buf[:rn], err)
+		}
+	}
+	if hub.SendFailures() != 1 {
+		t.Errorf("SendFailures = %d, want 1", hub.SendFailures())
+	}
+	if hub.Sent() != 2 {
+		t.Errorf("Sent = %d, want 2", hub.Sent())
+	}
+
+	// A member that closed its socket mid-group is simply unreachable UDP:
+	// the datagram vanishes without an error and everyone else is served.
+	first.Close()
+	n, _ = hub.Send(g, []byte("after close"))
+	if n == 0 {
+		t.Error("whole group starved after one receiver closed")
+	}
+	buf := make([]byte, 32)
+	last.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	rn, _, err := last.Conn.ReadFromUDP(buf)
+	if err != nil || string(buf[:rn]) != "after close" {
+		t.Errorf("surviving receiver starved after peer close: %q, %v", buf[:rn], err)
+	}
+}
+
+// TestSendCounters: byte and datagram counters advance together.
+func TestSendCounters(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	rcv, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	g := Group{Video: 0, Channel: 1}
+	if err := hub.Join(g, rcv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 100)
+	for i := 0; i < 5; i++ {
+		if _, err := hub.Send(g, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hub.Sent() != 5 || hub.SentBytes() != 500 || hub.SendFailures() != 0 {
+		t.Errorf("counters: sent=%d bytes=%d failed=%d, want 5/500/0",
+			hub.Sent(), hub.SentBytes(), hub.SendFailures())
+	}
+}
+
+// TestSendZeroAlloc is the alloc gate for the fan-out hot path: a Send to
+// a populated group must not allocate — no member snapshot copies, no
+// sockaddr conversions.
+func TestSendZeroAlloc(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	g := Group{Video: 0, Channel: 1}
+	var rcvs []*Receiver
+	for i := 0; i < 4; i++ {
+		r, err := NewReceiver()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		rcvs = append(rcvs, r)
+		if err := hub.Join(g, r.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := make([]byte, 1052)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := hub.Send(g, frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Send allocates %v objects per call, want 0", allocs)
+	}
+}
+
+// TestJoinLeaveDuringSend hammers membership churn against concurrent
+// sends; under -race this proves the copy-on-write snapshots publish
+// safely with no locking on the send side.
+func TestJoinLeaveDuringSend(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	rcv, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	g := Group{Video: 2, Channel: 3}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := hub.Join(g, rcv.Addr()); err != nil {
+				return
+			}
+			hub.Leave(g, rcv.Addr())
+		}
+	}()
+	frame := []byte("churn")
+	for i := 0; i < 2000; i++ {
+		if _, err := hub.Send(g, frame); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// BenchmarkHubSend measures the per-datagram fan-out cost to one member —
+// the unit of work every channel pacer pays per chunk.
+func BenchmarkHubSend(b *testing.B) {
+	hub, err := NewHub()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hub.Close()
+	rcv, err := NewReceiver()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rcv.Close()
+	g := Group{Video: 0, Channel: 1}
+	if err := hub.Join(g, rcv.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	// Drain in the background so the receiver's kernel buffer never
+	// backpressures the benchmark loop.
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			if _, _, err := rcv.Conn.ReadFromUDP(buf); err != nil {
+				return
+			}
+		}
+	}()
+	frame := make([]byte, 1052)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hub.Send(g, frame); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Summary accumulates scalar observations and reports count, mean, min,
@@ -177,6 +178,27 @@ func (g *Gauge) TimeAverage(t float64) float64 {
 	}
 	return (g.weightSum + g.level*(t-g.lastT)) / (t - g.startT)
 }
+
+// AtomicCounter is a monotone event counter safe for concurrent use. It
+// sits on the live data path's hot loops (hub fan-out, frame cache), so
+// increments are single atomic adds with no locking; unlike Counter it may
+// be updated from many goroutines at once. The zero value is ready to use
+// and must not be copied after first use.
+type AtomicCounter struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (c *AtomicCounter) Inc() { c.n.Add(1) }
+
+// Add adds delta, which must be non-negative.
+func (c *AtomicCounter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: AtomicCounter.Add of negative delta")
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count.
+func (c *AtomicCounter) Value() int64 { return c.n.Load() }
 
 // Counter is a monotone event counter.
 type Counter struct{ n int64 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -220,6 +221,34 @@ func TestCounter(t *testing.T) {
 	c.Add(4)
 	if c.Value() != 5 {
 		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestAtomicCounter(t *testing.T) {
+	var c AtomicCounter
+	if c.Value() != 0 {
+		t.Errorf("zero value = %d", c.Value())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(500)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1500 {
+		t.Errorf("Value = %d, want %d", got, 8*1500)
 	}
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"skyscraper/internal/content"
+	"skyscraper/internal/core"
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/vod"
+	"skyscraper/internal/wire"
+)
+
+const (
+	testBytesPerUnit = 4096
+	testChunkBytes   = 1024
+)
+
+func cacheScheme(t testing.TB, m, k int, w int64) *core.Scheme {
+	t.Helper()
+	cfg := vod.Config{ServerMbps: 1.5 * float64(m*k), Videos: m, LengthMin: 120, RateMbps: 1.5}
+	sch, err := core.New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.K() != k {
+		t.Fatalf("K = %d, want %d", sch.K(), k)
+	}
+	return sch
+}
+
+// seedEncode is the pre-cache broadcast path, reproduced verbatim as the
+// golden reference: fill the chunk's payload from the content function and
+// encode the frame from scratch, CRC and all, every time.
+func seedEncode(dst, payload []byte, cc *channelCache, c int, seq uint32) []byte {
+	off := c * testChunkBytes
+	content.Fill(payload, int(cc.video), cc.base+int64(off))
+	ch := wire.Chunk{
+		Video:   cc.video,
+		Channel: cc.channel,
+		Seq:     seq,
+		Offset:  uint32(off),
+		Total:   cc.total,
+		Payload: payload,
+	}
+	frame, err := ch.Encode(dst[:0])
+	if err != nil {
+		panic(err)
+	}
+	return frame
+}
+
+// TestFrameCacheGoldenEquivalence asserts the zero-recompute path —
+// cache acquire plus PatchSeq — emits byte-identical frames to the old
+// fill-and-encode path for every (video, channel, chunk, seq), both for
+// resident frames and for the budget-exhausted scratch fallback.
+func TestFrameCacheGoldenEquivalence(t *testing.T) {
+	sch := cacheScheme(t, 2, 4, 2) // fragments 1,2,2,2 per video
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"resident", 64 << 20},
+		{"fallback", -1}, // no frame residency; CRCs still cached
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, tc.budget)
+			scratch := newFrameScratch(testChunkBytes)
+			payload := make([]byte, testChunkBytes)
+			var golden []byte
+			for v := 0; v < sch.Config().Videos; v++ {
+				for i := 1; i <= sch.K(); i++ {
+					cc := fc.channel(v, i)
+					chunks := int(cc.total) / testChunkBytes
+					for c := 0; c < chunks; c++ {
+						for seq := uint32(0); seq < 3; seq++ {
+							golden = seedEncode(golden, payload, cc, c, seq)
+							got := fc.acquire(cc, c, scratch)
+							if err := wire.PatchSeq(got, seq); err != nil {
+								t.Fatal(err)
+							}
+							if !bytes.Equal(got, golden) {
+								t.Fatalf("%s: video %d ch %d chunk %d seq %d: cached frame differs from golden encode",
+									tc.name, v, i, c, seq)
+							}
+						}
+					}
+				}
+			}
+			st := fc.stats()
+			if tc.budget > 0 && st.Bytes == 0 {
+				t.Fatalf("resident cache holds no bytes after full sweep: %+v", st)
+			}
+			if tc.budget < 0 && st.Bytes != 0 {
+				t.Fatalf("disabled cache reports %d resident bytes", st.Bytes)
+			}
+		})
+	}
+}
+
+// TestFrameCacheBudget pins the reserve-then-back-out accounting: with a
+// budget of exactly two frames only two chunks become resident, later
+// chunks keep missing into scratch, and the occupancy never exceeds the
+// budget.
+func TestFrameCacheBudget(t *testing.T) {
+	sch := cacheScheme(t, 1, 3, 2)
+	size := int64(wire.EncodedSize(testChunkBytes))
+	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 2*size)
+	scratch := newFrameScratch(testChunkBytes)
+	cc := fc.channel(0, 3) // largest fragment: 2 units = 8 chunks
+	chunks := int(cc.total) / testChunkBytes
+	if chunks < 3 {
+		t.Fatalf("fragment too small for the test: %d chunks", chunks)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for c := 0; c < chunks; c++ {
+			fc.acquire(cc, c, scratch)
+		}
+	}
+	st := fc.stats()
+	if st.Bytes != 2*size {
+		t.Fatalf("resident bytes = %d, want exactly the %d-byte budget", st.Bytes, 2*size)
+	}
+	// Second pass: chunks 0 and 1 hit, the rest miss again.
+	wantHits, wantMisses := int64(2), int64(2*chunks-2)
+	if st.Hits != wantHits || st.Misses != wantMisses {
+		t.Fatalf("hits/misses = %d/%d, want %d/%d", st.Hits, st.Misses, wantHits, wantMisses)
+	}
+}
+
+// TestPatchedResendZeroAlloc is the acceptance gate for the steady-state
+// broadcast path: once a frame is resident, acquire + PatchSeq + hub Send
+// must allocate nothing.
+func TestPatchedResendZeroAlloc(t *testing.T) {
+	sch := cacheScheme(t, 1, 3, 2)
+	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 64<<20)
+	scratch := newFrameScratch(testChunkBytes)
+	cc := fc.channel(0, 1)
+	fc.acquire(cc, 0, scratch) // warm
+
+	hub, err := mcast.NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	recv, err := mcast.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	g := mcast.Group{Video: 0, Channel: 1}
+	if err := hub.Join(g, recv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, wire.EncodedSize(testChunkBytes))
+		for {
+			if _, err := recv.Conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	seq := uint32(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		frame := fc.acquire(cc, 0, scratch)
+		if err := wire.PatchSeq(frame, seq); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		if _, err := hub.Send(g, frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("patched re-send allocates %v times per chunk, want 0", allocs)
+	}
+	recv.Close()
+	<-done
+}
+
+// BenchmarkPaceEncode measures the per-chunk broadcast encoding cost:
+// "seed" is the original path (content fill + full encode per send),
+// "cached" the zero-recompute path (cache acquire + 4-byte Seq patch).
+func BenchmarkPaceEncode(b *testing.B) {
+	sch := cacheScheme(b, 1, 3, 2)
+	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 64<<20)
+	scratch := newFrameScratch(testChunkBytes)
+	cc := fc.channel(0, 3)
+	chunks := int(cc.total) / testChunkBytes
+
+	b.Run("seed", func(b *testing.B) {
+		payload := make([]byte, testChunkBytes)
+		var frame []byte
+		b.SetBytes(testChunkBytes)
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			frame = seedEncode(frame, payload, cc, n%chunks, uint32(n))
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for c := 0; c < chunks; c++ {
+			fc.acquire(cc, c, scratch) // warm
+		}
+		b.SetBytes(testChunkBytes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			frame := fc.acquire(cc, n%chunks, scratch)
+			if err := wire.PatchSeq(frame, uint32(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

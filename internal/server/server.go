@@ -53,9 +53,23 @@ type Config struct {
 	// ControlWriteTimeout bounds each control reply write. Defaults to
 	// 10 seconds.
 	ControlWriteTimeout time.Duration
+	// FrameCacheBytes caps the resident bytes of the repetition-invariant
+	// frame cache (see frameCache): fully encoded chunk frames are cached
+	// until the budget is spent, after which chunks fall back to a
+	// cached-CRC re-encode per send. 0 means DefaultFrameCacheBytes;
+	// negative disables frame residency (per-chunk CRCs are still cached).
+	FrameCacheBytes int64
+	// EnablePprof registers net/http/pprof's profiling handlers on the
+	// status endpoint's mux (ServeStatus) under /debug/pprof/.
+	EnablePprof bool
 	// Logf, when non-nil, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
+
+// DefaultFrameCacheBytes is the frame-cache budget when Config leaves
+// FrameCacheBytes zero: enough for ~64K resident chunk frames at the
+// default 1 KiB chunk size, far beyond what examples and tests broadcast.
+const DefaultFrameCacheBytes = 64 << 20
 
 func (c Config) validate() error {
 	switch {
@@ -85,6 +99,7 @@ type Server struct {
 	hub   *mcast.Hub
 	send  mcast.Sender
 	inj   *faults.Injector
+	cache *frameCache
 	ln    net.Listener
 	epoch time.Time
 
@@ -113,7 +128,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ControlWriteTimeout <= 0 {
 		cfg.ControlWriteTimeout = 10 * time.Second
 	}
-	return &Server{cfg: cfg, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}, nil
+	if cfg.FrameCacheBytes == 0 {
+		cfg.FrameCacheBytes = DefaultFrameCacheBytes
+	}
+	s := &Server{cfg: cfg, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	s.cache = newFrameCache(cfg.Scheme, cfg.BytesPerUnit, cfg.ChunkBytes, cfg.FrameCacheBytes)
+	return s, nil
 }
 
 // Start opens the control listener and launches every channel pacer. The
@@ -174,6 +194,10 @@ func (s *Server) Injector() *faults.Injector { return s.inj }
 // RepairsServed returns how many unicast chunk repairs have been answered.
 func (s *Server) RepairsServed() int64 { return s.repairs.Load() }
 
+// FrameCacheStats reports the frame cache's hits, misses and occupancy
+// (for tests, /status and cmd/skychaos).
+func (s *Server) FrameCacheStats() CacheStats { return s.cache.stats() }
+
 // Close stops all pacers, the listener, and open control connections.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -217,18 +241,24 @@ func (s *Server) fragmentBase(i int) int64 {
 
 // pace runs one channel: video v, channel i. Chunks of repetition n are
 // sent evenly across [epoch + n*period, epoch + (n+1)*period).
+//
+// Per chunk the pacer acquires the repetition-invariant frame from the
+// cache — a pointer load once resident — patches the 4-byte Seq field in
+// place and hands it to the fan-out: the steady-state broadcast cost is a
+// header patch plus the sends, with zero allocation and no payload or CRC
+// recomputation. Non-resident chunks (budget exhausted or first touch)
+// re-encode into pacer-owned scratch with their cached CRC.
 func (s *Server) pace(v, i int) {
 	defer s.wg.Done()
 	var (
 		size    = s.cfg.Scheme.Sizes()[i-1]
 		period  = time.Duration(size) * s.cfg.Unit
 		total   = s.fragmentBytes(i)
-		base    = s.fragmentBase(i)
 		chunks  = total / s.cfg.ChunkBytes
 		spacing = period / time.Duration(chunks)
 		group   = mcast.Group{Video: v, Channel: i}
-		payload = make([]byte, s.cfg.ChunkBytes)
-		frame   []byte
+		cc      = s.cache.channel(v, i)
+		scratch = newFrameScratch(s.cfg.ChunkBytes)
 		timer   = time.NewTimer(0)
 	)
 	defer timer.Stop()
@@ -245,20 +275,9 @@ func (s *Server) pace(v, i int) {
 				return
 			case <-timer.C:
 			}
-			off := c * s.cfg.ChunkBytes
-			content.Fill(payload, v, base+int64(off))
-			ch := wire.Chunk{
-				Video:   uint16(v),
-				Channel: uint16(i),
-				Seq:     n,
-				Offset:  uint32(off),
-				Total:   uint32(total),
-				Payload: payload,
-			}
-			var err error
-			frame, err = ch.Encode(frame[:0])
-			if err != nil {
-				s.cfg.Logf("server: encoding %v seq %d: %v", group, n, err)
+			frame := s.cache.acquire(cc, c, scratch)
+			if err := wire.PatchSeq(frame, n); err != nil {
+				s.cfg.Logf("server: patching %v seq %d: %v", group, n, err)
 				return
 			}
 			if _, err := s.send.Send(group, frame); err != nil {
@@ -271,6 +290,22 @@ func (s *Server) pace(v, i int) {
 			}
 		}
 	}
+}
+
+// fillRange copies the broadcast bytes of [off, off+len(dst)) of channel
+// i's fragment into dst, serving from the frame cache when the range sits
+// inside one chunk (the shape every client repair request has) and
+// falling back to the content function for ranges that straddle chunks.
+func (s *Server) fillRange(video, channel int, off int64, dst []byte, scratch *frameScratch) {
+	cc := s.cache.channel(video, channel)
+	cb := int64(s.cfg.ChunkBytes)
+	if c := off / cb; off+int64(len(dst)) <= (c+1)*cb {
+		frame := s.cache.acquire(cc, int(c), scratch)
+		lo := wire.HeaderSize + int(off-c*cb)
+		copy(dst, frame[lo:lo+len(dst)])
+		return
+	}
+	content.Fill(dst, video, cc.base+off)
 }
 
 func (s *Server) acceptLoop() {
@@ -310,6 +345,9 @@ func (s *Server) serveControl(conn net.Conn) {
 			s.hub.Leave(g, a)
 		}
 	}()
+	// Build space for repairs of non-resident chunks; one per connection
+	// so concurrent control sessions never contend.
+	scratch := newFrameScratch(s.cfg.ChunkBytes)
 
 	sch := s.cfg.Scheme
 	r := bufio.NewReader(conn)
@@ -386,11 +424,12 @@ func (s *Server) serveControl(conn net.Conn) {
 				fail("repair: bad range [%d, %d) of %d-byte fragment", rp.Offset, rp.Offset+int64(rp.Length), total)
 				continue
 			}
-			// The content function regenerates any chunk on demand, so
-			// repairs need no retransmission buffer.
+			// The frame cache (or, for ranges it cannot serve, the content
+			// function) regenerates any chunk on demand, so repairs need
+			// no retransmission buffer.
 			reply := *rp
 			reply.Data = make([]byte, rp.Length)
-			content.Fill(reply.Data, rp.Video, s.fragmentBase(rp.Channel)+rp.Offset)
+			s.fillRange(rp.Video, rp.Channel, rp.Offset, reply.Data, scratch)
 			s.repairs.Add(1)
 			if err := write(&wire.Control{Kind: wire.KindRepairOK, Repair: &reply}); err != nil {
 				return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"skyscraper/internal/faults"
@@ -22,12 +23,20 @@ type StatusSnapshot struct {
 	UnitMillis float64 `json:"unitMillis"`
 	// UptimeMillis is time since the broadcast epoch.
 	UptimeMillis float64 `json:"uptimeMillis"`
-	// DatagramsSent counts chunks written to receivers so far.
+	// DatagramsSent counts chunks written to receivers so far;
+	// DatagramBytes the bytes those datagrams carried, and SendFailures
+	// the member writes that failed (the rest of the group still got the
+	// datagram).
 	DatagramsSent int64 `json:"datagramsSent"`
+	DatagramBytes int64 `json:"datagramBytes"`
+	SendFailures  int64 `json:"sendFailures"`
 	// Memberships is the current total of (client, channel) joins.
 	Memberships int `json:"memberships"`
 	// RepairsServed counts unicast chunk repairs answered.
 	RepairsServed int64 `json:"repairsServed"`
+	// FrameCache reports the broadcast frame cache's hit rate and
+	// resident footprint.
+	FrameCache CacheStats `json:"frameCache"`
 	// FaultsInjected summarizes the fault injector's activity when a
 	// chaos plan is configured; absent otherwise.
 	FaultsInjected *faults.Counts `json:"faultsInjected,omitempty"`
@@ -53,7 +62,10 @@ func (s *Server) snapshot() StatusSnapshot {
 		UnitMillis:       float64(s.cfg.Unit) / float64(time.Millisecond),
 		UptimeMillis:     float64(time.Since(s.epoch)) / float64(time.Millisecond),
 		DatagramsSent:    s.hub.Sent(),
+		DatagramBytes:    s.hub.SentBytes(),
+		SendFailures:     s.hub.SendFailures(),
 		Memberships:      s.hub.TotalMembers(),
+		FrameCache:       s.cache.stats(),
 		ControlAddr:      s.Addr(),
 	}
 }
@@ -64,7 +76,9 @@ func (s *Server) snapshot() StatusSnapshot {
 //	GET /status    the StatusSnapshot as JSON
 //	GET /healthz   200 "ok" while the server runs
 //
-// The endpoint stops when the server is closed.
+// With Config.EnablePprof it additionally serves the net/http/pprof
+// handlers under /debug/pprof/. The endpoint stops when the server is
+// closed.
 func (s *Server) ServeStatus() (string, error) {
 	if s.hub == nil {
 		return "", fmt.Errorf("server: ServeStatus before Start")
@@ -83,6 +97,15 @@ func (s *Server) ServeStatus() (string, error) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.cfg.EnablePprof {
+		// Registered by hand rather than importing the pprof side effects
+		// into http.DefaultServeMux, which this endpoint does not use.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	s.wg.Add(1)
 	go func() {

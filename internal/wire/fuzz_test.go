@@ -33,6 +33,53 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzChunkDecode fuzzes the data-chunk decoder through the full cached-
+// frame life cycle: any accepted frame must survive Encode → PatchSeq →
+// Decode with only the Seq field changed — the property the server's
+// repetition-invariant frame cache rests on. Seeds cover the boundary
+// payload sizes (0, 1, MaxPayload).
+func FuzzChunkDecode(f *testing.F) {
+	for _, n := range []int{0, 1, MaxPayload} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		frame, err := (&Chunk{Video: 1, Channel: 2, Seq: 3, Offset: 4, Total: uint32(n), Payload: payload}).Encode(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame, uint32(n)*7)
+	}
+	f.Add([]byte{}, uint32(0))
+	f.Add(bytes.Repeat([]byte{0xA5}, headerSize), uint32(1))
+	f.Fuzz(func(t *testing.T, data []byte, seq uint32) {
+		c, err := Decode(data)
+		if err != nil {
+			// Rejected frames must also be rejected by the patcher unless
+			// only their payload is damaged (PatchSeq never reads it).
+			return
+		}
+		re, err := c.Encode(nil)
+		if err != nil {
+			t.Fatalf("accepted chunk failed to re-encode: %v", err)
+		}
+		if err := PatchSeq(re, seq); err != nil {
+			t.Fatalf("PatchSeq on a fresh encode: %v", err)
+		}
+		got, err := Decode(re)
+		if err != nil {
+			t.Fatalf("patched frame stopped decoding: %v", err)
+		}
+		if got.Seq != seq {
+			t.Fatalf("patched Seq = %d, want %d", got.Seq, seq)
+		}
+		if got.Video != c.Video || got.Channel != c.Channel || got.Offset != c.Offset ||
+			got.Total != c.Total || !bytes.Equal(got.Payload, c.Payload) {
+			t.Fatalf("PatchSeq disturbed a non-Seq field: %+v vs %+v", got, c)
+		}
+	})
+}
+
 // FuzzReadControl feeds arbitrary lines to the control decoder: no panics,
 // and accepted messages must carry a kind.
 func FuzzReadControl(f *testing.F) {

@@ -28,10 +28,18 @@ const (
 // datagram on loopback.
 const MaxPayload = 32 * 1024
 
-// headerSize is the fixed encoded size before the payload:
+// HeaderSize is the fixed encoded size before the payload:
 // magic(2) version(1) pad(1) video(2) channel(2) seq(4) offset(4) total(4)
 // length(4) crc(4).
-const headerSize = 28
+const HeaderSize = 28
+
+const headerSize = HeaderSize
+
+// seqOffset locates the 4-byte Seq field within an encoded header. Seq is
+// the only header field that changes between broadcast repetitions, and it
+// is deliberately excluded from the payload CRC, so a cached frame can be
+// re-sent forever with a 4-byte patch (PatchSeq).
+const seqOffset = 8
 
 // Chunk is one datagram's worth of a fragment broadcast.
 type Chunk struct {
@@ -61,25 +69,63 @@ var (
 	ErrTooLarge    = errors.New("wire: payload exceeds MaxPayload")
 )
 
+// PayloadCRC returns the checksum Encode stores in the header for the
+// given payload. Exposed so a caller that broadcasts the same payload
+// repeatedly (the server's channel pacers) can compute it once and reuse it
+// through EncodeWithCRC.
+func PayloadCRC(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
 // Encode appends the chunk's wire form to dst and returns the extended
 // slice.
 func (c *Chunk) Encode(dst []byte) ([]byte, error) {
 	if len(c.Payload) > MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(c.Payload))
 	}
+	return c.appendFrame(dst, crc32.ChecksumIEEE(c.Payload)), nil
+}
+
+// EncodeWithCRC is Encode with a precomputed payload CRC (see PayloadCRC).
+// The caller owns the invariant that crc matches c.Payload; a mismatch
+// produces frames every receiver rejects with ErrBadCRC.
+func (c *Chunk) EncodeWithCRC(dst []byte, crc uint32) ([]byte, error) {
+	if len(c.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(c.Payload))
+	}
+	return c.appendFrame(dst, crc), nil
+}
+
+func (c *Chunk) appendFrame(dst []byte, crc uint32) []byte {
 	var h [headerSize]byte
 	binary.BigEndian.PutUint16(h[0:], Magic)
 	h[2] = Version
 	h[3] = 0
 	binary.BigEndian.PutUint16(h[4:], c.Video)
 	binary.BigEndian.PutUint16(h[6:], c.Channel)
-	binary.BigEndian.PutUint32(h[8:], c.Seq)
+	binary.BigEndian.PutUint32(h[seqOffset:], c.Seq)
 	binary.BigEndian.PutUint32(h[12:], c.Offset)
 	binary.BigEndian.PutUint32(h[16:], c.Total)
 	binary.BigEndian.PutUint32(h[20:], uint32(len(c.Payload)))
-	binary.BigEndian.PutUint32(h[24:], crc32.ChecksumIEEE(c.Payload))
+	binary.BigEndian.PutUint32(h[24:], crc)
 	dst = append(dst, h[:]...)
-	return append(dst, c.Payload...), nil
+	return append(dst, c.Payload...)
+}
+
+// PatchSeq rewrites the Seq field of an encoded frame in place. The payload
+// CRC covers only the payload, so a repetition-invariant frame cached once
+// can be re-broadcast under any repetition number with this 4-byte patch
+// and no re-encode. The frame must start with a valid chunk header.
+func PatchSeq(frame []byte, seq uint32) error {
+	if len(frame) < headerSize {
+		return fmt.Errorf("%w: %d bytes", ErrShortFrame, len(frame))
+	}
+	if binary.BigEndian.Uint16(frame[0:]) != Magic {
+		return ErrBadMagic
+	}
+	if frame[2] != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, frame[2])
+	}
+	binary.BigEndian.PutUint32(frame[seqOffset:], seq)
+	return nil
 }
 
 // Decode parses a frame. The returned chunk's Payload aliases frame; copy

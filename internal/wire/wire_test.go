@@ -222,6 +222,87 @@ func TestPeekID(t *testing.T) {
 	}
 }
 
+func TestPatchSeq(t *testing.T) {
+	c := Chunk{Video: 5, Channel: 2, Seq: 0, Offset: 2048, Total: 8192, Payload: []byte("repetition-invariant")}
+	frame, err := c.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range []uint32{0, 1, 7, 1<<32 - 1} {
+		if err := PatchSeq(frame, seq); err != nil {
+			t.Fatalf("PatchSeq(%d): %v", seq, err)
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("decode after PatchSeq(%d): %v", seq, err)
+		}
+		if got.Seq != seq {
+			t.Errorf("Seq = %d, want %d", got.Seq, seq)
+		}
+		// Everything but Seq is untouched.
+		want := c
+		want.Seq = seq
+		ref, err := want.Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, ref) {
+			t.Errorf("patched frame diverges from a fresh encode at seq %d", seq)
+		}
+	}
+}
+
+func TestPatchSeqRejectsBadFrames(t *testing.T) {
+	good, err := (&Chunk{Payload: []byte("x")}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PatchSeq(good[:headerSize-1], 1); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short frame: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF
+	if err := PatchSeq(bad, 1); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[2] = 9
+	if err := PatchSeq(bad, 1); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestEncodeWithCRC(t *testing.T) {
+	c := Chunk{Video: 1, Channel: 4, Seq: 3, Offset: 512, Total: 4096, Payload: []byte("cached crc")}
+	ref, err := c.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.EncodeWithCRC(nil, PayloadCRC(c.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Error("EncodeWithCRC(PayloadCRC(p)) differs from Encode")
+	}
+	// A stale CRC produces a frame the decoder rejects — the contract that
+	// keeps cache bugs loud.
+	stale, err := c.EncodeWithCRC(nil, PayloadCRC(c.Payload)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(stale); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("mismatched CRC decoded: %v", err)
+	}
+	if _, err := c.EncodeWithCRC(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	big := Chunk{Payload: make([]byte, MaxPayload+1)}
+	if _, err := big.EncodeWithCRC(nil, 0); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
 func TestDecodeRejectsReservedByte(t *testing.T) {
 	good, err := (&Chunk{Payload: []byte("x")}).Encode(nil)
 	if err != nil {
