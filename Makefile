@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos verify bench bench-sweep bench-datapath
+.PHONY: build test vet race chaos fuzz vulncheck verify bench bench-sweep bench-datapath bench-overload
 
 build:
 	$(GO) build ./...
@@ -18,16 +18,35 @@ race:
 	$(GO) test -race ./internal/des ./internal/metrics ./internal/sim ./internal/bench \
 		./internal/faults ./internal/mcast
 
-# The chaos gate: the fault-injection and loss-recovery suites — seeded
-# drop/duplicate/reorder plans, unicast repair, reconnects, idle reaping,
-# graceful degradation — under the race detector.
+# The chaos gate: the fault-injection, loss-recovery, and overload suites
+# — seeded drop/duplicate/reorder plans, unicast repair, reconnects, idle
+# reaping, graceful degradation, repair admission, storm coalescing,
+# supervised pacers, drain, and member eviction — under the race detector.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle' \
-		./internal/faults ./internal/client ./internal/server
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter' \
+		./internal/faults ./internal/client ./internal/server ./internal/mcast
+
+# Ten seconds of coverage-guided fuzzing per wire decoder (frame and
+# control planes): malformed input must error, never panic, and every
+# accepted message must survive an encode/decode round trip.
+fuzz:
+	$(GO) test ./internal/wire -fuzz 'FuzzChunkDecode$$' -fuzztime 10s -run '^$$'
+	$(GO) test ./internal/wire -fuzz 'FuzzControlDecode$$' -fuzztime 10s -run '^$$'
+
+# Known-vulnerability scan, skipped quietly where the tool is not
+# installed (the repo adds no dependencies, so this guards the stdlib).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping"; \
+	fi
 
 # The PR gate: tier-1 build+test, vet, race-checked concurrency, the
-# chaos suite, and the data-path benchmark record.
-verify: build vet test race chaos bench-datapath
+# chaos suite, fuzzers, vulnerability scan, and the data-path benchmark
+# record.
+verify: build vet test race chaos fuzz vulncheck bench-datapath
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -42,3 +61,8 @@ bench-sweep:
 bench-datapath:
 	$(GO) test -bench 'PaceEncode|ContentFill|ContentVerify|HubSend' -benchmem -run '^$$' -json \
 		./internal/server ./internal/content ./internal/mcast > BENCH_datapath.json
+
+# Record the overload curve: a fixed repair budget against 1x..3x demand
+# (see EXPERIMENTS.md "Overload behavior").
+bench-overload:
+	$(GO) run ./cmd/skychaos -overload -drops 0.05 -multipliers 1,2,3 -out BENCH_overload.json

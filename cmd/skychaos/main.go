@@ -8,15 +8,25 @@
 //
 //	skychaos -M 1 -K 5 -W 2 -unit 80ms -seed 1 -drops 0.01,0.03,0.05
 //	skychaos -no-repair -drops 0.25     # graceful degradation instead
+//	skychaos -overload -multipliers 1,2,3 -out BENCH_overload.json
+//
+// The -overload mode sweeps repair demand against a fixed admission
+// budget: the server's token bucket is provisioned for one session's
+// expected repair bandwidth, then 1x, 2x, 3x... concurrent degradable
+// clients offer multiples of it. The resulting delivered/degraded/busy
+// curves (written as JSON) show the overload-safe repair plane holding
+// its budget while every session still terminates.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"skyscraper/internal/client"
@@ -42,8 +52,23 @@ func main() {
 		maxDelay = flag.Duration("max-delay", 5*time.Millisecond, "delay upper bound when -delay > 0")
 		noRepair = flag.Bool("no-repair", false, "disable the repair path; losses degrade the session instead")
 		verbose  = flag.Bool("v", false, "log protocol details")
+		overload = flag.Bool("overload", false,
+			"run the overload sweep: fixed repair budget vs multiples of expected demand")
+		multipliers = flag.String("multipliers", "1,2,3", "demand multipliers (concurrent clients) for -overload")
+		out         = flag.String("out", "BENCH_overload.json", "JSON output path for -overload")
 	)
 	flag.Parse()
+	if *overload {
+		rate := 0.05
+		if rs, err := parseRates(*drops); err == nil && len(rs) == 1 {
+			rate = rs[0]
+		}
+		if err := overloadSweep(*videos, *channels, *width, *unit, rate, *seed, *multipliers, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "skychaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rates, err := parseRates(*drops)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skychaos:", err)
@@ -169,4 +194,176 @@ func sweep(videos, channels int, width int64, unit time.Duration,
 			load.RequestsPerSession, 100*load.StreamFrac)
 	}
 	return nil
+}
+
+// overloadRow is one point on the budget-vs-demand curve.
+type overloadRow struct {
+	Multiplier        int     `json:"multiplier"`
+	Clients           int     `json:"clients"`
+	BudgetBytesPerSec float64 `json:"budget_bytes_per_sec"`
+	ElapsedSec        float64 `json:"elapsed_sec"`
+	BytesDelivered    int64   `json:"bytes_delivered"`
+	RepairedChunks    int64   `json:"repaired_chunks"`
+	LostChunks        int64   `json:"lost_chunks"`
+	DegradedSessions  int     `json:"degraded_sessions"`
+	BusyReplies       int64   `json:"busy_replies"`
+	RepairBytesServed int64   `json:"repair_bytes_served"`
+	StormResends      int64   `json:"storm_resends"`
+	SuppressedRepairs int64   `json:"suppressed_repairs"`
+}
+
+// overloadReport is the BENCH_overload.json document.
+type overloadReport struct {
+	Videos    int           `json:"videos"`
+	Channels  int           `json:"channels"`
+	Width     int64         `json:"width"`
+	UnitNanos int64         `json:"unit_nanos"`
+	DropRate  float64       `json:"drop_rate"`
+	Seed      uint64        `json:"seed"`
+	Rows      []overloadRow `json:"rows"`
+}
+
+// overloadSweep provisions the server's repair token bucket for ONE
+// session's expected repair bandwidth (plus 20% slack), then offers it
+// multiples of that demand as concurrent degradable clients. Within
+// budget every loss is repaired; beyond it the bucket answers Busy, the
+// clients back off on desynchronized jittered schedules, and the surplus
+// degrades gracefully instead of extracting unbounded unicast bytes.
+func overloadSweep(videos, channels int, width int64, unit time.Duration,
+	drop float64, seed uint64, multipliers, out string) error {
+	var ms []int
+	for _, f := range strings.Split(multipliers, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		m, err := strconv.Atoi(f)
+		if err != nil || m <= 0 {
+			return fmt.Errorf("bad multiplier %q", f)
+		}
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return fmt.Errorf("no multipliers in %q", multipliers)
+	}
+	cfg := vod.Config{
+		ServerMbps: 1.5 * float64(videos*channels),
+		Videos:     videos,
+		LengthMin:  120,
+		RateMbps:   1.5,
+	}
+	sch, err := core.New(cfg, width)
+	if err != nil {
+		return err
+	}
+	// Expected repair demand of one session, in the token bucket's own
+	// currency: lost chunks * chunk bytes over the session's wall time.
+	chunksPerVideo := int(sch.TotalUnits()) * 4096 / 1024
+	playbackSec := float64(sch.TotalUnits()) * unit.Seconds()
+	perSession, err := unicast.RepairBandwidthBytes(drop, chunksPerVideo, 1024, playbackSec, 1)
+	if err != nil {
+		return err
+	}
+	budget := 1.2 * perSession
+
+	report := overloadReport{
+		Videos: videos, Channels: channels, Width: width,
+		UnitNanos: int64(unit), DropRate: drop, Seed: seed,
+	}
+	fmt.Printf("%-6s %8s %12s %10s %9s %6s %9s %9s %12s\n",
+		"mult", "clients", "budget(B/s)", "delivered", "repaired", "lost", "degraded", "busy", "repair-bytes")
+	for _, m := range ms {
+		row, err := overloadPoint(sch, unit, drop, seed, budget, m)
+		if err != nil {
+			return fmt.Errorf("multiplier %d: %w", m, err)
+		}
+		fmt.Printf("%-6d %8d %12.0f %10d %9d %6d %9d %9d %12d\n",
+			row.Multiplier, row.Clients, row.BudgetBytesPerSec, row.BytesDelivered,
+			row.RepairedChunks, row.LostChunks, row.DegradedSessions,
+			row.BusyReplies, row.RepairBytesServed)
+		report.Rows = append(report.Rows, *row)
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("skychaos: wrote %s\n", out)
+	return nil
+}
+
+// overloadPoint runs one server with the fixed budget against m
+// concurrent clients and tallies the curve point. The burst is sized to
+// one session's expected total repair bytes: a single in-budget client
+// rides the burst through its correlated loss spikes, while surplus
+// demand drains the bucket and meets Busy.
+func overloadPoint(sch *core.Scheme, unit time.Duration, drop float64,
+	seed uint64, budget float64, m int) (*overloadRow, error) {
+	chunksPerVideo := int(sch.TotalUnits()) * 4096 / 1024
+	burst := int64(drop*float64(chunksPerVideo)*1024) + 1024
+	srv, err := server.New(server.Config{
+		Scheme:           sch,
+		Unit:             unit,
+		BytesPerUnit:     4096,
+		ChunkBytes:       1024,
+		RepairBandwidth:  int64(budget),
+		RepairBurstBytes: burst,
+		StormThreshold:   4,
+		Faults:           &faults.Plan{Seed: seed, Drop: drop},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	row := &overloadRow{Multiplier: m, Clients: m, BudgetBytesPerSec: budget}
+	start := time.Now()
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	errs := make([]error, m)
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats, err := client.Watch(client.Config{
+				ServerAddr:    srv.Addr(),
+				Video:         0,
+				JoinLeadFrac:  0.9,
+				SlackFrac:     1.0,
+				RepairLagFrac: 0.3,
+				AllowDegraded: true,
+				Seed:          seed<<8 + uint64(i) + 1,
+			})
+			errs[i] = err
+			if stats == nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			row.BytesDelivered += stats.Bytes
+			row.RepairedChunks += stats.RepairedChunks
+			row.LostChunks += stats.LostChunks
+			row.BusyReplies += stats.BusyReplies
+			if stats.LostChunks > 0 {
+				row.DegradedSessions++
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	row.ElapsedSec = time.Since(start).Seconds()
+	row.RepairBytesServed = srv.RepairBytesServed()
+	row.StormResends = srv.StormResends()
+	row.SuppressedRepairs = srv.SuppressedRepairs()
+	return row, nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,16 +33,20 @@ func main() {
 		status   = flag.Bool("status", true, "serve an HTTP /status endpoint")
 		cacheB   = flag.Int64("frame-cache-bytes", 0,
 			"frame cache budget in bytes (0 = default, negative = disable frame residency)")
-		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the status endpoint")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the status endpoint")
+		repairBW = flag.Int64("repair-bandwidth", 0,
+			"repair-plane admission budget in bytes/sec (0 = unlimited); size it with unicast.RepairBandwidthBytes")
+		drainTO = flag.Duration("drain-timeout", 10*time.Second,
+			"how long a SIGTERM/SIGINT drain waits for in-flight control handlers before forcing shutdown")
 	)
 	flag.Parse()
-	if err := run(*videos, *channels, *width, *unit, *bpu, *chunk, *status, *cacheB, *pprofOn); err != nil {
+	if err := run(*videos, *channels, *width, *unit, *bpu, *chunk, *status, *cacheB, *pprofOn, *repairBW, *drainTO); err != nil {
 		fmt.Fprintln(os.Stderr, "skyserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, status bool, cacheBytes int64, pprofOn bool) error {
+func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, status bool, cacheBytes int64, pprofOn bool, repairBW int64, drainTO time.Duration) error {
 	cfg := vod.Config{
 		ServerMbps: 1.5 * float64(videos*channels),
 		Videos:     videos,
@@ -59,6 +64,7 @@ func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, 
 		ChunkBytes:      chunk,
 		FrameCacheBytes: cacheBytes,
 		EnablePprof:     pprofOn,
+		RepairBandwidth: repairBW,
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -78,10 +84,20 @@ func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, 
 	}
 	fmt.Printf("skyserver: %d videos x %d channels, fragments %v (units of %v)\n",
 		videos, sch.K(), sch.Sizes(), unit)
-	fmt.Println("skyserver: ctrl-C to stop")
+	fmt.Println("skyserver: ctrl-C to drain and stop")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful drain: stop accepting, send bye to connected clients
+	// (they finish on broadcast data alone), wait for in-flight control
+	// handlers up to the deadline, then tear the broadcast down.
+	fmt.Printf("skyserver: draining (up to %v)\n", drainTO)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("skyserver: drained")
 	return nil
 }

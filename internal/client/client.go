@@ -28,6 +28,7 @@ import (
 
 	"skyscraper/internal/content"
 	"skyscraper/internal/core"
+	"skyscraper/internal/des"
 	"skyscraper/internal/mcast"
 	"skyscraper/internal/series"
 	"skyscraper/internal/trace"
@@ -36,6 +37,21 @@ import (
 
 // maxRepairAttempts caps the unicast round trips spent on one chunk.
 const maxRepairAttempts = 5
+
+// errServerDraining reports a server-initiated bye: the server is shutting
+// down gracefully and will answer no further requests on this session.
+var errServerDraining = errors.New("client: server draining (bye received)")
+
+// errBusy is the server's admission pushback on a repair request; it is
+// flow control, not failure.
+type errBusy struct{ retryAfter time.Duration }
+
+func (e *errBusy) Error() string {
+	if e.retryAfter <= 0 {
+		return "client: server busy (re-listen to broadcast)"
+	}
+	return fmt.Sprintf("client: server busy (retry after %v)", e.retryAfter)
+}
 
 // Config parameterizes one viewing session.
 type Config struct {
@@ -64,6 +80,13 @@ type Config struct {
 	// recovered before their playback deadline. Content-verification
 	// errors always fail the session.
 	AllowDegraded bool
+	// Seed keys the session's deterministic backoff jitter: every repair
+	// retry and control reconnect sleeps a full-jitter delay drawn from a
+	// substream of this seed, so two clients with different seeds
+	// desynchronize their retry schedules instead of re-storming the
+	// server in lockstep — while a given seed always reproduces the same
+	// schedule.
+	Seed uint64
 	// ControlTimeout bounds each control round trip (join acks, repair
 	// replies) and each reconnect dial. Defaults to 5 seconds.
 	ControlTimeout time.Duration
@@ -103,6 +126,9 @@ type Stats struct {
 	RepairedChunks int64
 	// RepairRequests counts REPAIR round trips issued, retries included.
 	RepairRequests int64
+	// BusyReplies counts repair requests the server pushed back with Busy
+	// (admission control or storm suppression).
+	BusyReplies int64
 	// Reconnects counts control-connection re-dials that succeeded.
 	Reconnects int64
 	// MaxBufferBytes is the high-water mark of downloaded-but-unplayed
@@ -201,7 +227,41 @@ type session struct {
 
 	// Counters shared by the two loader goroutines.
 	downloaded, bytes, byteErrors, lateChunks, dupChunks, maxBuffer atomic.Int64
-	lost, repaired, repairReqs, reconnects                          atomic.Int64
+	lost, repaired, repairReqs, reconnects, busyReplies             atomic.Int64
+
+	// serverBye latches a server-initiated bye (graceful drain): no
+	// further repairs are attempted; pending chunks ride the broadcast.
+	serverBye atomic.Bool
+	// redials numbers reconnect sleeps across the whole session, so each
+	// draws from a fresh jitter substream.
+	redials atomic.Int64
+}
+
+// jitterKeyReconnect is the jitter substream key for control reconnects;
+// repair retries key on (channel, chunk) via repairJitterKey, so no two
+// retry sites share a stream.
+const jitterKeyReconnect = ^uint64(0)
+
+func repairJitterKey(channel, idx int) uint64 {
+	return uint64(uint32(channel))<<32 | uint64(uint32(idx))
+}
+
+// jitterIn returns a deterministic full-jitter delay: uniform in
+// (0, window], bounded below by 1ms so retries never spin, drawn from the
+// substream of the session seed identified by (key, stream). Distinct
+// seeds produce uncorrelated schedules (SubSeed is a SplitMix64
+// finalizer), which is what breaks up client retry synchronization after
+// a shared fault or a shared Busy release time.
+func (s *session) jitterIn(key, stream uint64, window time.Duration) time.Duration {
+	if window < time.Millisecond {
+		window = time.Millisecond
+	}
+	r := des.NewRand(des.SubSeed(des.SubSeed(s.cfg.Seed, key), stream))
+	d := time.Duration(r.Float64() * float64(window))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // maxInt64 raises the atomic to at least v.
@@ -242,12 +302,15 @@ func (s *session) redialLocked() error {
 		s.conn = nil
 		s.cr = nil
 	}
-	backoff := 10 * time.Millisecond
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			// Full-jitter backoff with a doubling window: after a server
+			// restart every client of the old process re-dials at once,
+			// and jitter spreads the reconnect wave. The stream index is
+			// session-global so repeated redial rounds stay uncorrelated.
+			window := 10 * time.Millisecond << (attempt - 1)
+			time.Sleep(s.jitterIn(jitterKeyReconnect, uint64(s.redials.Add(1)), window))
 		}
 		conn, err := net.DialTimeout("tcp", s.cfg.ServerAddr, s.cfg.ControlTimeout)
 		if err != nil {
@@ -293,6 +356,17 @@ func (s *session) roundTrip(msg *wire.Control, wantReply bool) (*wire.Control, e
 		}
 		reply, err := s.tryLocked(msg, wantReply)
 		if err == nil {
+			if wantReply && reply.Kind == wire.KindBye {
+				// Server-initiated bye: the server is draining. Latch it,
+				// drop the connection (the server closes it right after),
+				// and let the session degrade onto the broadcast alone.
+				s.serverBye.Store(true)
+				s.tracef("server-bye", "server draining; disabling repairs")
+				s.cfg.Logf("client: server draining (bye); continuing without repairs")
+				s.conn.Close()
+				s.conn, s.cr = nil, nil
+				return nil, errServerDraining
+			}
 			return reply, nil
 		}
 		lastErr = err
@@ -342,6 +416,10 @@ func (s *session) repairChunk(channel int, seq uint32, offset int64, length int)
 	reply, err := s.roundTrip(&wire.Control{Kind: wire.KindRepair, Repair: req}, true)
 	if err != nil {
 		return nil, err
+	}
+	if reply.Kind == wire.KindBusy {
+		s.busyReplies.Add(1)
+		return nil, &errBusy{retryAfter: time.Duration(reply.RetryAfterNanos)}
 	}
 	if reply.Kind != wire.KindRepairOK || reply.Repair == nil {
 		return nil, fmt.Errorf("repair rejected: %s", reply.Error)
@@ -405,6 +483,7 @@ func (s *session) run() (*Stats, error) {
 		LostChunks:      s.lost.Load(),
 		RepairedChunks:  s.repaired.Load(),
 		RepairRequests:  s.repairReqs.Load(),
+		BusyReplies:     s.busyReplies.Load(),
 		Reconnects:      s.reconnects.Load(),
 		MaxBufferBytes:  s.maxBuffer.Load(),
 		Groups:          len(groups),
@@ -567,7 +646,7 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g seri
 				markLost(idx)
 				continue
 			}
-			repairable := !s.cfg.DisableRepair && attempts[idx] < maxRepairAttempts
+			repairable := !s.cfg.DisableRepair && attempts[idx] < maxRepairAttempts && !s.serverBye.Load()
 			if repairable && !now.Before(tryAt[idx]) {
 				off := int64(idx) * int64(s.w.ChunkBytes)
 				s.tracef("repair-req", "ch %d seq %d chunk %d (attempt %d)", channel, wantSeq, idx, attempts[idx]+1)
@@ -575,15 +654,40 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g seri
 				now = time.Now()
 				attempts[idx]++
 				if err != nil {
-					s.tracef("repair-fail", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
-					if attempts[idx] >= maxRepairAttempts {
-						markLost(idx)
-						continue
+					var busy *errBusy
+					switch {
+					case errors.As(err, &busy):
+						// Admission pushback is flow control, not failure:
+						// the chunk stays eligible until its playback
+						// deadline. A positive hint is honored with added
+						// jitter so clients released together do not
+						// re-storm; a zero hint means the answer is in
+						// flight on the broadcast group — re-listen for
+						// about a chunk interval before asking again.
+						s.tracef("repair-busy", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
+						wait := busy.retryAfter
+						if wait <= 0 {
+							wait = 2 * spacing
+						}
+						tryAt[idx] = now.Add(wait +
+							s.jitterIn(repairJitterKey(channel, idx), uint64(attempts[idx]), wait/2+time.Millisecond))
+					case errors.Is(err, errServerDraining):
+						// No further repairs this session; the chunk rides
+						// the broadcast until its deadline.
+						s.tracef("repair-off", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
+					default:
+						s.tracef("repair-fail", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
+						if attempts[idx] >= maxRepairAttempts {
+							markLost(idx)
+							continue
+						}
+						// Full-jitter exponential backoff, bounded below
+						// by a millisecond so retries never spin and
+						// keyed per chunk so concurrent recoveries
+						// desynchronize.
+						window := 4 * time.Millisecond << attempts[idx]
+						tryAt[idx] = now.Add(s.jitterIn(repairJitterKey(channel, idx), uint64(attempts[idx]), window))
 					}
-					// Exponential backoff, bounded below by a
-					// millisecond so retries never spin.
-					backoff := time.Duration(1<<attempts[idx]) * 2 * time.Millisecond
-					tryAt[idx] = now.Add(backoff)
 				} else {
 					have[idx] = true
 					got++

@@ -32,6 +32,13 @@ type fakeServer struct {
 	refuseJoins    atomic.Bool
 	refuseRepairs  atomic.Bool
 	garbleWelcome  atomic.Bool
+	// busyFirst answers that many repair requests with Busy (and a 5ms
+	// retry hint) before serving normally; alwaysBusy answers every
+	// repair with a zero-hint Busy (re-listen); byeOnRepair answers the
+	// first repair with a server-initiated bye and hangs up.
+	busyFirst   atomic.Int32
+	alwaysBusy  atomic.Bool
+	byeOnRepair atomic.Bool
 	// closeAfterJoins, when positive, drops the control connection after
 	// that many joins, exercising the client's reconnect path.
 	closeAfterJoins atomic.Int32
@@ -128,6 +135,19 @@ func (f *fakeServer) serve(conn net.Conn) {
 			rp := m.Repair
 			if rp == nil || rp.Channel < 1 || rp.Channel > len(f.sizes) || rp.Length <= 0 || f.refuseRepairs.Load() {
 				_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindError, Error: "repair refused"})
+				continue
+			}
+			if f.byeOnRepair.Load() {
+				_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindBye})
+				return
+			}
+			if f.alwaysBusy.Load() {
+				_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindBusy})
+				continue
+			}
+			if f.busyFirst.Load() > 0 && f.busyFirst.Add(-1) >= 0 {
+				_ = wire.WriteControl(conn, &wire.Control{Kind: wire.KindBusy,
+					RetryAfterNanos: int64(5 * time.Millisecond)})
 				continue
 			}
 			var base int64
@@ -473,5 +493,122 @@ func TestWatchBufferCapacity(t *testing.T) {
 	}
 	if _, err := Watch(Config{ServerAddr: f.addr(), Video: 0, MaxBufferBytes: 1 << 20}); err != nil {
 		t.Fatalf("generous disk failed: %v", err)
+	}
+}
+
+// TestBackoffJitterDesync: the anti-storm property of Config.Seed. Two
+// sessions with different seeds must draw different backoff schedules from
+// the same retry sites (so a shared fault or a shared Busy release time
+// does not re-synchronize them), while the same seed must reproduce the
+// same schedule exactly, and every delay must respect (0, window] with the
+// 1ms anti-spin floor.
+func TestBackoffJitterDesync(t *testing.T) {
+	const window = 80 * time.Millisecond
+	schedule := func(seed uint64) []time.Duration {
+		s := &session{cfg: Config{Seed: seed}}
+		var ds []time.Duration
+		for stream := uint64(1); stream <= 8; stream++ {
+			ds = append(ds,
+				s.jitterIn(jitterKeyReconnect, stream, window),
+				s.jitterIn(repairJitterKey(3, 7), stream, window))
+		}
+		return ds
+	}
+	a, b, again := schedule(1), schedule(2), schedule(1)
+	for i := range a {
+		if a[i] != again[i] {
+			t.Fatalf("seed 1 not reproducible at slot %d: %v vs %v", i, a[i], again[i])
+		}
+		if a[i] < time.Millisecond || a[i] > window {
+			t.Errorf("slot %d delay %v outside [1ms, %v]", i, a[i], window)
+		}
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/4 {
+		t.Errorf("seeds 1 and 2 collide on %d/%d backoff slots; schedules not desynchronized", same, len(a))
+	}
+	// Distinct retry sites under one seed must also not share a stream.
+	s := &session{cfg: Config{Seed: 1}}
+	if s.jitterIn(jitterKeyReconnect, 1, window) == s.jitterIn(repairJitterKey(1, 1), 1, window) {
+		t.Error("reconnect and repair sites drew identical jitter from one seed")
+	}
+}
+
+// TestWatchHonorsBusyBackoff: admission pushback with a retry hint is flow
+// control, not failure — the client backs off for the hinted interval and
+// the retried repair then succeeds, so the session still completes with
+// every byte intact.
+func TestWatchHonorsBusyBackoff(t *testing.T) {
+	f := newFakeServer(t)
+	f.unit = 80 * time.Millisecond
+	f.plan = &faults.Plan{Seed: 11, Drop: 0.3}
+	f.busyFirst.Store(2)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0, SlackFrac: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatalf("busy replies failed the session: %v (stats %+v)", err, stats)
+	}
+	if stats.BusyReplies == 0 {
+		t.Error("no Busy reply counted despite the server sending them")
+	}
+	if stats.RepairedChunks == 0 {
+		t.Error("no chunk repaired after backoff")
+	}
+	if stats.LostChunks != 0 || stats.ByteErrors != 0 {
+		t.Errorf("degraded despite transient busy: %+v", stats)
+	}
+	if want := int64(3 * 64); stats.Bytes != want {
+		t.Errorf("bytes = %d, want %d", stats.Bytes, want)
+	}
+}
+
+// TestWatchDegradesUnderPersistentBusy: a server that never admits repairs
+// (zero-hint Busy: "re-listen to the broadcast") must not wedge the client
+// — dropped chunks run out their deadlines and are counted as losses in
+// degraded mode, with no repair ever marked successful.
+func TestWatchDegradesUnderPersistentBusy(t *testing.T) {
+	f := newFakeServer(t)
+	f.unit = 80 * time.Millisecond
+	f.plan = &faults.Plan{Seed: 11, Drop: 0.3}
+	f.alwaysBusy.Store(true)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0, SlackFrac: 1.0, AllowDegraded: true, Seed: 7})
+	if err != nil {
+		t.Fatalf("persistent busy wedged the session: %v (stats %+v)", err, stats)
+	}
+	if stats.BusyReplies == 0 {
+		t.Error("no Busy reply counted")
+	}
+	if stats.RepairedChunks != 0 {
+		t.Errorf("repairs succeeded against an always-busy server: %+v", stats)
+	}
+	if stats.LostChunks == 0 {
+		t.Error("no losses counted; drop plan or deadline accounting broken")
+	}
+}
+
+// TestWatchStopsRepairsOnBye: a server-initiated bye (graceful drain)
+// latches for the whole session — no loader issues further repairs, and
+// the session completes degraded on broadcast data alone.
+func TestWatchStopsRepairsOnBye(t *testing.T) {
+	f := newFakeServer(t)
+	f.unit = 80 * time.Millisecond
+	f.plan = &faults.Plan{Seed: 11, Drop: 0.3}
+	f.byeOnRepair.Store(true)
+	stats, err := Watch(Config{ServerAddr: f.addr(), Video: 0, SlackFrac: 1.0, AllowDegraded: true, Seed: 7})
+	if err != nil {
+		t.Fatalf("server bye wedged the session: %v (stats %+v)", err, stats)
+	}
+	if stats.RepairRequests == 0 {
+		t.Error("no repair was ever attempted, so the bye path never ran")
+	}
+	if stats.RepairedChunks != 0 {
+		t.Errorf("repairs succeeded after the server said bye: %+v", stats)
+	}
+	if stats.LostChunks == 0 {
+		t.Error("no losses counted after repairs were cut off")
 	}
 }

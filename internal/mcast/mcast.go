@@ -46,6 +46,19 @@ type Sender interface {
 // replacement and swap the pointer.
 type membership map[Group][]netip.AddrPort
 
+// EvictAfterFailures is how many consecutive send failures remove a member
+// from its group: a receiver whose address errors on every write (torn
+// down, unroutable) would otherwise be re-tried on every datagram forever,
+// taxing each broadcast with a doomed syscall. One success resets the
+// count, so a flaky-but-alive member is never evicted.
+const EvictAfterFailures = 8
+
+// memberKey identifies one (group, member) edge for failure tracking.
+type memberKey struct {
+	g  Group
+	ap netip.AddrPort
+}
+
 // Hub is the group registry and sender. All methods are safe for
 // concurrent use.
 type Hub struct {
@@ -60,6 +73,14 @@ type Hub struct {
 	sent      metrics.AtomicCounter
 	sentBytes metrics.AtomicCounter
 	failed    metrics.AtomicCounter
+
+	// failing tracks consecutive send failures per (group, member) edge,
+	// under mu; a member reaching EvictAfterFailures is removed from its
+	// group. nfailing mirrors len(failing) so the Send success path can
+	// skip the mutex (and stay allocation-free) while nothing is failing.
+	failing  map[memberKey]int
+	nfailing atomic.Int32
+	evicted  metrics.AtomicCounter
 }
 
 var _ Sender = (*Hub)(nil)
@@ -126,6 +147,12 @@ func (h *Hub) Leave(g Group, addr *net.UDPAddr) {
 	ap := addrPort(addr)
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.removeLocked(g, ap)
+	h.forgetLocked(memberKey{g, ap})
+}
+
+// removeLocked drops ap from group g in a fresh snapshot. Callers hold mu.
+func (h *Hub) removeLocked(g Group, ap netip.AddrPort) {
 	cur := *h.members.Load()
 	idx := -1
 	for i, have := range cur[g] {
@@ -143,6 +170,41 @@ func (h *Hub) Leave(g Group, addr *net.UDPAddr) {
 		delete(next, g)
 	}
 	h.members.Store(&next)
+}
+
+// forgetLocked clears ap's failure record. Callers hold mu.
+func (h *Hub) forgetLocked(k memberKey) {
+	if _, ok := h.failing[k]; !ok {
+		return
+	}
+	delete(h.failing, k)
+	h.nfailing.Store(int32(len(h.failing)))
+}
+
+// noteFailure records one failed write to (g, ap) and evicts the member
+// once it accumulates EvictAfterFailures consecutive failures.
+func (h *Hub) noteFailure(g Group, ap netip.AddrPort) {
+	k := memberKey{g, ap}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.failing == nil {
+		h.failing = make(map[memberKey]int)
+	}
+	h.failing[k]++
+	if h.failing[k] >= EvictAfterFailures {
+		h.removeLocked(g, ap)
+		delete(h.failing, k)
+		h.evicted.Inc()
+	}
+	h.nfailing.Store(int32(len(h.failing)))
+}
+
+// noteSuccess resets ap's consecutive-failure count. Callers invoke it only
+// when nfailing is non-zero, keeping the all-healthy Send path lock-free.
+func (h *Hub) noteSuccess(g Group, ap netip.AddrPort) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.forgetLocked(memberKey{g, ap})
 }
 
 // Members returns the current subscriber count of g.
@@ -173,9 +235,13 @@ func (h *Hub) Send(g Group, frame []byte) (int, error) {
 			if first == nil {
 				first = err
 			}
+			h.noteFailure(g, ap)
 			continue
 		}
 		n++
+		if h.nfailing.Load() != 0 {
+			h.noteSuccess(g, ap)
+		}
 	}
 	if n > 0 {
 		h.sent.Add(int64(n))
@@ -206,6 +272,10 @@ func (h *Hub) SentBytes() int64 { return h.sentBytes.Value() }
 // SendFailures returns how many member writes have failed since creation;
 // each failed member was skipped while the rest of its group was served.
 func (h *Hub) SendFailures() int64 { return h.failed.Value() }
+
+// Evictions returns how many members have been removed after
+// EvictAfterFailures consecutive send failures.
+func (h *Hub) Evictions() int64 { return h.evicted.Value() }
 
 // Close shuts the sending socket; subsequent Joins and Sends fail.
 func (h *Hub) Close() error {

@@ -238,6 +238,129 @@ func TestSendBestEffort(t *testing.T) {
 	}
 }
 
+// TestEvictDeadMember: a member that fails EvictAfterFailures consecutive
+// sends is removed from its group, so later broadcasts stop paying a doomed
+// syscall for it, while healthy members keep receiving throughout.
+func TestEvictDeadMember(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	g := Group{Video: 1, Channel: 1}
+	healthy, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	if err := hub.Join(g, healthy.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Persistently dead member: an address family the hub's IPv4 socket
+	// rejects, so every write fails deterministically.
+	dead := &net.UDPAddr{IP: net.IPv6loopback, Port: 40001}
+	if err := hub.Join(g, dead); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Members(g) != 2 {
+		t.Fatalf("members = %d, want 2", hub.Members(g))
+	}
+
+	frame := []byte("evict me")
+	for i := 0; i < EvictAfterFailures; i++ {
+		if hub.Members(g) != 2 {
+			t.Fatalf("member evicted after only %d failures", i)
+		}
+		n, err := hub.Send(g, frame)
+		if n != 1 {
+			t.Fatalf("send %d delivered to %d members, want 1", i, n)
+		}
+		if err == nil {
+			t.Fatalf("send %d: dead member produced no error", i)
+		}
+	}
+	if hub.Members(g) != 1 {
+		t.Fatalf("members after %d failures = %d, want 1 (dead member evicted)",
+			EvictAfterFailures, hub.Members(g))
+	}
+	if hub.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", hub.Evictions())
+	}
+	// Post-eviction sends are clean: no failures, healthy member served.
+	failedBefore := hub.SendFailures()
+	if n, err := hub.Send(g, frame); err != nil || n != 1 {
+		t.Errorf("post-eviction send: n=%d err=%v", n, err)
+	}
+	if hub.SendFailures() != failedBefore {
+		t.Error("evicted member still charged a send failure")
+	}
+	buf := make([]byte, 32)
+	healthy.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < EvictAfterFailures+1; i++ {
+		if _, _, err := healthy.Conn.ReadFromUDP(buf); err != nil {
+			t.Fatalf("healthy member starved at datagram %d: %v", i, err)
+		}
+	}
+}
+
+// TestFailureCounterResetsOnSuccess: the eviction count is of consecutive
+// failures — one success wipes the slate, so a flaky member that delivers
+// intermittently is never evicted. A real socket cannot be made to fail and
+// then succeed on demand, so this drives the in-package counters directly.
+func TestFailureCounterResetsOnSuccess(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	g := Group{Video: 2, Channel: 1}
+	rcv, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	if err := hub.Join(g, rcv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ap := addrPort(rcv.Addr())
+
+	for i := 0; i < EvictAfterFailures-1; i++ {
+		hub.noteFailure(g, ap)
+	}
+	if hub.Members(g) != 1 {
+		t.Fatal("member evicted one failure early")
+	}
+	if hub.nfailing.Load() != 1 {
+		t.Errorf("nfailing = %d, want 1", hub.nfailing.Load())
+	}
+	hub.noteSuccess(g, ap)
+	if hub.nfailing.Load() != 0 {
+		t.Errorf("nfailing after success = %d, want 0", hub.nfailing.Load())
+	}
+	// The slate is clean: another EvictAfterFailures-1 failures still do
+	// not evict...
+	for i := 0; i < EvictAfterFailures-1; i++ {
+		hub.noteFailure(g, ap)
+	}
+	if hub.Members(g) != 1 {
+		t.Fatal("failure counter survived an intervening success")
+	}
+	// ...but one more does.
+	hub.noteFailure(g, ap)
+	if hub.Members(g) != 0 {
+		t.Fatal("member not evicted at the threshold")
+	}
+	if hub.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", hub.Evictions())
+	}
+	if hub.nfailing.Load() != 0 {
+		t.Errorf("nfailing after eviction = %d, want 0", hub.nfailing.Load())
+	}
+	// Leave of an already-evicted member is a no-op, and a failure record
+	// for a departed member is dropped with it.
+	hub.Leave(g, rcv.Addr())
+}
+
 // TestSendCounters: byte and datagram counters advance together.
 func TestSendCounters(t *testing.T) {
 	hub, err := NewHub()

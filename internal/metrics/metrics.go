@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Summary accumulates scalar observations and reports count, mean, min,
@@ -199,6 +201,79 @@ func (c *AtomicCounter) Add(delta int64) {
 
 // Value returns the current count.
 func (c *AtomicCounter) Value() int64 { return c.n.Load() }
+
+// TokenBucket is a continuously refilled token bucket, the admission
+// primitive of the server's overload-safe repair plane: capacity refills
+// at rate tokens/second up to burst, and each admitted request spends its
+// cost up front. Take never sleeps — a denied caller receives the earliest
+// retry-after delay at which the spend could succeed, so pushback can be
+// propagated to remote clients instead of queued locally. Safe for
+// concurrent use; time is supplied by the caller, which keeps the bucket
+// fully deterministic under test clocks.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+	denied AtomicCounter
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens/second up
+// to burst. It panics if rate or burst is not positive — an unlimited
+// resource is represented by no bucket at all, not a degenerate one.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if rate <= 0 || burst <= 0 {
+		panic(fmt.Sprintf("metrics: NewTokenBucket(%v, %v): rate and burst must be positive", rate, burst))
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// refillLocked advances the bucket to now. Callers hold mu.
+func (b *TokenBucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		b.last = now
+	}
+}
+
+// Take attempts to spend n tokens at time now. On success it returns
+// (true, 0); on refusal, (false, d) where d is how long the caller should
+// wait before the same spend could succeed. A spend larger than the burst
+// can never succeed; its retry-after still reports the time to fill the
+// deficit so callers degrade instead of spinning.
+func (b *TokenBucket) Take(now time.Time, n float64) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if n <= b.tokens {
+		b.tokens -= n
+		return true, 0
+	}
+	b.denied.Inc()
+	return false, time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Level returns the token count at time now (for observability).
+func (b *TokenBucket) Level(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens
+}
+
+// Denied returns how many Take calls have been refused.
+func (b *TokenBucket) Denied() int64 { return b.denied.Value() }
+
+// Rate returns the refill rate in tokens/second.
+func (b *TokenBucket) Rate() float64 { return b.rate }
+
+// Burst returns the bucket depth.
+func (b *TokenBucket) Burst() float64 { return b.burst }
 
 // Counter is a monotone event counter.
 type Counter struct{ n int64 }

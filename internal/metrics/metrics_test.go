@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSummaryBasics(t *testing.T) {
@@ -256,4 +257,91 @@ func TestAtomicCounter(t *testing.T) {
 		}
 	}()
 	c.Add(-1)
+}
+
+// TestTokenBucket drives the bucket on a synthetic clock: spends succeed
+// until the burst is gone, retry-after hints are exact, and refill is
+// linear in elapsed time and capped at the burst.
+func TestTokenBucket(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(100, 50) // 100 tokens/s, depth 50
+	if b.Rate() != 100 || b.Burst() != 50 {
+		t.Fatalf("rate/burst = %v/%v", b.Rate(), b.Burst())
+	}
+	if ok, _ := b.Take(t0, 30); !ok {
+		t.Fatal("fresh bucket refused a within-burst spend")
+	}
+	if ok, _ := b.Take(t0, 20); !ok {
+		t.Fatal("exact drain refused")
+	}
+	ok, retry := b.Take(t0, 10)
+	if ok {
+		t.Fatal("empty bucket admitted a spend")
+	}
+	if retry != 100*time.Millisecond { // 10 tokens at 100/s
+		t.Errorf("retry-after = %v, want 100ms", retry)
+	}
+	if b.Denied() != 1 {
+		t.Errorf("Denied = %d, want 1", b.Denied())
+	}
+	// Refill honors the hint exactly.
+	if ok, _ := b.Take(t0.Add(retry), 10); !ok {
+		t.Error("spend refused after waiting the advertised retry-after")
+	}
+	// Refill caps at the burst: after a long idle, one burst is available
+	// but no more.
+	late := t0.Add(time.Hour)
+	if ok, _ := b.Take(late, 50); !ok {
+		t.Error("full burst unavailable after long idle")
+	}
+	if ok, _ := b.Take(late, 1); ok {
+		t.Error("refill overshot the burst")
+	}
+	// A spend beyond the burst can never succeed but still yields a
+	// finite hint.
+	if ok, retry := b.Take(late.Add(time.Hour), 80); ok || retry <= 0 {
+		t.Errorf("over-burst spend: ok=%v retry=%v", ok, retry)
+	}
+	if b.Level(late.Add(2*time.Hour)) != 50 {
+		t.Errorf("Level = %v, want 50", b.Level(late.Add(2*time.Hour)))
+	}
+}
+
+// TestTokenBucketConcurrent hammers one bucket from many goroutines; the
+// admitted total must never exceed burst + elapsed*rate (no token is ever
+// minted twice). Run under -race via make race.
+func TestTokenBucketConcurrent(t *testing.T) {
+	b := NewTokenBucket(1e6, 1000)
+	start := time.Now()
+	var admitted AtomicCounter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if ok, _ := b.Take(time.Now(), 10); ok {
+					admitted.Add(10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if max := 1000 + elapsed*1e6 + 1; float64(admitted.Value()) > max {
+		t.Errorf("admitted %d tokens, budget allowed at most %v", admitted.Value(), max)
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	for _, args := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTokenBucket(%v, %v) did not panic", args[0], args[1])
+				}
+			}()
+			NewTokenBucket(args[0], args[1])
+		}()
+	}
 }

@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"math"
 	"net"
@@ -353,5 +354,62 @@ func TestStatusHTTP(t *testing.T) {
 	}
 	if _, err := raw.ServeStatus(); err == nil {
 		t.Error("ServeStatus before Start accepted")
+	}
+}
+
+// TestCloseDrainRace races Drain against concurrent Close calls while
+// control handlers are mid-request and pacers are broadcasting. Under
+// -race this is the shutdown plane's memory-safety proof; functionally,
+// every shutdown path must return and every handler must terminate.
+func TestCloseDrainRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	for round := 0; round < 3; round++ {
+		sch := liveScheme(t, 1, 3, 2)
+		srv := startServer(t, sch, 20*time.Millisecond)
+
+		// Keep several control sessions busy with round trips so the
+		// shutdown hits handlers at every phase: reading, serving,
+		// writing.
+		var cwg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+					if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindStats}); err != nil {
+						return
+					}
+					if _, err := wire.ReadControl(r); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(30 * time.Millisecond) // let traffic and pacing start
+
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		var swg sync.WaitGroup
+		swg.Add(3)
+		go func() { defer swg.Done(); _ = srv.Drain(ctx) }()
+		go func() { defer swg.Done(); srv.Close() }()
+		go func() { defer swg.Done(); srv.Close() }()
+
+		shutdownDone := make(chan struct{})
+		go func() { swg.Wait(); cwg.Wait(); close(shutdownDone) }()
+		select {
+		case <-shutdownDone:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: shutdown deadlocked", round)
+		}
+		cancel()
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"skyscraper/internal/core"
 	"skyscraper/internal/faults"
 	"skyscraper/internal/mcast"
+	"skyscraper/internal/metrics"
 	"skyscraper/internal/wire"
 )
 
@@ -62,6 +63,35 @@ type Config struct {
 	// EnablePprof registers net/http/pprof's profiling handlers on the
 	// status endpoint's mux (ServeStatus) under /debug/pprof/.
 	EnablePprof bool
+
+	// RepairBandwidth caps the unicast repair plane at this many repair
+	// payload bytes per second, enforced by a token bucket; an over-budget
+	// request is refused with a Busy reply carrying a retry-after hint
+	// instead of being queued. 0 means unlimited. Size it with
+	// unicast.RepairBandwidthBytes from the expected loss rate and session
+	// count.
+	RepairBandwidth int64
+	// RepairBurstBytes is the repair token bucket's depth. Defaults to a
+	// quarter second of RepairBandwidth, but at least one chunk.
+	RepairBurstBytes int64
+	// RepairPerConnPerSec caps repair requests per control connection per
+	// second, so one broken client cannot consume the shared repair
+	// budget. 0 means unlimited.
+	RepairPerConnPerSec float64
+	// StormThreshold coalesces repair storms: when this many distinct
+	// clients request the same chunk within StormWindow, the server
+	// answers once with a multicast re-send on the chunk's broadcast group
+	// and replies Busy(0) to the unicasts so the clients re-listen.
+	// 0 disables coalescing.
+	StormThreshold int
+	// StormWindow is the storm-coalescing window. Defaults to 2*Unit.
+	StormWindow time.Duration
+
+	// PacerHook, when non-nil, is called by each channel pacer after its
+	// timer fires and before the chunk is sent — test instrumentation; a
+	// hook that panics exercises the pacer supervisor.
+	PacerHook func(video, channel int, rep uint32, chunk int)
+
 	// Logf, when non-nil, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -83,6 +113,16 @@ func (c Config) validate() error {
 		return fmt.Errorf("server: ChunkBytes = %d outside (0, %d]", c.ChunkBytes, wire.MaxPayload)
 	case c.BytesPerUnit%c.ChunkBytes != 0:
 		return fmt.Errorf("server: ChunkBytes %d must divide BytesPerUnit %d", c.ChunkBytes, c.BytesPerUnit)
+	case c.RepairBandwidth < 0:
+		return fmt.Errorf("server: RepairBandwidth = %d must be non-negative", c.RepairBandwidth)
+	case c.RepairBurstBytes < 0:
+		return fmt.Errorf("server: RepairBurstBytes = %d must be non-negative", c.RepairBurstBytes)
+	case c.RepairPerConnPerSec < 0:
+		return fmt.Errorf("server: RepairPerConnPerSec = %v must be non-negative", c.RepairPerConnPerSec)
+	case c.StormThreshold < 0:
+		return fmt.Errorf("server: StormThreshold = %d must be non-negative", c.StormThreshold)
+	case c.StormWindow < 0:
+		return fmt.Errorf("server: StormWindow = %v must be non-negative", c.StormWindow)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -107,11 +147,39 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 
-	// repairs counts unicast chunk repairs answered.
-	repairs atomic.Int64
+	// repairBudget is the repair plane's shared token bucket (nil when
+	// RepairBandwidth is 0); storms is the coalescing table (nil when
+	// StormThreshold is 0).
+	repairBudget *metrics.TokenBucket
+	storms       *stormTable
+
+	// draining marks a server in graceful shutdown (Drain); connSeq hands
+	// out control-connection IDs for the storm table's distinct-client
+	// counting.
+	draining atomic.Bool
+	connSeq  atomic.Int64
+
+	// repairs counts unicast chunk repairs answered; repairBytes their
+	// payload bytes; busyReplies the requests pushed back with Busy;
+	// suppressed the unicasts absorbed by storm re-sends (stormResends).
+	repairs      atomic.Int64
+	repairBytes  atomic.Int64
+	busyReplies  atomic.Int64
+	stormResends atomic.Int64
+	suppressed   atomic.Int64
+
+	// pacerRestarts counts supervisor restarts after pacer panics;
+	// driftEvents broadcasts that missed their schedule by over one unit.
+	pacerRestarts atomic.Int64
+	driftEvents   atomic.Int64
 
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// wg tracks the pacer supervisors and the accept loop; connWG the
+	// per-connection control handlers. They are separate so Drain can wait
+	// for in-flight handlers alone, and Close waits wg first — acceptLoop
+	// is the only connWG.Add site, so once it exits connWG cannot grow.
+	wg     sync.WaitGroup
+	connWG sync.WaitGroup
 }
 
 // New validates the configuration and prepares a server.
@@ -131,8 +199,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FrameCacheBytes == 0 {
 		cfg.FrameCacheBytes = DefaultFrameCacheBytes
 	}
+	if cfg.StormWindow == 0 {
+		cfg.StormWindow = 2 * cfg.Unit
+	}
+	if cfg.RepairBandwidth > 0 && cfg.RepairBurstBytes == 0 {
+		cfg.RepairBurstBytes = cfg.RepairBandwidth / 4
+		if min := int64(cfg.ChunkBytes); cfg.RepairBurstBytes < min {
+			cfg.RepairBurstBytes = min
+		}
+	}
 	s := &Server{cfg: cfg, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	s.cache = newFrameCache(cfg.Scheme, cfg.BytesPerUnit, cfg.ChunkBytes, cfg.FrameCacheBytes)
+	if cfg.RepairBandwidth > 0 {
+		s.repairBudget = metrics.NewTokenBucket(float64(cfg.RepairBandwidth), float64(cfg.RepairBurstBytes))
+	}
+	if cfg.StormThreshold > 0 {
+		s.storms = newStormTable(cfg.StormThreshold, cfg.StormWindow)
+	}
 	return s, nil
 }
 
@@ -168,7 +251,7 @@ func (s *Server) Start() error {
 	for v := 0; v < sch.Config().Videos; v++ {
 		for i := 1; i <= sch.K(); i++ {
 			s.wg.Add(1)
-			go s.pace(v, i)
+			go s.runPacer(v, i)
 		}
 	}
 	s.wg.Add(1)
@@ -194,6 +277,36 @@ func (s *Server) Injector() *faults.Injector { return s.inj }
 // RepairsServed returns how many unicast chunk repairs have been answered.
 func (s *Server) RepairsServed() int64 { return s.repairs.Load() }
 
+// RepairBytesServed returns the payload bytes those repairs carried.
+func (s *Server) RepairBytesServed() int64 { return s.repairBytes.Load() }
+
+// BusyReplies returns how many repair requests were pushed back with Busy
+// (admission denials plus storm suppressions).
+func (s *Server) BusyReplies() int64 { return s.busyReplies.Load() }
+
+// StormResends returns how many coalesced repair storms were answered via
+// a multicast re-send; SuppressedRepairs the unicast requests absorbed.
+func (s *Server) StormResends() int64      { return s.stormResends.Load() }
+func (s *Server) SuppressedRepairs() int64 { return s.suppressed.Load() }
+
+// RepairTokens returns the repair token bucket's current level in bytes,
+// or -1 when the budget is unlimited.
+func (s *Server) RepairTokens() int64 {
+	if s.repairBudget == nil {
+		return -1
+	}
+	return int64(s.repairBudget.Level(time.Now()))
+}
+
+// PacerRestarts returns how many pacer panics the supervisor has absorbed;
+// PacerDriftEvents how many broadcasts missed their absolute schedule by
+// more than one unit.
+func (s *Server) PacerRestarts() int64    { return s.pacerRestarts.Load() }
+func (s *Server) PacerDriftEvents() int64 { return s.driftEvents.Load() }
+
+// Draining reports whether the server is in graceful shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // FrameCacheStats reports the frame cache's hits, misses and occupancy
 // (for tests, /status and cmd/skychaos).
 func (s *Server) FrameCacheStats() CacheStats { return s.cache.stats() }
@@ -217,7 +330,10 @@ func (s *Server) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Pacer supervisors and the accept loop first: acceptLoop is the only
+	// place connWG grows, so after wg drains the handler count is final.
 	s.wg.Wait()
+	s.connWG.Wait()
 	if s.inj != nil {
 		s.inj.Flush()
 	}
@@ -240,7 +356,11 @@ func (s *Server) fragmentBase(i int) int64 {
 }
 
 // pace runs one channel: video v, channel i. Chunks of repetition n are
-// sent evenly across [epoch + n*period, epoch + (n+1)*period).
+// sent evenly across [epoch + n*period, epoch + (n+1)*period). It runs
+// under the supervisor (runPacer): a panic is recovered and pace is
+// re-entered, so the starting position is derived from the wall clock and
+// the absolute broadcast grid — a restarted pacer rejoins the schedule
+// mid-repetition instead of replaying missed chunks in a burst.
 //
 // Per chunk the pacer acquires the repetition-invariant frame from the
 // cache — a pointer load once resident — patches the 4-byte Seq field in
@@ -248,8 +368,11 @@ func (s *Server) fragmentBase(i int) int64 {
 // header patch plus the sends, with zero allocation and no payload or CRC
 // recomputation. Non-resident chunks (budget exhausted or first touch)
 // re-encode into pacer-owned scratch with their cached CRC.
+//
+// A drift watchdog counts every chunk sent more than one unit after its
+// scheduled instant: sustained drift means the host cannot keep the grid
+// and clients will see schedule misses as losses.
 func (s *Server) pace(v, i int) {
-	defer s.wg.Done()
 	var (
 		size    = s.cfg.Scheme.Sizes()[i-1]
 		period  = time.Duration(size) * s.cfg.Unit
@@ -265,15 +388,28 @@ func (s *Server) pace(v, i int) {
 	if !timer.Stop() {
 		<-timer.C
 	}
-	for n := uint32(0); ; n++ {
+	// Resume position: the next chunk at or after now on the absolute
+	// grid. At first start elapsed is ~0, so this is (n=0, c=0).
+	n, c := uint32(0), 0
+	if elapsed := time.Since(s.epoch); elapsed > 0 {
+		n = uint32(elapsed / period)
+		c = int((elapsed % period) / spacing)
+		if c >= chunks {
+			n, c = n+1, 0
+		}
+	}
+	for ; ; n++ {
 		repStart := s.epoch.Add(time.Duration(n) * period)
-		for c := 0; c < chunks; c++ {
+		for ; c < chunks; c++ {
 			at := repStart.Add(time.Duration(c) * spacing)
 			timer.Reset(time.Until(at))
 			select {
 			case <-s.stop:
 				return
 			case <-timer.C:
+			}
+			if hook := s.cfg.PacerHook; hook != nil {
+				hook(v, i, n, c)
 			}
 			frame := s.cache.acquire(cc, c, scratch)
 			if err := wire.PatchSeq(frame, n); err != nil {
@@ -288,7 +424,14 @@ func (s *Server) pace(v, i int) {
 				}
 				s.cfg.Logf("server: sending %v seq %d: %v", group, n, err)
 			}
+			if late := time.Since(at); late > s.cfg.Unit {
+				if d := s.driftEvents.Add(1); d == 1 || d%256 == 0 {
+					s.cfg.Logf("server: pacing drift: %v seq %d chunk %d sent %v late (%d drift events)",
+						group, n, c, late, d)
+				}
+			}
 		}
+		c = 0
 	}
 }
 
@@ -316,14 +459,14 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining.Load() {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		s.wg.Add(1)
+		s.connWG.Add(1)
 		go s.serveControl(conn)
 	}
 }
@@ -331,7 +474,7 @@ func (s *Server) acceptLoop() {
 // serveControl handles one client's control session, tracking its group
 // memberships so a dropped connection cleans up after itself.
 func (s *Server) serveControl(conn net.Conn) {
-	defer s.wg.Done()
+	defer s.connWG.Done()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -349,6 +492,18 @@ func (s *Server) serveControl(conn net.Conn) {
 	// so concurrent control sessions never contend.
 	scratch := newFrameScratch(s.cfg.ChunkBytes)
 
+	// connID feeds the storm table's distinct-client counting; the
+	// per-connection limiter rations this client's repair request rate.
+	connID := s.connSeq.Add(1)
+	var connLimit *metrics.TokenBucket
+	if rate := s.cfg.RepairPerConnPerSec; rate > 0 {
+		burst := rate
+		if burst < 1 {
+			burst = 1
+		}
+		connLimit = metrics.NewTokenBucket(rate, burst)
+	}
+
 	sch := s.cfg.Scheme
 	r := bufio.NewReader(conn)
 	// Every reply write is deadline-bounded so a client that stops
@@ -361,6 +516,10 @@ func (s *Server) serveControl(conn net.Conn) {
 		msg := fmt.Sprintf(format, args...)
 		s.cfg.Logf("server: %v: %s", conn.RemoteAddr(), msg)
 		_ = write(&wire.Control{Kind: wire.KindError, Error: msg})
+	}
+	busy := func(retry time.Duration) error {
+		s.busyReplies.Add(1)
+		return write(&wire.Control{Kind: wire.KindBusy, RetryAfterNanos: int64(retry)})
 	}
 	for {
 		// Idle reaping: a half-open or silent client times out here, the
@@ -424,6 +583,46 @@ func (s *Server) serveControl(conn net.Conn) {
 				fail("repair: bad range [%d, %d) of %d-byte fragment", rp.Offset, rp.Offset+int64(rp.Length), total)
 				continue
 			}
+			// Admission, cheapest gate first. 1: this connection's request
+			// rate.
+			now := time.Now()
+			if connLimit != nil {
+				if ok, retry := connLimit.Take(now, 1); !ok {
+					if err := busy(retry); err != nil {
+						return
+					}
+					continue
+				}
+			}
+			// 2: storm coalescing — many distinct clients pulling the same
+			// chunk are answered once, by multicast, on the chunk's own
+			// group. Only chunk-aligned full-chunk requests (the shape a
+			// lost datagram produces) participate.
+			if cb := int64(s.cfg.ChunkBytes); s.storms != nil && rp.Length == s.cfg.ChunkBytes && rp.Offset%cb == 0 {
+				k := stormKey{video: rp.Video, channel: rp.Channel, chunk: int(rp.Offset / cb)}
+				switch s.storms.note(k, connID, now) {
+				case stormResend:
+					s.stormResend(k.video, k.channel, k.chunk, rp.Seq, scratch)
+					fallthrough
+				case stormSuppress:
+					s.suppressed.Add(1)
+					// Busy(0): the answer is (already) in flight on the
+					// broadcast group; re-listen instead of re-pulling.
+					if err := busy(0); err != nil {
+						return
+					}
+					continue
+				}
+			}
+			// 3: the shared repair byte budget.
+			if s.repairBudget != nil {
+				if ok, retry := s.repairBudget.Take(now, float64(rp.Length)); !ok {
+					if err := busy(retry); err != nil {
+						return
+					}
+					continue
+				}
+			}
 			// The frame cache (or, for ranges it cannot serve, the content
 			// function) regenerates any chunk on demand, so repairs need
 			// no retransmission buffer.
@@ -431,16 +630,25 @@ func (s *Server) serveControl(conn net.Conn) {
 			reply.Data = make([]byte, rp.Length)
 			s.fillRange(rp.Video, rp.Channel, rp.Offset, reply.Data, scratch)
 			s.repairs.Add(1)
+			s.repairBytes.Add(int64(rp.Length))
 			if err := write(&wire.Control{Kind: wire.KindRepairOK, Repair: &reply}); err != nil {
 				return
 			}
 		case wire.KindStats:
 			st := &wire.Stats{
-				UptimeNanos:   int64(time.Since(s.epoch)),
-				DatagramsSent: s.hub.Sent(),
-				Channels:      sch.Config().Videos * sch.K(),
-				Members:       s.hub.TotalMembers(),
-				RepairsServed: s.repairs.Load(),
+				UptimeNanos:       int64(time.Since(s.epoch)),
+				DatagramsSent:     s.hub.Sent(),
+				Channels:          sch.Config().Videos * sch.K(),
+				Members:           s.hub.TotalMembers(),
+				RepairsServed:     s.repairs.Load(),
+				RepairBytes:       s.repairBytes.Load(),
+				BusyReplies:       s.busyReplies.Load(),
+				StormResends:      s.stormResends.Load(),
+				SuppressedRepairs: s.suppressed.Load(),
+				RepairTokens:      s.RepairTokens(),
+				PacerRestarts:     s.pacerRestarts.Load(),
+				PacerDriftEvents:  s.driftEvents.Load(),
+				Draining:          s.draining.Load(),
 			}
 			if err := write(&wire.Control{Kind: wire.KindStatsOK, Stats: st}); err != nil {
 				return

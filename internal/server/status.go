@@ -32,8 +32,28 @@ type StatusSnapshot struct {
 	SendFailures  int64 `json:"sendFailures"`
 	// Memberships is the current total of (client, channel) joins.
 	Memberships int `json:"memberships"`
-	// RepairsServed counts unicast chunk repairs answered.
+	// RepairsServed counts unicast chunk repairs answered; RepairBytes
+	// the payload bytes they carried.
 	RepairsServed int64 `json:"repairsServed"`
+	RepairBytes   int64 `json:"repairBytes"`
+	// BusyReplies counts repair requests pushed back with Busy;
+	// StormResends coalesced storms answered by one multicast re-send;
+	// SuppressedRepairs the unicast requests those re-sends absorbed.
+	BusyReplies       int64 `json:"busyReplies"`
+	StormResends      int64 `json:"stormResends"`
+	SuppressedRepairs int64 `json:"suppressedRepairs"`
+	// RepairTokens is the repair budget's current level in bytes, -1 when
+	// unlimited.
+	RepairTokens int64 `json:"repairTokens"`
+	// PacerRestarts counts supervisor restarts after pacer panics;
+	// PacerDriftEvents broadcasts more than one unit behind schedule.
+	PacerRestarts    int64 `json:"pacerRestarts"`
+	PacerDriftEvents int64 `json:"pacerDriftEvents"`
+	// MembersEvicted counts group members removed after consecutive send
+	// failures.
+	MembersEvicted int64 `json:"membersEvicted"`
+	// Draining reports a server in graceful shutdown.
+	Draining bool `json:"draining"`
 	// FrameCache reports the broadcast frame cache's hit rate and
 	// resident footprint.
 	FrameCache CacheStats `json:"frameCache"`
@@ -53,20 +73,29 @@ func (s *Server) snapshot() StatusSnapshot {
 		injected = &c
 	}
 	return StatusSnapshot{
-		RepairsServed:  s.repairs.Load(),
-		FaultsInjected: injected,
-		Videos:           sch.Config().Videos,
-		ChannelsPerVideo: sch.K(),
-		Width:            sch.Width(),
-		SizeUnits:        append([]int64(nil), sch.Sizes()...),
-		UnitMillis:       float64(s.cfg.Unit) / float64(time.Millisecond),
-		UptimeMillis:     float64(time.Since(s.epoch)) / float64(time.Millisecond),
-		DatagramsSent:    s.hub.Sent(),
-		DatagramBytes:    s.hub.SentBytes(),
-		SendFailures:     s.hub.SendFailures(),
-		Memberships:      s.hub.TotalMembers(),
-		FrameCache:       s.cache.stats(),
-		ControlAddr:      s.Addr(),
+		RepairsServed:     s.repairs.Load(),
+		RepairBytes:       s.repairBytes.Load(),
+		BusyReplies:       s.busyReplies.Load(),
+		StormResends:      s.stormResends.Load(),
+		SuppressedRepairs: s.suppressed.Load(),
+		RepairTokens:      s.RepairTokens(),
+		PacerRestarts:     s.pacerRestarts.Load(),
+		PacerDriftEvents:  s.driftEvents.Load(),
+		MembersEvicted:    s.hub.Evictions(),
+		Draining:          s.draining.Load(),
+		FaultsInjected:    injected,
+		Videos:            sch.Config().Videos,
+		ChannelsPerVideo:  sch.K(),
+		Width:             sch.Width(),
+		SizeUnits:         append([]int64(nil), sch.Sizes()...),
+		UnitMillis:        float64(s.cfg.Unit) / float64(time.Millisecond),
+		UptimeMillis:      float64(time.Since(s.epoch)) / float64(time.Millisecond),
+		DatagramsSent:     s.hub.Sent(),
+		DatagramBytes:     s.hub.SentBytes(),
+		SendFailures:      s.hub.SendFailures(),
+		Memberships:       s.hub.TotalMembers(),
+		FrameCache:        s.cache.stats(),
+		ControlAddr:       s.Addr(),
 	}
 }
 
@@ -95,6 +124,12 @@ func (s *Server) ServeStatus() (string, error) {
 		}
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// A draining server fails its health check so load balancers stop
+		// routing new viewers to it while existing sessions wind down.
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	if s.cfg.EnablePprof {

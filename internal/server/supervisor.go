@@ -1,0 +1,112 @@
+// Pacer supervision and the graceful-shutdown path.
+//
+// A channel pacer is the one goroutine a video cannot survive losing: if it
+// dies, every client of that channel starves on a rigid schedule nobody
+// else keeps. The supervisor converts a pacer panic into a logged restart
+// with exponential backoff; because pacers derive their position from the
+// absolute broadcast grid (epoch + n*period), a restarted pacer rejoins the
+// schedule mid-stream instead of replaying from the epoch in a burst.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime/debug"
+	"time"
+
+	"skyscraper/internal/wire"
+)
+
+const (
+	// pacerRestartBase and pacerRestartMax bound the supervisor's
+	// exponential restart backoff. A pacer that stays up longer than
+	// pacerStableAfter earns its backoff reset.
+	pacerRestartBase = 5 * time.Millisecond
+	pacerRestartMax  = 500 * time.Millisecond
+	pacerStableAfter = time.Second
+)
+
+// runPacer supervises one channel pacer: it runs pace under panic
+// recovery, restarting it with backoff until the server stops.
+func (s *Server) runPacer(v, i int) {
+	defer s.wg.Done()
+	backoff := pacerRestartBase
+	for {
+		started := time.Now()
+		if s.paceRecovering(v, i) {
+			return // orderly exit: server stopping
+		}
+		s.pacerRestarts.Add(1)
+		if time.Since(started) > pacerStableAfter {
+			backoff = pacerRestartBase
+		}
+		s.cfg.Logf("server: restarting pacer video%d/ch%d in %v (restart #%d)",
+			v, i, backoff, s.pacerRestarts.Load())
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > pacerRestartMax {
+			backoff = pacerRestartMax
+		}
+	}
+}
+
+// paceRecovering runs one pace attempt, converting a panic into a false
+// return so the supervisor restarts it. An orderly return reports true.
+func (s *Server) paceRecovering(v, i int) (done bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Logf("server: pacer video%d/ch%d panicked: %v\n%s", v, i, r, debug.Stack())
+		}
+	}()
+	s.pace(v, i)
+	return true
+}
+
+// Drain shuts the server down gracefully: it stops accepting connections,
+// notifies every control client with a server-initiated bye (so clients
+// switch to degraded playback instead of retrying repairs against a dying
+// server), lets in-flight control handlers finish, then closes. If ctx
+// expires first, remaining handlers are cut off by Close and the context
+// error is returned. Drain is idempotent and safe to race with Close.
+func (s *Server) Drain(ctx context.Context) error {
+	first := !s.draining.Swap(true)
+	s.ln.Close() // stop accepting; acceptLoop exits
+
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if first {
+		s.cfg.Logf("server: draining: closed listener, notifying %d control clients", len(conns))
+	}
+	for _, c := range conns {
+		// The bye is one write syscall, serialized with any in-flight
+		// handler reply by the socket's write lock, so lines never
+		// interleave. The immediate read deadline then wakes a handler
+		// blocked in ReadControl; one mid-request keeps running and
+		// finishes its reply under its own write deadline.
+		_ = c.SetWriteDeadline(time.Now().Add(s.cfg.ControlWriteTimeout))
+		_ = wire.WriteControl(c, &wire.Control{Kind: wire.KindBye})
+		_ = c.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+	s.Close()
+	return err
+}

@@ -75,6 +75,32 @@ func RepairLoad(p float64, chunksPerVideo int) (*RepairLoadStats, error) {
 	}, nil
 }
 
+// RepairBandwidthBytes converts the RepairLoad estimate into a concrete
+// repair-plane budget in bytes per second, the unit of the live server's
+// Config.RepairBandwidth token bucket: sessions concurrent viewers, each
+// losing fraction p of chunksPerVideo chunks of chunkBytes each, spread
+// over the playbackSeconds a video takes to stream. Provisioning the
+// bucket at (a small multiple of) this rate admits the expected repair
+// demand while bounding the unicast bytes a correlated-loss burst can
+// extract from the server.
+func RepairBandwidthBytes(p float64, chunksPerVideo, chunkBytes int, playbackSeconds float64, sessions int) (float64, error) {
+	load, err := RepairLoad(p, chunksPerVideo)
+	if err != nil {
+		return 0, err
+	}
+	if chunkBytes <= 0 {
+		return 0, fmt.Errorf("unicast: chunkBytes %d must be positive", chunkBytes)
+	}
+	if playbackSeconds <= 0 {
+		return 0, fmt.Errorf("unicast: playbackSeconds %v must be positive", playbackSeconds)
+	}
+	if sessions <= 0 {
+		return 0, fmt.Errorf("unicast: sessions %d must be positive", sessions)
+	}
+	perSession := load.RequestsPerSession * float64(chunkBytes) / playbackSeconds
+	return perSession * float64(sessions), nil
+}
+
 // Run simulates a user-centered server: channels dedicated streams, each
 // request served instantly or refused.
 func Run(channels int, lengthMin float64, reqs []workload.Request) (*Stats, error) {

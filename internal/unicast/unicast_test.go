@@ -126,6 +126,33 @@ func TestRepairLoad(t *testing.T) {
 	}
 }
 
+func TestRepairBandwidthBytes(t *testing.T) {
+	// 5% loss, 1200 chunks of 1 KiB, a 600-second playback, 100 viewers:
+	// 60 repairs/session * 1024 B / 600 s * 100 = 10240 B/s.
+	bps, err := RepairBandwidthBytes(0.05, 1200, 1024, 600, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bps-10240) > 1e-9 {
+		t.Errorf("RepairBandwidthBytes = %v, want 10240", bps)
+	}
+	// Lossless: no repair bandwidth at all.
+	if bps, err = RepairBandwidthBytes(0, 1200, 1024, 600, 100); err != nil || bps != 0 {
+		t.Errorf("lossless: %v, %v", bps, err)
+	}
+	for _, bad := range [][5]float64{
+		{-0.1, 1200, 1024, 600, 100},
+		{0.05, 0, 1024, 600, 100},
+		{0.05, 1200, 0, 600, 100},
+		{0.05, 1200, 1024, 0, 100},
+		{0.05, 1200, 1024, 600, 0},
+	} {
+		if _, err := RepairBandwidthBytes(bad[0], int(bad[1]), int(bad[2]), bad[3], int(bad[4])); err == nil {
+			t.Errorf("RepairBandwidthBytes(%v) accepted invalid input", bad)
+		}
+	}
+}
+
 func TestRepairLoadValidation(t *testing.T) {
 	if _, err := RepairLoad(-0.1, 100); err == nil {
 		t.Error("accepted negative loss rate")

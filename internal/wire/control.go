@@ -21,6 +21,12 @@ const (
 	KindStatsOK  = "statsok"
 	KindRepair   = "repair"
 	KindRepairOK = "repairok"
+	// KindBusy is the server's admission-control pushback: the repair
+	// plane is over budget (or the request was coalesced into a multicast
+	// re-send). RetryAfterNanos carries the earliest useful retry time; a
+	// zero hint means "re-listen to the broadcast group" — the answer is
+	// already in flight as a multicast re-send.
+	KindBusy = "busy"
 )
 
 // Errors returned by ReadControl, so callers can distinguish a connection
@@ -52,6 +58,10 @@ type Control struct {
 	Stats *Stats `json:"stats,omitempty"`
 	// Repair payload for KindRepair/KindRepairOK.
 	Repair *Repair `json:"repair,omitempty"`
+	// RetryAfterNanos is the KindBusy retry hint; zero means the request
+	// was answered via a multicast re-send and the client should
+	// re-listen instead of re-pulling.
+	RetryAfterNanos int64 `json:"retryAfterNanos,omitempty"`
 }
 
 // Repair is a unicast chunk-repair round trip: a client that detected a
@@ -87,6 +97,28 @@ type Stats struct {
 	Members int `json:"members"`
 	// RepairsServed counts unicast chunk repairs answered.
 	RepairsServed int64 `json:"repairsServed,omitempty"`
+	// RepairBytes counts the payload bytes those repairs carried.
+	RepairBytes int64 `json:"repairBytes,omitempty"`
+	// BusyReplies counts repair requests pushed back with KindBusy
+	// (admission denials and storm suppressions combined).
+	BusyReplies int64 `json:"busyReplies,omitempty"`
+	// StormResends counts coalesced repair storms answered once via a
+	// multicast re-send on the chunk's broadcast group;
+	// SuppressedRepairs the individual unicast requests those re-sends
+	// absorbed.
+	StormResends      int64 `json:"stormResends,omitempty"`
+	SuppressedRepairs int64 `json:"suppressedRepairs,omitempty"`
+	// RepairTokens is the current level of the repair token bucket in
+	// bytes, -1 when the budget is unlimited.
+	RepairTokens int64 `json:"repairTokens,omitempty"`
+	// PacerRestarts counts channel pacers restarted by the supervisor
+	// after a panic; PacerDriftEvents counts broadcasts that missed
+	// their absolute schedule by more than one unit.
+	PacerRestarts    int64 `json:"pacerRestarts,omitempty"`
+	PacerDriftEvents int64 `json:"pacerDriftEvents,omitempty"`
+	// Draining reports a server in graceful shutdown: no new
+	// connections, in-flight repairs finishing.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Welcome describes the broadcast the server is running, everything a

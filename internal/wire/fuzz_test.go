@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -76,6 +77,67 @@ func FuzzChunkDecode(f *testing.F) {
 		if got.Video != c.Video || got.Channel != c.Channel || got.Offset != c.Offset ||
 			got.Total != c.Total || !bytes.Equal(got.Payload, c.Payload) {
 			t.Fatalf("PatchSeq disturbed a non-Seq field: %+v vs %+v", got, c)
+		}
+	})
+}
+
+// FuzzControlDecode fuzzes the control-verb parse path the server's
+// handler loop runs on every request line, mirroring FuzzChunkDecode: any
+// accepted message — truncated, garbage, or hostile field values — must
+// survive a canonical re-encode (WriteControl) and re-decode to the
+// identical message, so nothing a peer can say desynchronizes the two
+// ends' view of a verb. Seeded with every control kind, including the
+// Busy admission reply.
+func FuzzControlDecode(f *testing.F) {
+	seeds := []*Control{
+		{Kind: KindHello},
+		{Kind: KindWelcome, Welcome: &Welcome{Videos: 2, ChannelsPerVideo: 5, Width: 2,
+			UnitNanos: 8e7, EpochUnixNano: 1234, SizeUnits: []int64{1, 2, 2, 2, 2}, BytesPerUnit: 4096, ChunkBytes: 1024}},
+		{Kind: KindJoin, Video: 1, Channel: 2, Port: 45678},
+		{Kind: KindJoined, Video: 1, Channel: 2},
+		{Kind: KindLeave, Video: 1, Channel: 2},
+		{Kind: KindError, Error: "join: no channel 9/9"},
+		{Kind: KindBye},
+		{Kind: KindStats},
+		{Kind: KindStatsOK, Stats: &Stats{UptimeNanos: 5, DatagramsSent: 6, Channels: 7, Members: 8,
+			RepairsServed: 9, RepairBytes: 10, BusyReplies: 11, StormResends: 12, SuppressedRepairs: 13,
+			RepairTokens: 14, PacerRestarts: 15, PacerDriftEvents: 16, Draining: true}},
+		{Kind: KindRepair, Repair: &Repair{Video: 1, Channel: 2, Seq: 7, Offset: 1024, Length: 512}},
+		{Kind: KindRepairOK, Repair: &Repair{Video: 1, Channel: 2, Seq: 7, Offset: 1024, Length: 4, Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}}},
+		{Kind: KindBusy, RetryAfterNanos: 25e6},
+		{Kind: KindBusy}, // Busy(0): re-listen after a coalesced multicast re-send
+	}
+	for _, m := range seeds {
+		var buf bytes.Buffer
+		if err := WriteControl(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"kind":"busy","retryAfterNanos":-1}` + "\n"))
+	f.Add([]byte(`{"kind":"repair"`)) // truncated mid-message
+	f.Add([]byte(`{"kind":"repair","repair":{"offset":-9223372036854775808,"length":-1}}` + "\n"))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("{}\n"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadControl(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if m.Kind == "" {
+			t.Fatal("accepted a kindless control message")
+		}
+		var buf bytes.Buffer
+		if err := WriteControl(&buf, m); err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		again, err := ReadControl(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("canonical re-encode stopped decoding: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("decode/encode/decode not idempotent:\n 1st: %+v\n 2nd: %+v", m, again)
 		}
 	})
 }
