@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test vet race chaos fuzz vulncheck verify bench bench-sweep bench-datapath bench-overload
+# Stamps every BENCH_*.json with one metadata line (commit, CPU model,
+# GOMAXPROCS, go version, UTC date) so recorded trajectories say what
+# machine produced them.
+BENCHMETA = ./scripts/benchmeta.sh
+
+.PHONY: build test vet race chaos fuzz vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress
 
 build:
 	$(GO) build ./...
@@ -21,10 +26,12 @@ race:
 # The chaos gate: the fault-injection, loss-recovery, and overload suites
 # — seeded drop/duplicate/reorder plans, unicast repair, reconnects, idle
 # reaping, graceful degradation, repair admission, storm coalescing,
-# supervised pacers, drain, and member eviction — under the race detector.
+# supervised pacers, drain, member eviction, and the batched egress
+# engine (wheel/pacer golden equivalence, shard panic recovery,
+# vectorized/fallback identity) — under the race detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter' \
+		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden' \
 		./internal/faults ./internal/client ./internal/server ./internal/mcast
 
 # Ten seconds of coverage-guided fuzzing per wire decoder (frame and
@@ -54,6 +61,7 @@ bench:
 # Record the sweep/figure benchmark trajectory (see EXPERIMENTS.md).
 bench-sweep:
 	$(GO) test -bench 'Sweep|Figures' -run '^$$' -json . > BENCH_sweep.json
+	$(BENCHMETA) bench-sweep >> BENCH_sweep.json
 
 # Record the broadcast data-path benchmarks — per-chunk encode (seed vs
 # cached), word-wise content generation, lock-free hub fan-out — with
@@ -61,8 +69,19 @@ bench-sweep:
 bench-datapath:
 	$(GO) test -bench 'PaceEncode|ContentFill|ContentVerify|HubSend' -benchmem -run '^$$' -json \
 		./internal/server ./internal/content ./internal/mcast > BENCH_datapath.json
+	$(BENCHMETA) bench-datapath >> BENCH_datapath.json
 
 # Record the overload curve: a fixed repair budget against 1x..3x demand
 # (see EXPERIMENTS.md "Overload behavior").
 bench-overload:
 	$(GO) run ./cmd/skychaos -overload -drops 0.05 -multipliers 1,2,3 -out BENCH_overload.json
+	$(BENCHMETA) bench-overload >> BENCH_overload.json
+
+# Record the batched egress benchmarks: vectorized vs fallback fan-out
+# at 1/8/64 members, the timer wheel's dispatch cycle at 2..2100
+# channels, and padded vs unpadded counter contention (see EXPERIMENTS.md
+# "Egress engine").
+bench-egress:
+	$(GO) test -bench 'EgressFanout|WheelDispatch|CounterParallel' -benchmem -run '^$$' -json \
+		./internal/mcast ./internal/server ./internal/metrics > BENCH_egress.json
+	$(BENCHMETA) bench-egress >> BENCH_egress.json

@@ -185,6 +185,17 @@ func sweep(videos, channels int, width int64, unit time.Duration,
 		hub.Sent(), hub.SentBytes(), hub.SendFailures(),
 		cs.Hits, cs.Misses, hitPct, cs.Bytes)
 
+	// The egress ledger: how the engine turned those datagrams into
+	// wakeups and kernel sends.
+	perSyscall := 0.0
+	if sc := hub.SendSyscalls(); sc > 0 {
+		perSyscall = float64(hub.Sent()) / float64(sc)
+	}
+	fmt.Printf("       egress: %s engine, %d shards, %d wakeups, %d batches, "+
+		"%d syscalls (%.1f datagrams/syscall, vectorized=%v)\n",
+		srv.EgressEngine(), srv.EgressShards(), srv.EgressWakeups(),
+		hub.Batches(), hub.SendSyscalls(), perSyscall, hub.Vectorized())
+
 	// Put the repair traffic in the paper's terms: the unicast burden of
 	// recovering this loss rate, versus one dedicated stream per viewer.
 	chunksPerVideo := int(sch.TotalUnits()) * 4096 / 1024

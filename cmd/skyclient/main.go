@@ -26,6 +26,8 @@ func main() {
 		video     = flag.Int("video", 0, "video index to watch")
 		verbose   = flag.Bool("v", false, "log protocol details")
 		queryFlag = flag.Bool("stats", false, "query server stats instead of watching")
+		rcvbuf    = flag.Int("rcvbuf", 0,
+			"kernel receive-buffer bytes per tuner socket (SetReadBuffer); the server's batched egress delivers in bursts, so size this to absorb one (0 = 4 MiB default)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -40,7 +42,7 @@ func main() {
 		}
 		return
 	}
-	cfg := client.Config{ServerAddr: *addr, Video: *video}
+	cfg := client.Config{ServerAddr: *addr, Video: *video, RecvBufBytes: *rcvbuf}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
@@ -79,5 +81,16 @@ func queryStats(addr string) error {
 	fmt.Printf("channel pacers  %d\n", m.Stats.Channels)
 	fmt.Printf("memberships     %d\n", m.Stats.Members)
 	fmt.Printf("datagrams sent  %d\n", m.Stats.DatagramsSent)
+	// Egress ledger — absent (zero) when talking to an older server.
+	if m.Stats.EgressShards > 0 {
+		fmt.Printf("egress shards   %d\n", m.Stats.EgressShards)
+		fmt.Printf("egress wakeups  %d\n", m.Stats.EgressWakeups)
+	}
+	if m.Stats.EgressSyscalls > 0 {
+		fmt.Printf("egress batches  %d (%d bytes batched)\n", m.Stats.EgressBatches, m.Stats.BatchedBytes)
+		fmt.Printf("send syscalls   %d (%.1f datagrams/syscall)\n",
+			m.Stats.EgressSyscalls,
+			float64(m.Stats.DatagramsSent)/float64(m.Stats.EgressSyscalls))
+	}
 	return nil
 }

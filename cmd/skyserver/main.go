@@ -38,15 +38,21 @@ func main() {
 			"repair-plane admission budget in bytes/sec (0 = unlimited); size it with unicast.RepairBandwidthBytes")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second,
 			"how long a SIGTERM/SIGINT drain waits for in-flight control handlers before forcing shutdown")
+		sndbuf = flag.Int("sndbuf", 4<<20,
+			"kernel send-buffer bytes for the broadcast socket (SetWriteBuffer); batched egress bursts up to 64 datagrams per syscall, and the default 4 MiB absorbs such bursts at every tested scale (0 = OS default)")
+		rcvbuf = flag.Int("rcvbuf", 0,
+			"kernel receive-buffer bytes for the broadcast socket (SetReadBuffer); only error traffic lands there (0 = OS default)")
+		engine = flag.String("egress", server.EngineWheel,
+			"egress engine: 'wheel' (sharded timer wheel + batched fan-out) or 'pacer' (legacy goroutine per channel)")
 	)
 	flag.Parse()
-	if err := run(*videos, *channels, *width, *unit, *bpu, *chunk, *status, *cacheB, *pprofOn, *repairBW, *drainTO); err != nil {
+	if err := run(*videos, *channels, *width, *unit, *bpu, *chunk, *status, *cacheB, *pprofOn, *repairBW, *drainTO, *sndbuf, *rcvbuf, *engine); err != nil {
 		fmt.Fprintln(os.Stderr, "skyserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, status bool, cacheBytes int64, pprofOn bool, repairBW int64, drainTO time.Duration) error {
+func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, status bool, cacheBytes int64, pprofOn bool, repairBW int64, drainTO time.Duration, sndbuf, rcvbuf int, engine string) error {
 	cfg := vod.Config{
 		ServerMbps: 1.5 * float64(videos*channels),
 		Videos:     videos,
@@ -65,6 +71,9 @@ func run(videos, channels int, width int64, unit time.Duration, bpu, chunk int, 
 		FrameCacheBytes: cacheBytes,
 		EnablePprof:     pprofOn,
 		RepairBandwidth: repairBW,
+		EgressEngine:    engine,
+		SendBufBytes:    sndbuf,
+		RecvBufBytes:    rcvbuf,
 		Logf:            log.Printf,
 	})
 	if err != nil {

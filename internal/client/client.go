@@ -95,6 +95,12 @@ type Config struct {
 	// scheme's 60*b*D1*(W-1) bound (in the live demo's units:
 	// (W-1)*BytesPerUnit plus one chunk of arrival granularity).
 	MaxBufferBytes int64
+	// RecvBufBytes sizes the kernel receive buffer of the client's UDP
+	// socket (SetReadBuffer). The server's batched egress delivers chunks
+	// in deliberate bursts, so the buffer must absorb a whole burst while
+	// the loader goroutine is scheduled out. Zero selects
+	// mcast.DefaultRecvBufBytes (4 MiB).
+	RecvBufBytes int
 	// Trace, when non-nil, journals recovery events — gaps, repair round
 	// trips, losses, reconnects — on the wall-minutes scale of the
 	// broadcast epoch, so a failing chaos run can explain itself.
@@ -504,7 +510,7 @@ func (s *session) run() (*Stats, error) {
 
 // loader receives this loader's transmission groups in order on one tuner.
 func (s *session) loader(ld core.LoaderID, downloads []core.Download) error {
-	rcv, err := mcast.NewReceiver()
+	rcv, err := mcast.NewReceiverSized(s.cfg.RecvBufBytes)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,188 @@
+// Vectorized fan-out: the batch half of the hub's egress API.
+//
+// The per-chunk cost model of the paper — server load proportional to
+// channels, not viewers — breaks down if every chunk still costs one
+// write syscall per group member. SendBatch restores it: the caller hands
+// over every chunk due in one scheduling tick, the hub expands them
+// against the membership snapshot into a flat destination vector, and the
+// platform layer puts that vector on the wire in batches of up to
+// sendmmsgBatch datagrams per syscall (hub_linux.go) or one write per
+// datagram where sendmmsg is unavailable or disabled (hub_generic.go,
+// behavior-identical). Destination vectors and the syscall arrays behind
+// them are pooled, so the steady-state batch path allocates nothing.
+package mcast
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// NoSendmmsgEnv, when set to any non-empty value before the hub is
+// created, disables the sendmmsg fast path so every datagram goes through
+// the portable WriteToUDPAddrPort fallback. CI sets it to exercise the
+// fallback on linux; it has no effect on platforms without the fast path.
+const NoSendmmsgEnv = "SKYSCRAPER_NO_SENDMMSG"
+
+// BatchEntry is one chunk to broadcast: the frame and the group whose
+// members should receive it.
+type BatchEntry struct {
+	Group Group
+	Frame []byte
+}
+
+// BatchSender is the batched fan-out a tick-driven egress engine wants:
+// all chunks due in one tick delivered with one call. The Hub implements
+// it; interposing senders that must decide per chunk (fault injectors)
+// deliberately do not, so callers fall back to per-chunk Send through
+// them.
+type BatchSender interface {
+	// SendBatch delivers every entry's frame to every current member of
+	// its group, returning the number of datagrams written. Delivery is
+	// best-effort per destination, like Send.
+	SendBatch(entries []BatchEntry) (int, error)
+}
+
+// dest is one expanded (datagram, destination) pair of a batch.
+type dest struct {
+	ap     netip.AddrPort
+	frame  []byte
+	group  Group
+	failed bool
+}
+
+// batchBuf is the pooled working state of one SendBatch call: the
+// expanded destination vector plus the platform's reusable syscall
+// arrays.
+type batchBuf struct {
+	ds  []dest
+	vec *vecBuf
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchBuf) }}
+
+// SendBatch delivers every entry's frame to every current member of its
+// group — the whole tick's egress in one call — returning how many
+// datagrams were written. Entries whose groups are empty cost nothing;
+// a batch that expands to zero destinations succeeds trivially.
+//
+// Like Send, SendBatch reads the membership snapshot without locking,
+// allocates nothing steady-state, and is best-effort per destination:
+// a failing member is skipped and counted (and eventually evicted), the
+// rest of the batch is still delivered, and failures aggregate into the
+// returned error.
+func (h *Hub) SendBatch(entries []BatchEntry) (int, error) {
+	if h.closed.Load() {
+		return 0, fmt.Errorf("mcast: hub closed")
+	}
+	m := *h.members.Load()
+	bb := batchPool.Get().(*batchBuf)
+	ds := bb.ds[:0]
+	for ei := range entries {
+		g := entries[ei].Group
+		for _, ap := range m[g] {
+			ds = append(ds, dest{ap: ap, frame: entries[ei].Frame, group: g})
+		}
+	}
+	bb.ds = ds
+	if len(ds) == 0 {
+		batchPool.Put(bb)
+		return 0, nil
+	}
+	h.batches.Inc()
+
+	var first error
+	if h.vectorized.Load() {
+		first = h.writeDestsVec(bb)
+	} else {
+		first = h.writeDestsGeneric(ds)
+	}
+
+	n, nfail := 0, 0
+	var bytes int64
+	for i := range ds {
+		d := &ds[i]
+		if d.failed {
+			nfail++
+			h.noteFailure(d.group, d.ap)
+			continue
+		}
+		n++
+		bytes += int64(len(d.frame))
+		if h.nfailing.Load() != 0 {
+			h.noteSuccess(d.group, d.ap)
+		}
+	}
+	total := len(ds)
+	batchPool.Put(bb)
+	if n > 0 {
+		h.sent.Add(int64(n))
+		h.sentBytes.Add(bytes)
+		h.batchedBytes.Add(bytes)
+	}
+	if nfail > 0 {
+		h.failed.Add(int64(nfail))
+		return n, fmt.Errorf("mcast: %d of %d batched sends failed: %w", nfail, total, first)
+	}
+	return n, nil
+}
+
+// sendOneVec is Send's vectorized body: one frame to one group's members
+// through the same pooled machinery as SendBatch, so a lone chunk to a
+// large group still costs ceil(members/sendmmsgBatch) syscalls.
+func (h *Hub) sendOneVec(g Group, frame []byte) (int, error) {
+	members := (*h.members.Load())[g]
+	if len(members) == 0 {
+		return 0, nil
+	}
+	bb := batchPool.Get().(*batchBuf)
+	ds := bb.ds[:0]
+	for _, ap := range members {
+		ds = append(ds, dest{ap: ap, frame: frame, group: g})
+	}
+	bb.ds = ds
+	first := h.writeDestsVec(bb)
+
+	n, nfail := 0, 0
+	for i := range ds {
+		d := &ds[i]
+		if d.failed {
+			nfail++
+			h.noteFailure(g, d.ap)
+			continue
+		}
+		n++
+		if h.nfailing.Load() != 0 {
+			h.noteSuccess(g, d.ap)
+		}
+	}
+	batchPool.Put(bb)
+	if n > 0 {
+		h.sent.Add(int64(n))
+		h.sentBytes.Add(int64(n) * int64(len(frame)))
+	}
+	if nfail > 0 {
+		h.failed.Add(int64(nfail))
+		return n, fmt.Errorf("mcast: %d of %d sends to %v failed: %w", nfail, len(members), g, first)
+	}
+	return n, nil
+}
+
+// writeDestsGeneric is the portable destination-vector writer: one
+// WriteToUDPAddrPort per datagram, marking failed destinations in place
+// and returning the first error. It is the whole story on platforms
+// without sendmmsg and the explicit fallback everywhere else, and its
+// delivery semantics define what the vectorized path must match.
+func (h *Hub) writeDestsGeneric(ds []dest) error {
+	var first error
+	for i := range ds {
+		h.syscalls.Inc()
+		if _, err := h.conn.WriteToUDPAddrPort(ds[i].frame, ds[i].ap); err != nil {
+			ds[i].failed = true
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,323 @@
+package mcast
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// newTestHub builds a hub with nmember receivers joined to each of the
+// given groups, returning the hub, the per-group receivers, and a cleanup.
+func newTestHub(t testing.TB, groups []Group, nmember int) (*Hub, map[Group][]*Receiver) {
+	t.Helper()
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hub.Close() })
+	rcvs := make(map[Group][]*Receiver)
+	for _, g := range groups {
+		for i := 0; i < nmember; i++ {
+			r, err := NewReceiver()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { r.Close() })
+			if err := hub.Join(g, r.Addr()); err != nil {
+				t.Fatal(err)
+			}
+			rcvs[g] = append(rcvs[g], r)
+		}
+	}
+	return hub, rcvs
+}
+
+// drainFrames reads exactly want datagrams from r and returns their
+// payloads as strings, sorted for set comparison.
+func drainFrames(t *testing.T, r *Receiver, want int) []string {
+	t.Helper()
+	var got []string
+	buf := make([]byte, 2048)
+	for i := 0; i < want; i++ {
+		r.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, _, err := r.Conn.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatalf("read %d of %d: %v", i+1, want, err)
+		}
+		got = append(got, string(buf[:n]))
+	}
+	// Nothing further should arrive. (Loopback delivery is effectively
+	// synchronous; a short probe keeps 160 receivers' worth of checks fast.)
+	r.Conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+	if n, _, err := r.Conn.ReadFromUDP(buf); err == nil {
+		t.Fatalf("unexpected extra datagram %q", buf[:n])
+	}
+	sort.Strings(got)
+	return got
+}
+
+func TestSendBatchFanOut(t *testing.T) {
+	g0 := Group{Video: 0, Channel: 0}
+	g1 := Group{Video: 0, Channel: 1}
+	hub, rcvs := newTestHub(t, []Group{g0, g1}, 3)
+
+	entries := []BatchEntry{
+		{Group: g0, Frame: []byte("chunk-a")},
+		{Group: g1, Frame: []byte("chunk-b")},
+		{Group: g0, Frame: []byte("chunk-c")},
+		{Group: Group{Video: 9, Channel: 9}, Frame: []byte("orphan")}, // empty group
+	}
+	n, err := hub.SendBatch(entries)
+	if err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	if n != 9 { // 3 members × 2 entries for g0, 3 × 1 for g1
+		t.Fatalf("SendBatch wrote %d datagrams, want 9", n)
+	}
+	for _, r := range rcvs[g0] {
+		got := drainFrames(t, r, 2)
+		if got[0] != "chunk-a" || got[1] != "chunk-c" {
+			t.Errorf("g0 member got %q, want [chunk-a chunk-c]", got)
+		}
+	}
+	for _, r := range rcvs[g1] {
+		got := drainFrames(t, r, 1)
+		if got[0] != "chunk-b" {
+			t.Errorf("g1 member got %q, want [chunk-b]", got)
+		}
+	}
+	if hub.Sent() != 9 {
+		t.Errorf("Sent = %d, want 9", hub.Sent())
+	}
+	if hub.Batches() != 1 {
+		t.Errorf("Batches = %d, want 1", hub.Batches())
+	}
+	wantBytes := int64(3*len("chunk-a") + 3*len("chunk-b") + 3*len("chunk-c"))
+	if hub.BatchedBytes() != wantBytes {
+		t.Errorf("BatchedBytes = %d, want %d", hub.BatchedBytes(), wantBytes)
+	}
+	if hub.SendSyscalls() == 0 {
+		t.Error("SendSyscalls = 0, want > 0")
+	}
+	if hub.Vectorized() && hub.SendSyscalls() >= 9 {
+		t.Errorf("vectorized path made %d syscalls for 9 datagrams, want fewer", hub.SendSyscalls())
+	}
+}
+
+// TestSendBatchEmpty pins the trivial cases: an empty entry slice and a
+// batch that expands to zero destinations both succeed without touching
+// the batch ledger.
+func TestSendBatchEmpty(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	if n, err := hub.SendBatch(nil); n != 0 || err != nil {
+		t.Fatalf("SendBatch(nil) = %d, %v; want 0, nil", n, err)
+	}
+	if n, err := hub.SendBatch([]BatchEntry{{Group: Group{1, 1}, Frame: []byte("x")}}); n != 0 || err != nil {
+		t.Fatalf("SendBatch(empty group) = %d, %v; want 0, nil", n, err)
+	}
+	if hub.Batches() != 0 {
+		t.Errorf("Batches = %d, want 0", hub.Batches())
+	}
+	hub.Close()
+	if _, err := hub.SendBatch([]BatchEntry{{Group: Group{0, 0}, Frame: []byte("x")}}); err == nil {
+		t.Error("SendBatch on closed hub succeeded, want error")
+	}
+}
+
+// TestSendBatchBestEffort mirrors TestSendBestEffort for the batch path:
+// a member whose address cannot be written (an IPv6 destination on the
+// hub's IPv4 socket) is skipped and counted while the rest of the batch
+// is delivered, on both the vectorized and fallback paths.
+func TestSendBatchBestEffort(t *testing.T) {
+	g := Group{Video: 0, Channel: 2}
+	hub, rcvs := newTestHub(t, []Group{g}, 2)
+	if err := hub.Join(g, &net.UDPAddr{IP: net.IPv6loopback, Port: 9}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := hub.SendBatch([]BatchEntry{{Group: g, Frame: []byte("best-effort")}})
+	if err == nil {
+		t.Fatal("SendBatch with poisoned member returned nil error")
+	}
+	if n != 2 {
+		t.Fatalf("SendBatch wrote %d datagrams, want 2", n)
+	}
+	if hub.SendFailures() != 1 {
+		t.Errorf("SendFailures = %d, want 1", hub.SendFailures())
+	}
+	if hub.Sent() != 2 {
+		t.Errorf("Sent = %d, want 2", hub.Sent())
+	}
+	for _, r := range rcvs[g] {
+		got := drainFrames(t, r, 1)
+		if got[0] != "best-effort" {
+			t.Errorf("member got %q, want best-effort", got)
+		}
+	}
+}
+
+// TestBatchPathsIdentical is the fan-out half of the golden equivalence
+// gate: the sendmmsg fast path and the portable fallback must deliver
+// exactly the same frame sets to the same members and report the same
+// counts. On platforms without the fast path both runs use the fallback
+// and the test still pins batch-vs-batch determinism.
+func TestBatchPathsIdentical(t *testing.T) {
+	g0 := Group{Video: 1, Channel: 0}
+	g1 := Group{Video: 1, Channel: 1}
+
+	entries := func() []BatchEntry {
+		var es []BatchEntry
+		// More destinations than one sendmmsg window (2 groups × 40
+		// members × 2 frames = 160 datagrams) so window handoff is covered.
+		for i := 0; i < 2; i++ {
+			es = append(es,
+				BatchEntry{Group: g0, Frame: []byte(fmt.Sprintf("g0-frame%d", i))},
+				BatchEntry{Group: g1, Frame: []byte(fmt.Sprintf("g1-frame%d", i))})
+		}
+		return es
+	}
+
+	run := func(t *testing.T, vectorized bool) (int, map[Group][][]string) {
+		hub, rcvs := newTestHub(t, []Group{g0, g1}, 40)
+		if on := hub.SetVectorized(vectorized); on != vectorized && vectorized {
+			t.Skip("vectorized path unavailable on this platform")
+		}
+		if hub.Vectorized() != vectorized {
+			t.Fatalf("Vectorized = %v, want %v", hub.Vectorized(), vectorized)
+		}
+		n, err := hub.SendBatch(entries())
+		if err != nil {
+			t.Fatalf("SendBatch: %v", err)
+		}
+		frames := make(map[Group][][]string)
+		for _, g := range []Group{g0, g1} {
+			for _, r := range rcvs[g] {
+				frames[g] = append(frames[g], drainFrames(t, r, 2))
+			}
+		}
+		return n, frames
+	}
+
+	nVec, framesVec := run(t, true)
+	nGen, framesGen := run(t, false)
+	if nVec != nGen {
+		t.Fatalf("vectorized wrote %d datagrams, fallback %d", nVec, nGen)
+	}
+	for _, g := range []Group{g0, g1} {
+		for i := range framesVec[g] {
+			for j := range framesVec[g][i] {
+				if framesVec[g][i][j] != framesGen[g][i][j] {
+					t.Fatalf("%v member %d frame %d: vectorized %q, fallback %q",
+						g, i, j, framesVec[g][i][j], framesGen[g][i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestNoSendmmsgEnvToggle pins the CI escape hatch: with the env var set,
+// a fresh hub must come up on the fallback path.
+func TestNoSendmmsgEnvToggle(t *testing.T) {
+	t.Setenv(NoSendmmsgEnv, "1")
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	if hub.Vectorized() {
+		t.Errorf("hub is vectorized despite %s=1", NoSendmmsgEnv)
+	}
+}
+
+// TestSendBatchZeroAlloc is the alloc gate for the batched hot path.
+func TestSendBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; alloc count is meaningless")
+	}
+	g := Group{Video: 2, Channel: 0}
+	hub, _ := newTestHub(t, []Group{g}, 4)
+	frame := make([]byte, 1052)
+	entries := []BatchEntry{{Group: g, Frame: frame}, {Group: g, Frame: frame}}
+	// Warm the pools, then pin the steady state on one P so the pooled
+	// buffers are actually reused.
+	if _, err := hub.SendBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := hub.SendBatch(entries); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SendBatch allocates %v objects per call, want 0", allocs)
+	}
+}
+
+// benchFanout measures the batched egress path at a given group size:
+// one SendBatch per iteration delivering one chunk to every member.
+func benchFanout(b *testing.B, members int, vectorized bool) {
+	g := Group{Video: 0, Channel: 0}
+	hub, rcvs := newTestHub(b, []Group{g}, members)
+	if on := hub.SetVectorized(vectorized); on != vectorized && vectorized {
+		b.Skip("vectorized path unavailable on this platform")
+	}
+	// Receivers must drain or their kernel buffers fill and datagrams
+	// drop. ReadFromUDPAddrPort keeps the drain loops allocation-free so
+	// they do not pollute the sender's allocs/op; they exit when the
+	// benchmark cleanup closes their sockets.
+	for _, rs := range rcvs {
+		for _, r := range rs {
+			go func(r *Receiver) {
+				buf := make([]byte, 2048)
+				for {
+					if _, _, err := r.Conn.ReadFromUDPAddrPort(buf); err != nil {
+						return
+					}
+				}
+			}(r)
+		}
+	}
+	frame := make([]byte, 1052)
+	entries := []BatchEntry{{Group: g, Frame: frame}}
+	b.SetBytes(int64(members * len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hub.SendBatch(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hub.Sent())/b.Elapsed().Seconds(), "datagrams/s")
+	if s := hub.SendSyscalls(); s > 0 {
+		b.ReportMetric(float64(hub.Sent())/float64(s), "datagrams/syscall")
+	}
+}
+
+// BenchmarkEgressFanout is the acceptance benchmark: batched egress
+// (sendmmsg where available) across the member counts named in the issue.
+func BenchmarkEgressFanout(b *testing.B) {
+	for _, members := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			benchFanout(b, members, true)
+		})
+	}
+}
+
+// BenchmarkEgressFanoutFallback is the same workload on the portable
+// one-write-per-datagram path — the seed behavior, kept as the baseline
+// the vectorized numbers are compared against.
+func BenchmarkEgressFanoutFallback(b *testing.B) {
+	for _, members := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			benchFanout(b, members, false)
+		})
+	}
+}

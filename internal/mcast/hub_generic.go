@@ -1,0 +1,23 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable egress: platforms without the sendmmsg fast path (or without
+// the uint64 Msghdr.Iovlen layout it needs) send every datagram with its
+// own WriteToUDPAddrPort. The batch API keeps identical semantics — same
+// per-destination best-effort delivery, same failure accounting, same
+// ledger counters — just with one kernel crossing per datagram.
+package mcast
+
+// vecBuf has no portable state; it exists so batchBuf compiles unchanged.
+type vecBuf struct{}
+
+// initVectorized is a no-op: there is no vectorized path to arm here.
+func (h *Hub) initVectorized() {}
+
+// SetVectorized reports false: the sendmmsg path is not compiled in, and
+// the hub already behaves exactly like the linux fallback.
+func (h *Hub) SetVectorized(on bool) bool { return false }
+
+// writeDestsVec delegates to the one-write-per-datagram loop. It is only
+// reachable if vectorized were forced on, which SetVectorized here never
+// does, but it must compile and it must behave identically if called.
+func (h *Hub) writeDestsVec(bb *batchBuf) error { return h.writeDestsGeneric(bb.ds) }

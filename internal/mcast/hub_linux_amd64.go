@@ -1,0 +1,6 @@
+package mcast
+
+// sysSendmmsg is linux/amd64's sendmmsg(2) number. The stdlib syscall
+// tables were frozen before the syscall existed, so it is spelled out
+// here (see arch/x86/entry/syscalls/syscall_64.tbl).
+const sysSendmmsg = 307

@@ -1,0 +1,5 @@
+package mcast
+
+// sysSendmmsg is linux/arm64's sendmmsg(2) number (the asm-generic
+// table shared by all post-2011 ports; see include/uapi/asm-generic/unistd.h).
+const sysSendmmsg = 269

@@ -19,6 +19,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"skyscraper/internal/metrics"
 )
@@ -68,11 +69,28 @@ type Hub struct {
 	members atomic.Pointer[membership]
 	closed  atomic.Bool
 
-	// sent and sentBytes count datagrams and payload bytes actually
-	// written; failed counts members a Send could not reach.
-	sent      metrics.AtomicCounter
-	sentBytes metrics.AtomicCounter
-	failed    metrics.AtomicCounter
+	// rc is the sending socket's raw handle, used by the vectorized
+	// (sendmmsg) fan-out; vectorized reports whether that fast path is
+	// compiled in and enabled. On platforms without it, or with it
+	// disabled via NoSendmmsgEnv or SetVectorized(false), every write
+	// goes through WriteToUDPAddrPort.
+	rc         syscall.RawConn
+	vectorized atomic.Bool
+
+	// The egress ledger. sent and sentBytes count datagrams and payload
+	// bytes actually written; failed counts members a send could not
+	// reach; batches counts SendBatch dispatches that reached at least
+	// one destination, batchedBytes their bytes; syscalls counts kernel
+	// send invocations (sendmmsg calls on the vectorized path, individual
+	// datagram writes otherwise), so sent/syscalls is the batching
+	// factor. Padded: the counters are bumped concurrently by every
+	// egress shard, and unpadded neighbors would share cache lines.
+	sent         metrics.PaddedCounter
+	sentBytes    metrics.PaddedCounter
+	failed       metrics.PaddedCounter
+	batches      metrics.PaddedCounter
+	batchedBytes metrics.PaddedCounter
+	syscalls     metrics.PaddedCounter
 
 	// failing tracks consecutive send failures per (group, member) edge,
 	// under mu; a member reaching EvictAfterFailures is removed from its
@@ -80,20 +98,44 @@ type Hub struct {
 	// skip the mutex (and stay allocation-free) while nothing is failing.
 	failing  map[memberKey]int
 	nfailing atomic.Int32
-	evicted  metrics.AtomicCounter
+	evicted  metrics.PaddedCounter
 }
 
-var _ Sender = (*Hub)(nil)
+var (
+	_ Sender      = (*Hub)(nil)
+	_ BatchSender = (*Hub)(nil)
+)
 
-// NewHub opens the hub's sending socket.
-func NewHub() (*Hub, error) {
+// NewHub opens the hub's sending socket with default kernel buffers.
+func NewHub() (*Hub, error) { return NewHubBuffered(0, 0) }
+
+// NewHubBuffered opens the hub's sending socket and sizes its kernel
+// buffers: sndBuf > 0 calls SetWriteBuffer (the knob that matters — a
+// batched egress engine can hand the kernel bursts of up to 64 datagrams
+// per syscall, and a default-sized send buffer drops the tail of a burst
+// under load), rcvBuf > 0 calls SetReadBuffer (only error/ICMP traffic
+// lands there; sized for symmetry). Zero leaves the OS default.
+func NewHubBuffered(sndBuf, rcvBuf int) (*Hub, error) {
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, fmt.Errorf("mcast: opening sender socket: %w", err)
 	}
+	if sndBuf > 0 {
+		if err := conn.SetWriteBuffer(sndBuf); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("mcast: sizing send buffer: %w", err)
+		}
+	}
+	if rcvBuf > 0 {
+		if err := conn.SetReadBuffer(rcvBuf); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("mcast: sizing receive buffer: %w", err)
+		}
+	}
 	h := &Hub{conn: conn}
 	m := make(membership)
 	h.members.Store(&m)
+	h.initVectorized()
 	return h, nil
 }
 
@@ -221,15 +263,21 @@ func (h *Hub) Members(g Group) int {
 // nothing on the success path. Delivery is best-effort: a member whose
 // write fails is skipped, the rest of the group still receives the
 // datagram, and the failures are aggregated into the returned error.
+// When the vectorized fan-out is enabled the group's datagrams go to the
+// kernel in sendmmsg batches; otherwise one write syscall per member.
 func (h *Hub) Send(g Group, frame []byte) (int, error) {
 	if h.closed.Load() {
 		return 0, fmt.Errorf("mcast: hub closed")
+	}
+	if h.vectorized.Load() {
+		return h.sendOneVec(g, frame)
 	}
 	members := (*h.members.Load())[g]
 	n := 0
 	nfail := 0
 	var first error
 	for _, ap := range members {
+		h.syscalls.Inc()
 		if _, err := h.conn.WriteToUDPAddrPort(frame, ap); err != nil {
 			nfail++
 			if first == nil {
@@ -273,6 +321,19 @@ func (h *Hub) SentBytes() int64 { return h.sentBytes.Value() }
 // each failed member was skipped while the rest of its group was served.
 func (h *Hub) SendFailures() int64 { return h.failed.Value() }
 
+// Batches returns how many SendBatch dispatches reached at least one
+// destination; BatchedBytes the payload bytes they carried.
+func (h *Hub) Batches() int64      { return h.batches.Value() }
+func (h *Hub) BatchedBytes() int64 { return h.batchedBytes.Value() }
+
+// SendSyscalls returns how many kernel send invocations the hub has made:
+// one per sendmmsg on the vectorized path, one per datagram otherwise.
+// Sent()/SendSyscalls() is therefore the achieved batching factor.
+func (h *Hub) SendSyscalls() int64 { return h.syscalls.Value() }
+
+// Vectorized reports whether the sendmmsg fast path is active.
+func (h *Hub) Vectorized() bool { return h.vectorized.Load() }
+
 // Evictions returns how many members have been removed after
 // EvictAfterFailures consecutive send failures.
 func (h *Hub) Evictions() int64 { return h.evicted.Value() }
@@ -293,15 +354,27 @@ type Receiver struct {
 	Conn *net.UDPConn
 }
 
-// NewReceiver opens a loopback UDP socket on an ephemeral port.
-func NewReceiver() (*Receiver, error) {
+// DefaultRecvBufBytes is the receiver's kernel buffer size when the
+// caller does not choose one: broadcast traffic is bursty — with batched
+// egress, deliberately so — and 4 MiB absorbs a burst while the client
+// goroutine is scheduled out.
+const DefaultRecvBufBytes = 4 << 20
+
+// NewReceiver opens a loopback UDP socket on an ephemeral port with the
+// default receive buffer.
+func NewReceiver() (*Receiver, error) { return NewReceiverSized(0) }
+
+// NewReceiverSized is NewReceiver with an explicit kernel receive-buffer
+// size in bytes; zero or negative selects DefaultRecvBufBytes.
+func NewReceiverSized(rcvBuf int) (*Receiver, error) {
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, fmt.Errorf("mcast: opening receiver socket: %w", err)
 	}
-	// Broadcast traffic is bursty; a generous kernel buffer prevents
-	// drops while the client goroutine is scheduled out.
-	if err := conn.SetReadBuffer(4 << 20); err != nil {
+	if rcvBuf <= 0 {
+		rcvBuf = DefaultRecvBufBytes
+	}
+	if err := conn.SetReadBuffer(rcvBuf); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("mcast: sizing receive buffer: %w", err)
 	}

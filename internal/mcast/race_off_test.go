@@ -1,0 +1,9 @@
+//go:build !race
+
+package mcast
+
+// raceEnabled lets alloc-count assertions stand down under the race
+// detector: sync.Pool deliberately drops a fraction of Puts when race
+// instrumentation is on, so pooled hot paths cannot demonstrate zero
+// allocs there (and AllocsPerRun is unreliable under -race anyway).
+const raceEnabled = false

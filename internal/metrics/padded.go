@@ -1,0 +1,41 @@
+package metrics
+
+import "sync/atomic"
+
+// cacheLine is the assumed coherence-granule size. 64 bytes covers x86-64
+// and almost every ARM server part; padding is sized so that two adjacent
+// PaddedCounters can never land on one line even on parts that prefetch
+// line pairs.
+const cacheLine = 64
+
+// PaddedCounter is AtomicCounter insulated against false sharing: the hot
+// word is padded onto its own cache line(s), so a struct or array of
+// PaddedCounters updated by different cores does not bounce a shared line
+// between them on every increment. Use it for counters that sit on
+// per-datagram or per-chunk hot paths and are bumped concurrently with
+// *other* counters declared next to them (the mcast hub's egress ledger,
+// the server's repair and pacing counters); plain AtomicCounter remains
+// the right choice for cold or isolated counts.
+//
+// The zero value is ready to use and must not be copied after first use.
+type PaddedCounter struct {
+	_ [cacheLine]byte
+	n atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Inc adds one.
+func (c *PaddedCounter) Inc() { c.n.Add(1) }
+
+// Add adds delta, which must be non-negative, and returns the new count
+// (so rate-limited logging can key off the value it produced without a
+// second atomic load).
+func (c *PaddedCounter) Add(delta int64) int64 {
+	if delta < 0 {
+		panic("metrics: PaddedCounter.Add of negative delta")
+	}
+	return c.n.Add(delta)
+}
+
+// Value returns the current count.
+func (c *PaddedCounter) Value() int64 { return c.n.Load() }

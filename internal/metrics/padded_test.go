@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestPaddedCounter(t *testing.T) {
+	var c PaddedCounter
+	c.Inc()
+	if got := c.Add(4); got != 5 {
+		t.Errorf("Add returned %d, want 5", got)
+	}
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+// TestPaddedCounterLayout pins the anti-false-sharing property the type
+// exists for: in an array (or adjacent struct fields), consecutive hot
+// words are at least two cache lines apart.
+func TestPaddedCounterLayout(t *testing.T) {
+	var pair [2]PaddedCounter
+	d := uintptr(unsafe.Pointer(&pair[1].n)) - uintptr(unsafe.Pointer(&pair[0].n))
+	if d < 2*cacheLine {
+		t.Errorf("adjacent counters %d bytes apart, want >= %d", d, 2*cacheLine)
+	}
+}
+
+// The parallel-increment benchmarks demonstrate the padding win: one
+// goroutine per core hammering its *own* counter, with the counters laid
+// out adjacently. Unpadded, every increment invalidates the line holding
+// its neighbors' counters; padded, each core owns its line outright.
+
+const benchCounters = 64
+
+func BenchmarkCounterParallelUnpadded(b *testing.B) {
+	var cs [benchCounters]AtomicCounter
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		c := &cs[int(next.Add(1)-1)%benchCounters]
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterParallelPadded(b *testing.B) {
+	var cs [benchCounters]PaddedCounter
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		c := &cs[int(next.Add(1)-1)%benchCounters]
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

@@ -129,5 +129,5 @@ func (s *Server) stormResend(video, channel, chunk int, seq uint32, scratch *fra
 	if _, err := s.hub.Send(g, frame); err != nil {
 		s.cfg.Logf("server: storm re-send %v: %v", g, err)
 	}
-	s.stormResends.Add(1)
+	s.stormResends.Inc()
 }

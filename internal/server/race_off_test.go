@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector instruments this build;
+// real-time throughput assertions skip under it (see race_on_test.go).
+const raceEnabled = false

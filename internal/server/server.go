@@ -87,9 +87,27 @@ type Config struct {
 	// StormWindow is the storm-coalescing window. Defaults to 2*Unit.
 	StormWindow time.Duration
 
-	// PacerHook, when non-nil, is called by each channel pacer after its
-	// timer fires and before the chunk is sent — test instrumentation; a
-	// hook that panics exercises the pacer supervisor.
+	// EgressEngine selects how channel schedules are driven: EngineWheel
+	// (the default when empty) runs all M·K channels from a small pool of
+	// sharded timer-wheel goroutines with batched fan-out; EnginePacer is
+	// the legacy goroutine-per-channel engine, kept for A/B comparison
+	// and the golden equivalence test. Both emit the identical broadcast
+	// sequence on the identical absolute grid.
+	EgressEngine string
+	// SendBufBytes sizes the multicast hub's kernel send buffer
+	// (SetWriteBuffer); batched egress hands the kernel bursts of up to
+	// 64 datagrams per syscall, and a default-sized buffer drops burst
+	// tails under load. 0 leaves the OS default.
+	SendBufBytes int
+	// RecvBufBytes sizes the hub socket's kernel receive buffer
+	// (SetReadBuffer); only error traffic lands there. 0 leaves the OS
+	// default.
+	RecvBufBytes int
+
+	// PacerHook, when non-nil, is called for each chunk after the
+	// engine's timer fires and before the chunk is sent — test
+	// instrumentation; a hook that panics exercises the pacer/shard
+	// supervisor.
 	PacerHook func(video, channel int, rep uint32, chunk int)
 
 	// Logf, when non-nil, receives diagnostic output.
@@ -123,6 +141,12 @@ func (c Config) validate() error {
 		return fmt.Errorf("server: StormThreshold = %d must be non-negative", c.StormThreshold)
 	case c.StormWindow < 0:
 		return fmt.Errorf("server: StormWindow = %v must be non-negative", c.StormWindow)
+	case c.EgressEngine != "" && c.EgressEngine != EngineWheel && c.EgressEngine != EnginePacer:
+		return fmt.Errorf("server: EgressEngine = %q, want %q or %q", c.EgressEngine, EngineWheel, EnginePacer)
+	case c.SendBufBytes < 0:
+		return fmt.Errorf("server: SendBufBytes = %d must be non-negative", c.SendBufBytes)
+	case c.RecvBufBytes < 0:
+		return fmt.Errorf("server: RecvBufBytes = %d must be non-negative", c.RecvBufBytes)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -162,16 +186,25 @@ type Server struct {
 	// repairs counts unicast chunk repairs answered; repairBytes their
 	// payload bytes; busyReplies the requests pushed back with Busy;
 	// suppressed the unicasts absorbed by storm re-sends (stormResends).
-	repairs      atomic.Int64
-	repairBytes  atomic.Int64
-	busyReplies  atomic.Int64
-	stormResends atomic.Int64
-	suppressed   atomic.Int64
+	// Padded: they sit next to each other and are bumped from concurrent
+	// control handlers and egress shards.
+	repairs      metrics.PaddedCounter
+	repairBytes  metrics.PaddedCounter
+	busyReplies  metrics.PaddedCounter
+	stormResends metrics.PaddedCounter
+	suppressed   metrics.PaddedCounter
 
-	// pacerRestarts counts supervisor restarts after pacer panics;
-	// driftEvents broadcasts that missed their schedule by over one unit.
-	pacerRestarts atomic.Int64
-	driftEvents   atomic.Int64
+	// pacerRestarts counts supervisor restarts after pacer (or egress
+	// shard) panics; driftEvents broadcasts that missed their schedule by
+	// over one unit; wheelWakeups timer wakeups of the wheel engine's
+	// shards — each one dispatches every chunk due in its tick.
+	pacerRestarts metrics.PaddedCounter
+	driftEvents   metrics.PaddedCounter
+	wheelWakeups  metrics.PaddedCounter
+
+	// shards is how many egress shard goroutines the wheel engine runs
+	// (0 under EnginePacer); set once in Start.
+	shards int
 
 	stop chan struct{}
 	// wg tracks the pacer supervisors and the accept loop; connWG the
@@ -222,7 +255,7 @@ func New(cfg Config) (*Server, error) {
 // Start opens the control listener and launches every channel pacer. The
 // broadcast epoch is the moment Start returns.
 func (s *Server) Start() error {
-	hub, err := mcast.NewHub()
+	hub, err := mcast.NewHubBuffered(s.cfg.SendBufBytes, s.cfg.RecvBufBytes)
 	if err != nil {
 		return err
 	}
@@ -248,16 +281,20 @@ func (s *Server) Start() error {
 	s.epoch = time.Now()
 
 	sch := s.cfg.Scheme
-	for v := 0; v < sch.Config().Videos; v++ {
-		for i := 1; i <= sch.K(); i++ {
-			s.wg.Add(1)
-			go s.runPacer(v, i)
+	if s.cfg.EgressEngine == EnginePacer {
+		for v := 0; v < sch.Config().Videos; v++ {
+			for i := 1; i <= sch.K(); i++ {
+				s.wg.Add(1)
+				go s.runPacer(v, i)
+			}
 		}
+	} else {
+		s.startWheel()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	s.cfg.Logf("server: broadcasting %d videos x %d channels on %s (unit %v)",
-		sch.Config().Videos, sch.K(), ln.Addr(), s.cfg.Unit)
+	s.cfg.Logf("server: broadcasting %d videos x %d channels on %s (unit %v, engine %s, %d shards, vectorized=%v)",
+		sch.Config().Videos, sch.K(), ln.Addr(), s.cfg.Unit, s.EgressEngine(), s.shards, hub.Vectorized())
 	return nil
 }
 
@@ -275,19 +312,19 @@ func (s *Server) Hub() *mcast.Hub { return s.hub }
 func (s *Server) Injector() *faults.Injector { return s.inj }
 
 // RepairsServed returns how many unicast chunk repairs have been answered.
-func (s *Server) RepairsServed() int64 { return s.repairs.Load() }
+func (s *Server) RepairsServed() int64 { return s.repairs.Value() }
 
 // RepairBytesServed returns the payload bytes those repairs carried.
-func (s *Server) RepairBytesServed() int64 { return s.repairBytes.Load() }
+func (s *Server) RepairBytesServed() int64 { return s.repairBytes.Value() }
 
 // BusyReplies returns how many repair requests were pushed back with Busy
 // (admission denials plus storm suppressions).
-func (s *Server) BusyReplies() int64 { return s.busyReplies.Load() }
+func (s *Server) BusyReplies() int64 { return s.busyReplies.Value() }
 
 // StormResends returns how many coalesced repair storms were answered via
 // a multicast re-send; SuppressedRepairs the unicast requests absorbed.
-func (s *Server) StormResends() int64      { return s.stormResends.Load() }
-func (s *Server) SuppressedRepairs() int64 { return s.suppressed.Load() }
+func (s *Server) StormResends() int64      { return s.stormResends.Value() }
+func (s *Server) SuppressedRepairs() int64 { return s.suppressed.Value() }
 
 // RepairTokens returns the repair token bucket's current level in bytes,
 // or -1 when the budget is unlimited.
@@ -298,11 +335,27 @@ func (s *Server) RepairTokens() int64 {
 	return int64(s.repairBudget.Level(time.Now()))
 }
 
-// PacerRestarts returns how many pacer panics the supervisor has absorbed;
-// PacerDriftEvents how many broadcasts missed their absolute schedule by
-// more than one unit.
-func (s *Server) PacerRestarts() int64    { return s.pacerRestarts.Load() }
-func (s *Server) PacerDriftEvents() int64 { return s.driftEvents.Load() }
+// PacerRestarts returns how many pacer (or egress shard) panics the
+// supervisor has absorbed; PacerDriftEvents how many broadcasts missed
+// their absolute schedule by more than one unit.
+func (s *Server) PacerRestarts() int64    { return s.pacerRestarts.Value() }
+func (s *Server) PacerDriftEvents() int64 { return s.driftEvents.Value() }
+
+// EgressEngine returns the resolved engine name driving the broadcast
+// schedules.
+func (s *Server) EgressEngine() string {
+	if s.cfg.EgressEngine == EnginePacer {
+		return EnginePacer
+	}
+	return EngineWheel
+}
+
+// EgressShards returns how many shard goroutines the wheel engine drives
+// all channels from (0 under the legacy per-pacer engine); EgressWakeups
+// how many timer wakeups those shards have taken — each wakeup dispatches
+// every chunk due in its tick, so wakeups ≪ chunks is the wheel working.
+func (s *Server) EgressShards() int    { return s.shards }
+func (s *Server) EgressWakeups() int64 { return s.wheelWakeups.Value() }
 
 // Draining reports whether the server is in graceful shutdown.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -518,7 +571,7 @@ func (s *Server) serveControl(conn net.Conn) {
 		_ = write(&wire.Control{Kind: wire.KindError, Error: msg})
 	}
 	busy := func(retry time.Duration) error {
-		s.busyReplies.Add(1)
+		s.busyReplies.Inc()
 		return write(&wire.Control{Kind: wire.KindBusy, RetryAfterNanos: int64(retry)})
 	}
 	for {
@@ -605,7 +658,7 @@ func (s *Server) serveControl(conn net.Conn) {
 					s.stormResend(k.video, k.channel, k.chunk, rp.Seq, scratch)
 					fallthrough
 				case stormSuppress:
-					s.suppressed.Add(1)
+					s.suppressed.Inc()
 					// Busy(0): the answer is (already) in flight on the
 					// broadcast group; re-listen instead of re-pulling.
 					if err := busy(0); err != nil {
@@ -629,7 +682,7 @@ func (s *Server) serveControl(conn net.Conn) {
 			reply := *rp
 			reply.Data = make([]byte, rp.Length)
 			s.fillRange(rp.Video, rp.Channel, rp.Offset, reply.Data, scratch)
-			s.repairs.Add(1)
+			s.repairs.Inc()
 			s.repairBytes.Add(int64(rp.Length))
 			if err := write(&wire.Control{Kind: wire.KindRepairOK, Repair: &reply}); err != nil {
 				return
@@ -640,14 +693,19 @@ func (s *Server) serveControl(conn net.Conn) {
 				DatagramsSent:     s.hub.Sent(),
 				Channels:          sch.Config().Videos * sch.K(),
 				Members:           s.hub.TotalMembers(),
-				RepairsServed:     s.repairs.Load(),
-				RepairBytes:       s.repairBytes.Load(),
-				BusyReplies:       s.busyReplies.Load(),
-				StormResends:      s.stormResends.Load(),
-				SuppressedRepairs: s.suppressed.Load(),
+				RepairsServed:     s.repairs.Value(),
+				RepairBytes:       s.repairBytes.Value(),
+				BusyReplies:       s.busyReplies.Value(),
+				StormResends:      s.stormResends.Value(),
+				SuppressedRepairs: s.suppressed.Value(),
 				RepairTokens:      s.RepairTokens(),
-				PacerRestarts:     s.pacerRestarts.Load(),
-				PacerDriftEvents:  s.driftEvents.Load(),
+				PacerRestarts:     s.pacerRestarts.Value(),
+				PacerDriftEvents:  s.driftEvents.Value(),
+				EgressShards:      s.shards,
+				EgressWakeups:     s.wheelWakeups.Value(),
+				EgressBatches:     s.hub.Batches(),
+				BatchedBytes:      s.hub.BatchedBytes(),
+				EgressSyscalls:    s.hub.SendSyscalls(),
 				Draining:          s.draining.Load(),
 			}
 			if err := write(&wire.Control{Kind: wire.KindStatsOK, Stats: st}); err != nil {

@@ -49,6 +49,23 @@ type StatusSnapshot struct {
 	// PacerDriftEvents broadcasts more than one unit behind schedule.
 	PacerRestarts    int64 `json:"pacerRestarts"`
 	PacerDriftEvents int64 `json:"pacerDriftEvents"`
+	// EgressEngine names the engine driving the channel schedules
+	// ("wheel" or "pacer"); EgressShards how many shard goroutines the
+	// wheel runs (0 under the per-pacer engine); EgressWakeups their
+	// timer wakeups, each dispatching every chunk due in its tick.
+	EgressEngine  string `json:"egressEngine"`
+	EgressShards  int    `json:"egressShards"`
+	EgressWakeups int64  `json:"egressWakeups"`
+	// EgressBatches counts batched hub dispatches and BatchedBytes the
+	// payload bytes they carried; EgressSyscalls the kernel send
+	// invocations (sendmmsg calls on the vectorized path, per-datagram
+	// writes otherwise) — DatagramsSent/EgressSyscalls is the achieved
+	// batching factor. Vectorized reports whether the sendmmsg fast path
+	// is active.
+	EgressBatches  int64 `json:"egressBatches"`
+	BatchedBytes   int64 `json:"batchedBytes"`
+	EgressSyscalls int64 `json:"egressSyscalls"`
+	Vectorized     bool  `json:"vectorized"`
 	// MembersEvicted counts group members removed after consecutive send
 	// failures.
 	MembersEvicted int64 `json:"membersEvicted"`
@@ -73,14 +90,21 @@ func (s *Server) snapshot() StatusSnapshot {
 		injected = &c
 	}
 	return StatusSnapshot{
-		RepairsServed:     s.repairs.Load(),
-		RepairBytes:       s.repairBytes.Load(),
-		BusyReplies:       s.busyReplies.Load(),
-		StormResends:      s.stormResends.Load(),
-		SuppressedRepairs: s.suppressed.Load(),
+		RepairsServed:     s.repairs.Value(),
+		RepairBytes:       s.repairBytes.Value(),
+		BusyReplies:       s.busyReplies.Value(),
+		StormResends:      s.stormResends.Value(),
+		SuppressedRepairs: s.suppressed.Value(),
 		RepairTokens:      s.RepairTokens(),
-		PacerRestarts:     s.pacerRestarts.Load(),
-		PacerDriftEvents:  s.driftEvents.Load(),
+		PacerRestarts:     s.pacerRestarts.Value(),
+		PacerDriftEvents:  s.driftEvents.Value(),
+		EgressEngine:      s.EgressEngine(),
+		EgressShards:      s.shards,
+		EgressWakeups:     s.wheelWakeups.Value(),
+		EgressBatches:     s.hub.Batches(),
+		BatchedBytes:      s.hub.BatchedBytes(),
+		EgressSyscalls:    s.hub.SendSyscalls(),
+		Vectorized:        s.hub.Vectorized(),
 		MembersEvicted:    s.hub.Evictions(),
 		Draining:          s.draining.Load(),
 		FaultsInjected:    injected,

@@ -37,12 +37,12 @@ func (s *Server) runPacer(v, i int) {
 		if s.paceRecovering(v, i) {
 			return // orderly exit: server stopping
 		}
-		s.pacerRestarts.Add(1)
+		d := s.pacerRestarts.Add(1)
 		if time.Since(started) > pacerStableAfter {
 			backoff = pacerRestartBase
 		}
 		s.cfg.Logf("server: restarting pacer video%d/ch%d in %v (restart #%d)",
-			v, i, backoff, s.pacerRestarts.Load())
+			v, i, backoff, d)
 		select {
 		case <-s.stop:
 			return

@@ -1,0 +1,458 @@
+// The batched egress engine: a sharded hierarchical timer wheel that
+// drives every (video, channel) broadcast schedule from a small fixed
+// pool of shard goroutines.
+//
+// The per-pacer engine (pace, supervisor.go) keeps one goroutine and one
+// timer per channel: M videos × K channels means M·K timers firing
+// independently, M·K wakeups per chunk interval, and one Send — itself
+// one syscall per member before the vectorized hub — per chunk. The
+// wheel inverts that: each shard owns a fixed subset of the channels,
+// hashes their next-due instants into a timer wheel quantized to the
+// channels' chunk spacing, and sleeps until the earliest due tick. One
+// wakeup collects *every* chunk due in that tick across all the shard's
+// channels and hands them to the hub as a single batch
+// (mcast.BatchSender), which puts them on the wire in sendmmsg batches.
+// Steady state is therefore one timer wakeup and a handful of syscalls
+// per tick per shard, independent of how many channels share the tick —
+// the paper's O(channels) server cost with the constant actually small.
+//
+// Everything the per-pacer engine guarantees is preserved:
+//
+//   - The absolute epoch-anchored grid: entry positions are derived from
+//     the wall clock (resync), never from send counts, so chunk c of
+//     repetition n is sent at epoch + n*period_i + c*spacing_i exactly as
+//     pace computes it — the golden equivalence test pins the two engines
+//     to the same (rep, chunk) sequence.
+//   - Supervision: a shard runs under the same panic-recovery/backoff
+//     loop as a pacer (runWheelShard mirrors runPacer); a restarted shard
+//     resyncs every entry from the clock and rejoins the grid
+//     mid-repetition instead of replaying a burst.
+//   - The drift watchdog: every chunk dispatched more than one unit after
+//     its scheduled instant counts a drift event, same threshold, same
+//     rate-limited logging.
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/wire"
+)
+
+// Egress engine names for Config.EgressEngine.
+const (
+	// EngineWheel is the default: sharded timer wheel + batched fan-out.
+	EngineWheel = "wheel"
+	// EnginePacer is the legacy goroutine-per-channel engine, kept
+	// selectable for A/B comparison and the golden equivalence test.
+	EnginePacer = "pacer"
+)
+
+// wheelSlots is the fan-out of each wheel level: 256 level-0 slots of one
+// quantum each, 256 level-1 slots of wheelSlots quanta each, and an
+// overflow list beyond that horizon.
+const wheelSlots = 256
+
+// Bounds on the wheel quantum. The quantum tracks the finest chunk
+// spacing so same-tick chunks batch without adding schedule error beyond
+// one spacing; the floor keeps a pathological spacing from turning the
+// wheel into a busy loop, the ceiling keeps idle boundary scans frequent
+// enough that a sparse wheel still cascades promptly.
+const (
+	minWheelQuantum = 50 * time.Microsecond
+	maxWheelQuantum = time.Second
+)
+
+// wheelEntry is one channel's place in the broadcast schedule: its static
+// geometry (period, spacing, chunk count) and its cursor (repetition n,
+// chunk c, and the absolute due offset from the epoch).
+type wheelEntry struct {
+	video   int
+	channel int
+	group   mcast.Group
+	cc      *channelCache
+	// scratch is per-entry so every frame staged into one batch is backed
+	// by distinct memory even when its chunk is not cache-resident.
+	scratch *frameScratch
+
+	period  time.Duration
+	spacing time.Duration
+	chunks  int
+
+	n   uint32
+	c   int
+	due time.Duration // offset of the next send from the epoch
+	// dead marks a channel whose frames can no longer be patched (the
+	// same condition that makes pace return); it is dropped from the
+	// rotation.
+	dead bool
+}
+
+// resync points the entry at the next chunk at or after elapsed on the
+// absolute grid — the identical floor arithmetic pace uses to resume, so
+// a shard restart rejoins the schedule exactly where a pacer would.
+func (e *wheelEntry) resync(elapsed time.Duration) {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	n := elapsed / e.period
+	c := int((elapsed % e.period) / e.spacing)
+	if c >= e.chunks {
+		n, c = n+1, 0
+	}
+	e.n = uint32(n)
+	e.c = c
+	e.due = time.Duration(e.n)*e.period + time.Duration(e.c)*e.spacing
+}
+
+// advance moves the cursor to the next chunk. The due offset is always
+// recomputed from (n, c) — not incremented by spacing — because spacing
+// is the floor of period/chunks, and accumulating it would let the
+// schedule creep off the repetition boundaries the clients compute.
+func (e *wheelEntry) advance() {
+	e.c++
+	if e.c >= e.chunks {
+		e.c = 0
+		e.n++
+	}
+	e.due = time.Duration(e.n)*e.period + time.Duration(e.c)*e.spacing
+}
+
+// timerWheel is a two-level hierarchical timer wheel over epoch offsets.
+// Level 0 resolves single ticks across a 256-tick window starting at cur;
+// level 1 resolves 256-tick windows across a 65536-tick horizon; entries
+// beyond that wait in overflow. Slots hold entry pointers in reused
+// slices, so steady-state insert/collect allocates nothing.
+type timerWheel struct {
+	quantum  time.Duration
+	cur      int64 // next tick not yet collected
+	level0   [wheelSlots][]*wheelEntry
+	level1   [wheelSlots][]*wheelEntry
+	overflow []*wheelEntry
+}
+
+// reset re-arms the wheel at the tick containing now, clearing all slots
+// (their capacity is kept).
+func (w *timerWheel) reset(quantum time.Duration, now time.Duration) {
+	w.quantum = quantum
+	w.cur = int64(now / quantum)
+	for i := range w.level0 {
+		w.level0[i] = w.level0[i][:0]
+		w.level1[i] = w.level1[i][:0]
+	}
+	w.overflow = w.overflow[:0]
+}
+
+// insert files e by its due tick. Past-due entries land in the current
+// tick and come out on the next collect.
+func (w *timerWheel) insert(e *wheelEntry) {
+	t := int64(e.due / w.quantum)
+	if t < w.cur {
+		t = w.cur
+	}
+	switch dt := t - w.cur; {
+	case dt < wheelSlots:
+		w.level0[t%wheelSlots] = append(w.level0[t%wheelSlots], e)
+	case dt < wheelSlots*wheelSlots:
+		w.level1[(t/wheelSlots)%wheelSlots] = append(w.level1[(t/wheelSlots)%wheelSlots], e)
+	default:
+		w.overflow = append(w.overflow, e)
+	}
+}
+
+// collect advances the wheel to the tick containing now, appending every
+// entry due in the crossed ticks to out (one tick's entries dispatch
+// together — that is the batching). Level-1 windows cascade into level 0
+// as cur crosses their boundaries, and overflow is re-filed once per
+// level-1 lap.
+func (w *timerWheel) collect(now time.Duration, out []*wheelEntry) []*wheelEntry {
+	target := int64(now / w.quantum)
+	for w.cur <= target {
+		if w.cur%wheelSlots == 0 {
+			w.cascade()
+		}
+		slot := &w.level0[w.cur%wheelSlots]
+		out = append(out, *slot...)
+		*slot = (*slot)[:0]
+		w.cur++
+	}
+	return out
+}
+
+// cascade re-files the level-1 slot covering the window that starts at
+// cur, and — once per level-1 lap — the overflow list. An entry whose due
+// tick is a whole lap ahead goes back where it was and waits for the next
+// cascade; everything else drops into level 0.
+func (w *timerWheel) cascade() {
+	slot := &w.level1[(w.cur/wheelSlots)%wheelSlots]
+	pending := *slot
+	*slot = (*slot)[:0]
+	for _, e := range pending {
+		w.insert(e)
+	}
+	if w.cur%(wheelSlots*wheelSlots) == 0 {
+		pending = w.overflow
+		w.overflow = w.overflow[:0]
+		for _, e := range pending {
+			w.insert(e)
+		}
+	}
+}
+
+// nextDue returns the epoch offset the shard should sleep until: the
+// earliest due entry in the level-0 window if there is one, otherwise the
+// next cascade boundary (at which closer entries may surface from level 1
+// or overflow). ok is false when the wheel is empty.
+func (w *timerWheel) nextDue() (next time.Duration, ok bool) {
+	boundary := (w.cur/wheelSlots + 1) * wheelSlots
+	best := time.Duration(-1)
+	for t := w.cur; t < boundary+wheelSlots; t++ {
+		slot := w.level0[t%wheelSlots]
+		if len(slot) == 0 {
+			continue
+		}
+		best = slot[0].due
+		for _, e := range slot[1:] {
+			if e.due < best {
+				best = e.due
+			}
+		}
+		// A past-due entry (clamped into this slot by insert) keeps its
+		// stale due offset, but collect only releases the slot once the
+		// clock enters tick t. Waking any earlier would spin — timer
+		// fires, collect crosses no tick, nothing dispatches, repeat —
+		// burning the core exactly when the schedule is already behind.
+		if bt := time.Duration(t) * w.quantum; best < bt {
+			best = bt
+		}
+		break
+	}
+	more := len(w.overflow) > 0
+	for i := 0; !more && i < wheelSlots; i++ {
+		more = len(w.level1[i]) > 0
+	}
+	if more {
+		if bt := time.Duration(boundary) * w.quantum; best < 0 || bt < best {
+			// Level-0 slots past the boundary can hold later entries than
+			// an uncascaded level-1 window; waking at the boundary keeps
+			// the scan cheap and never oversleeps a due entry.
+			best = bt
+		}
+	}
+	return best, best >= 0
+}
+
+// wheelShard owns a fixed subset of the channel entries and runs their
+// schedule from one goroutine. due and batch are reused across wakeups.
+type wheelShard struct {
+	s       *Server
+	id      int
+	entries []*wheelEntry
+	wheel   timerWheel
+	due     []*wheelEntry
+	batch   []mcast.BatchEntry
+}
+
+// newWheelEntry builds the schedule state for (video v, channel i) — the
+// same geometry pace derives.
+func (s *Server) newWheelEntry(v, i int) *wheelEntry {
+	size := s.cfg.Scheme.Sizes()[i-1]
+	period := time.Duration(size) * s.cfg.Unit
+	chunks := s.fragmentBytes(i) / s.cfg.ChunkBytes
+	return &wheelEntry{
+		video:   v,
+		channel: i,
+		group:   mcast.Group{Video: v, Channel: i},
+		cc:      s.cache.channel(v, i),
+		scratch: newFrameScratch(s.cfg.ChunkBytes),
+		period:  period,
+		spacing: period / time.Duration(chunks),
+		chunks:  chunks,
+	}
+}
+
+// startWheel launches the egress shards: every (video, channel) entry is
+// dealt round-robin across min(GOMAXPROCS, channels) shards, each
+// supervised like a pacer.
+func (s *Server) startWheel() {
+	sch := s.cfg.Scheme
+	var entries []*wheelEntry
+	for v := 0; v < sch.Config().Videos; v++ {
+		for i := 1; i <= sch.K(); i++ {
+			entries = append(entries, s.newWheelEntry(v, i))
+		}
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > len(entries) {
+		n = len(entries)
+	}
+	s.shards = n
+	for si := 0; si < n; si++ {
+		sh := &wheelShard{s: s, id: si}
+		for j := si; j < len(entries); j += n {
+			sh.entries = append(sh.entries, entries[j])
+		}
+		s.wg.Add(1)
+		go s.runWheelShard(sh)
+	}
+}
+
+// runWheelShard supervises one shard exactly as runPacer supervises one
+// pacer: panics are recovered, the shard restarts with exponential
+// backoff, and a stable run earns the backoff reset. Restarts land in the
+// same pacerRestarts counter — a shard restart is the wheel engine's
+// pacer restart.
+func (s *Server) runWheelShard(sh *wheelShard) {
+	defer s.wg.Done()
+	backoff := pacerRestartBase
+	for {
+		started := time.Now()
+		if sh.runRecovering() {
+			return // orderly exit: server stopping
+		}
+		d := s.pacerRestarts.Add(1)
+		if time.Since(started) > pacerStableAfter {
+			backoff = pacerRestartBase
+		}
+		s.cfg.Logf("server: restarting egress shard %d (%d channels) in %v (restart #%d)",
+			sh.id, len(sh.entries), backoff, d)
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > pacerRestartMax {
+			backoff = pacerRestartMax
+		}
+	}
+}
+
+// runRecovering runs one shard attempt, converting a panic into a false
+// return so the supervisor restarts it. An orderly return reports true.
+func (sh *wheelShard) runRecovering() (done bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.s.cfg.Logf("server: egress shard %d panicked: %v\n%s", sh.id, r, debug.Stack())
+		}
+	}()
+	sh.run()
+	return true
+}
+
+// quantum picks the shard's wheel resolution: the finest chunk spacing
+// among its entries, clamped to [minWheelQuantum, maxWheelQuantum].
+func (sh *wheelShard) quantum() time.Duration {
+	q := maxWheelQuantum
+	for _, e := range sh.entries {
+		if e.spacing < q {
+			q = e.spacing
+		}
+	}
+	if q < minWheelQuantum {
+		q = minWheelQuantum
+	}
+	return q
+}
+
+// run is the shard dispatch loop: sleep to the earliest due tick, collect
+// everything due, dispatch it as one batch, re-file the entries. Entered
+// fresh after every restart, it rebuilds the wheel from the wall clock so
+// the shard rejoins the absolute grid.
+func (sh *wheelShard) run() {
+	s := sh.s
+	sh.wheel.reset(sh.quantum(), time.Since(s.epoch))
+	live := 0
+	for _, e := range sh.entries {
+		if e.dead {
+			continue
+		}
+		e.resync(time.Since(s.epoch))
+		sh.wheel.insert(e)
+		live++
+	}
+	if live == 0 {
+		<-s.stop
+		return
+	}
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		wait := time.Hour
+		if next, ok := sh.wheel.nextDue(); ok {
+			wait = time.Until(s.epoch.Add(next))
+		}
+		timer.Reset(wait)
+		select {
+		case <-s.stop:
+			return
+		case <-timer.C:
+		}
+		s.wheelWakeups.Inc()
+		sh.due = sh.wheel.collect(time.Since(s.epoch), sh.due[:0])
+		if len(sh.due) > 0 {
+			sh.dispatch()
+		}
+	}
+}
+
+// dispatch sends one tick's worth of chunks. Frame preparation is
+// identical to pace — hook, cache acquire, 4-byte Seq patch — but the
+// prepared frames leave as one hub batch when the sender supports it
+// (it does not when a fault injector is interposed, which must keep
+// deciding chunk by chunk; those go through per-chunk Send unchanged).
+func (sh *wheelShard) dispatch() {
+	s := sh.s
+	hook := s.cfg.PacerHook
+	bs, batching := s.send.(mcast.BatchSender)
+	sh.batch = sh.batch[:0]
+	for _, e := range sh.due {
+		if hook != nil {
+			hook(e.video, e.channel, e.n, e.c)
+		}
+		frame := s.cache.acquire(e.cc, e.c, e.scratch)
+		if err := wire.PatchSeq(frame, e.n); err != nil {
+			// The channel cannot broadcast coherent frames; retire it, as
+			// pace does by returning.
+			s.cfg.Logf("server: patching %v seq %d: %v", e.group, e.n, err)
+			e.dead = true
+			continue
+		}
+		if batching {
+			sh.batch = append(sh.batch, mcast.BatchEntry{Group: e.group, Frame: frame})
+			continue
+		}
+		if _, err := s.send.Send(e.group, frame); err != nil {
+			sh.logSendErr(e, err)
+		}
+	}
+	if batching && len(sh.batch) > 0 {
+		if _, err := bs.SendBatch(sh.batch); err != nil {
+			sh.logSendErr(sh.due[0], err)
+		}
+	}
+	for _, e := range sh.due {
+		if e.dead {
+			continue
+		}
+		if late := time.Since(s.epoch.Add(e.due)); late > s.cfg.Unit {
+			if d := s.driftEvents.Add(1); d == 1 || d%256 == 0 {
+				s.cfg.Logf("server: pacing drift: %v seq %d chunk %d sent %v late (%d drift events)",
+					e.group, e.n, e.c, late, d)
+			}
+		}
+		e.advance()
+		sh.wheel.insert(e)
+	}
+}
+
+// logSendErr reports a send failure unless the server is stopping (whose
+// socket teardown makes trailing sends fail by design).
+func (sh *wheelShard) logSendErr(e *wheelEntry, err error) {
+	select {
+	case <-sh.s.stop:
+	default:
+		sh.s.cfg.Logf("server: sending %v seq %d: %v", e.group, e.n, err)
+	}
+}

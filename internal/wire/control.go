@@ -116,6 +116,19 @@ type Stats struct {
 	// their absolute schedule by more than one unit.
 	PacerRestarts    int64 `json:"pacerRestarts,omitempty"`
 	PacerDriftEvents int64 `json:"pacerDriftEvents,omitempty"`
+	// The egress ledger (absent under the legacy per-pacer engine or on
+	// an idle server). EgressShards is how many shard goroutines drive
+	// all channel schedules; EgressWakeups their timer wakeups, each
+	// dispatching every chunk due in its tick; EgressBatches the batched
+	// hub dispatches and BatchedBytes the payload bytes they carried;
+	// EgressSyscalls the kernel send invocations (sendmmsg calls on the
+	// vectorized path, per-datagram writes otherwise), so
+	// DatagramsSent/EgressSyscalls is the achieved batching factor.
+	EgressShards   int   `json:"egressShards,omitempty"`
+	EgressWakeups  int64 `json:"egressWakeups,omitempty"`
+	EgressBatches  int64 `json:"egressBatches,omitempty"`
+	BatchedBytes   int64 `json:"batchedBytes,omitempty"`
+	EgressSyscalls int64 `json:"egressSyscalls,omitempty"`
 	// Draining reports a server in graceful shutdown: no new
 	// connections, in-flight repairs finishing.
 	Draining bool `json:"draining,omitempty"`
