@@ -5,7 +5,7 @@ GO ?= go
 # machine produced them.
 BENCHMETA = ./scripts/benchmeta.sh
 
-.PHONY: build test vet race chaos fuzz vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress
+.PHONY: build test vet race chaos fuzz vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress bench-scale
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 # must pass the race detector over them.
 race:
 	$(GO) test -race ./internal/des ./internal/metrics ./internal/sim ./internal/bench \
-		./internal/faults ./internal/mcast
+		./internal/faults ./internal/mcast ./internal/viewer
 
 # The chaos gate: the fault-injection, loss-recovery, and overload suites
 # — seeded drop/duplicate/reorder plans, unicast repair, reconnects, idle
@@ -31,8 +31,8 @@ race:
 # vectorized/fallback identity) — under the race detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden' \
-		./internal/faults ./internal/client ./internal/server ./internal/mcast
+		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux' \
+		./internal/faults ./internal/client ./internal/server ./internal/mcast ./internal/viewer
 
 # Ten seconds of coverage-guided fuzzing per wire decoder (frame and
 # control planes): malformed input must error, never panic, and every
@@ -76,6 +76,16 @@ bench-datapath:
 bench-overload:
 	$(GO) run ./cmd/skychaos -overload -drops 0.05 -multipliers 1,2,3 -out BENCH_overload.json
 	$(BENCHMETA) bench-overload >> BENCH_overload.json
+
+# Record the audience-capacity curve: the virtual-viewer mux holds
+# 1k/10k/100k emulated sessions (two emulator processes, real loopback
+# sockets) against one server and records viewers vs {start-latency
+# quantiles, repair load, busy rate, degraded sessions, server CPU}
+# (see EXPERIMENTS.md "Audience capacity").
+bench-scale:
+	$(GO) run ./cmd/skychaos -scale -viewers 1000,10000,100000 -procs 2 \
+		-unit 200ms -out BENCH_scale.json
+	$(BENCHMETA) bench-scale >> BENCH_scale.json
 
 # Record the batched egress benchmarks: vectorized vs fallback fan-out
 # at 1/8/64 members, the timer wheel's dispatch cycle at 2..2100

@@ -9,6 +9,7 @@
 //	skychaos -M 1 -K 5 -W 2 -unit 80ms -seed 1 -drops 0.01,0.03,0.05
 //	skychaos -no-repair -drops 0.25     # graceful degradation instead
 //	skychaos -overload -multipliers 1,2,3 -out BENCH_overload.json
+//	skychaos -scale -viewers 1000,10000,100000 -procs 2 -out BENCH_scale.json
 //
 // The -overload mode sweeps repair demand against a fixed admission
 // budget: the server's token bucket is provisioned for one session's
@@ -16,6 +17,14 @@
 // clients offer multiples of it. The resulting delivered/degraded/busy
 // curves (written as JSON) show the overload-safe repair plane holding
 // its budget while every session still terminates.
+//
+// The -scale mode records the audience capacity curve: one in-process
+// server, then for each viewer count it re-execs itself as -emulate
+// child processes whose virtual-viewer multiplexers (internal/viewer)
+// hold the audience between them over real loopback sockets. Each row
+// tabulates viewers vs start-latency quantiles, repair load, busy rate,
+// degraded sessions, and the server's own CPU — the paper's claim that
+// server cost is independent of the audience, measured.
 package main
 
 import (
@@ -55,9 +64,47 @@ func main() {
 		overload = flag.Bool("overload", false,
 			"run the overload sweep: fixed repair budget vs multiples of expected demand")
 		multipliers = flag.String("multipliers", "1,2,3", "demand multipliers (concurrent clients) for -overload")
-		out         = flag.String("out", "BENCH_overload.json", "JSON output path for -overload")
+		out         = flag.String("out", "BENCH_overload.json", "JSON output path for -overload/-scale")
+		scale       = flag.Bool("scale", false,
+			"run the audience capacity sweep: emulator processes of virtual viewers vs one server")
+		emulateMode = flag.Bool("emulate", false,
+			"child mode for -scale: run one virtual-viewer mux against -server, print its Result JSON")
+		serverAddr = flag.String("server", "", "server control address for -emulate")
+		viewers    = flag.String("viewers", "1000,10000,100000",
+			"comma-separated audience sizes for -scale (single count for -emulate)")
+		procs      = flag.Int("procs", 2, "emulator processes per -scale point")
+		spread     = flag.Float64("spread", 4, "admission spread in D1 units for the virtual audience")
+		muxWorkers = flag.Int("mux-workers", 0, "repair worker pool per emulator (0 = GOMAXPROCS, capped)")
 	)
 	flag.Parse()
+	if *emulateMode {
+		n, err := strconv.Atoi(strings.TrimSpace(*viewers))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "skychaos: -emulate needs a single -viewers count, got %q\n", *viewers)
+			os.Exit(2)
+		}
+		if err := emulate(*serverAddr, n, *videos, *spread, *seed, *muxWorkers, *noRepair, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "skychaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scale {
+		rate := 0.0
+		if rs, err := parseRates(*drops); err == nil && len(rs) == 1 {
+			rate = rs[0]
+		}
+		scaleOut := *out
+		if scaleOut == "BENCH_overload.json" {
+			scaleOut = "BENCH_scale.json"
+		}
+		if err := scaleSweep(*videos, *channels, *width, *unit, rate, *seed, *viewers,
+			*procs, *muxWorkers, *spread, *noRepair, *verbose, scaleOut); err != nil {
+			fmt.Fprintln(os.Stderr, "skychaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *overload {
 		rate := 0.05
 		if rs, err := parseRates(*drops); err == nil && len(rs) == 1 {

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"skyscraper/internal/core"
+	"skyscraper/internal/des"
+	"skyscraper/internal/faults"
+	"skyscraper/internal/server"
+	"skyscraper/internal/viewer"
+	"skyscraper/internal/vod"
+)
+
+// scaleRow is one point on the audience-size capacity curve: N virtual
+// viewers (split over emulator processes) against one server, with the
+// per-viewer outcome sums, the admission-latency quantiles, and the
+// server's own cost ledger for the window.
+type scaleRow struct {
+	Viewers int `json:"viewers"`
+	Procs   int `json:"procs"`
+	Cohorts int `json:"cohorts"`
+	// PeakViewers and PeakCohorts are summed emulator-side concurrency
+	// high-water marks (the mux's padded gauges).
+	PeakViewers int64   `json:"peak_viewers"`
+	PeakCohorts int64   `json:"peak_cohorts"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	// P50WaitUnits / P99WaitUnits are start-latency quantiles in D1
+	// units, from the merged per-viewer admission-wait histograms.
+	P50WaitUnits float64 `json:"p50_wait_units"`
+	P99WaitUnits float64 `json:"p99_wait_units"`
+	// Viewer-side outcome sums across all emulators.
+	Bytes            int64 `json:"bytes"`
+	RepairRequests   int64 `json:"repair_requests"`
+	RepairedChunks   int64 `json:"repaired_chunks"`
+	BusyReplies      int64 `json:"busy_replies"`
+	LostChunks       int64 `json:"lost_chunks"`
+	LateChunks       int64 `json:"late_chunks"`
+	DegradedSessions int   `json:"degraded_sessions"`
+	// BusyRate is BusyReplies / RepairRequests (0 when no requests).
+	BusyRate float64 `json:"busy_rate"`
+	// Datagrams / RecvDropped are shared-receiver deliveries and ring
+	// drops across emulators — per subscribed datagram, not per viewer.
+	Datagrams   int64 `json:"datagrams"`
+	RecvDropped int64 `json:"recv_dropped"`
+	// Server-side deltas over the window: CPU burned by the server
+	// process, datagrams put on the wire, unicast repairs answered, and
+	// the control-session high-water mark (audience-independence: bounded
+	// by the emulators' connection pools, not by Viewers).
+	ServerCPUSec        float64 `json:"server_cpu_sec"`
+	ServerDatagrams     int64   `json:"server_datagrams"`
+	ServerRepairs       int64   `json:"server_repairs"`
+	ControlSessionsPeak int64   `json:"control_sessions_peak"`
+}
+
+// scaleReport is the BENCH_scale.json document.
+type scaleReport struct {
+	Videos      int        `json:"videos"`
+	Channels    int        `json:"channels"`
+	Width       int64      `json:"width"`
+	UnitNanos   int64      `json:"unit_nanos"`
+	DropRate    float64    `json:"drop_rate"`
+	Seed        uint64     `json:"seed"`
+	SpreadUnits float64    `json:"spread_units"`
+	Rows        []scaleRow `json:"rows"`
+}
+
+// emulate is the child-process mode: run one virtual-viewer mux against
+// the given server and print the viewer.Result as JSON on stdout. The
+// parent merges the documents; a degraded run still reports before the
+// non-zero exit.
+func emulate(serverAddr string, viewers, videos int, spread float64, seed uint64,
+	workers int, noRepair, verbose bool) error {
+	cfg := viewer.MuxConfig{
+		ServerAddr:    serverAddr,
+		Viewers:       viewers,
+		Videos:        videos,
+		SpreadUnits:   spread,
+		Seed:          seed,
+		Workers:       workers,
+		JoinLeadFrac:  0.9,
+		SlackFrac:     1.0,
+		RepairLagFrac: 0.3,
+		DisableRepair: noRepair,
+	}
+	if verbose {
+		cfg.Logf = log.Printf
+	}
+	res, runErr := viewer.Run(cfg)
+	if res != nil {
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			return err
+		}
+	}
+	return runErr
+}
+
+// scaleSweep is the parent mode: one in-process server, then for each
+// audience size N it forks -emulate children (os.Executable re-exec) that
+// hold N virtual viewers between them over real loopback sockets, and
+// records the viewers-vs-{start latency, repair load, busy rate,
+// degradation, server CPU} capacity curve.
+func scaleSweep(videos, channels int, width int64, unit time.Duration,
+	drop float64, seed uint64, viewersList string, procs, muxWorkers int,
+	spread float64, noRepair, verbose bool, out string) error {
+	var counts []int
+	for _, f := range strings.Split(viewersList, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad viewer count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("no viewer counts in %q", viewersList)
+	}
+	if procs <= 0 {
+		procs = 1
+	}
+	cfg := vod.Config{
+		ServerMbps: 1.5 * float64(videos*channels),
+		Videos:     videos,
+		LengthMin:  120,
+		RateMbps:   1.5,
+	}
+	sch, err := core.New(cfg, width)
+	if err != nil {
+		return err
+	}
+	scfg := server.Config{
+		Scheme:       sch,
+		Unit:         unit,
+		BytesPerUnit: 4096,
+		ChunkBytes:   1024,
+	}
+	if drop > 0 {
+		scfg.Faults = &faults.Plan{Seed: seed, Drop: drop}
+	}
+	if verbose {
+		scfg.Logf = log.Printf
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Close()
+	statusURL, err := srv.ServeStatus()
+	if err != nil {
+		return err
+	}
+
+	report := scaleReport{
+		Videos: videos, Channels: channels, Width: width,
+		UnitNanos: int64(unit), DropRate: drop, Seed: seed, SpreadUnits: spread,
+	}
+	fmt.Printf("%-9s %5s %7s %9s %9s %9s %7s %8s %9s %9s %8s %9s\n",
+		"viewers", "procs", "cohorts", "p50-wait", "p99-wait", "repairs", "busy%", "degraded",
+		"datagrams", "srv-cpu-s", "srv-dgs", "sessions")
+	for _, n := range counts {
+		row, err := scalePoint(srv, statusURL, n, procs, videos, spread, seed, muxWorkers, noRepair, verbose)
+		if err != nil {
+			return fmt.Errorf("viewers %d: %w", n, err)
+		}
+		fmt.Printf("%-9d %5d %7d %9.3f %9.3f %9d %7.2f %8d %9d %9.2f %8d %9d\n",
+			row.Viewers, row.Procs, row.Cohorts, row.P50WaitUnits, row.P99WaitUnits,
+			row.RepairRequests, 100*row.BusyRate, row.DegradedSessions,
+			row.Datagrams, row.ServerCPUSec, row.ServerDatagrams, row.ControlSessionsPeak)
+		report.Rows = append(report.Rows, *row)
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("skychaos: wrote %s\n", out)
+	return nil
+}
+
+// scalePoint runs one audience size: procs emulator processes splitting n
+// viewers, measured against the server's CPU and wire ledgers.
+func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
+	spread float64, seed uint64, muxWorkers int, noRepair, verbose bool) (*scaleRow, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	if procs > n {
+		procs = n
+	}
+	cpu0 := cpuSeconds()
+	dg0 := srv.Hub().Sent()
+	rp0 := srv.RepairsServed()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, procs)
+	errs := make([]error, procs)
+	per := n / procs
+	for i := 0; i < procs; i++ {
+		nv := per
+		if i == procs-1 {
+			nv = n - per*(procs-1)
+		}
+		args := []string{
+			"-emulate",
+			"-server", srv.Addr(),
+			"-viewers", strconv.Itoa(nv),
+			"-M", strconv.Itoa(videos),
+			"-spread", strconv.FormatFloat(spread, 'g', -1, 64),
+			// Each emulator holds a distinct viewer population: a derived
+			// seed keeps its arrival and jitter substreams disjoint.
+			"-seed", strconv.FormatUint(des.SubSeed(seed, uint64(i+1)), 10),
+		}
+		if muxWorkers > 0 {
+			args = append(args, "-mux-workers", strconv.Itoa(muxWorkers))
+		}
+		if noRepair {
+			args = append(args, "-no-repair")
+		}
+		if verbose {
+			args = append(args, "-v")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = os.Stderr
+		wg.Add(1)
+		go func(i int, cmd *exec.Cmd) {
+			defer wg.Done()
+			errs[i] = cmd.Run()
+		}(i, cmd)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	cpu := cpuSeconds() - cpu0
+	row := &scaleRow{Viewers: n, Procs: procs, ElapsedSec: elapsed.Seconds(), ServerCPUSec: cpu}
+	var hists [][]viewer.WaitBucket
+	for i := 0; i < procs; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("emulator %d: %v (output %q)", i, errs[i], outs[i].String())
+		}
+		var res viewer.Result
+		if err := json.Unmarshal(outs[i].Bytes(), &res); err != nil {
+			return nil, fmt.Errorf("emulator %d output: %v", i, err)
+		}
+		row.Cohorts += res.Cohorts
+		row.PeakViewers += res.PeakViewers
+		row.PeakCohorts += res.PeakCohorts
+		row.Bytes += res.Bytes
+		row.RepairRequests += res.RepairRequests
+		row.RepairedChunks += res.RepairedChunks
+		row.BusyReplies += res.BusyReplies
+		row.LostChunks += res.LostChunks
+		row.LateChunks += res.LateChunks
+		row.DegradedSessions += res.Degraded
+		row.Datagrams += res.Datagrams
+		row.RecvDropped += res.RecvDropped
+		hists = append(hists, res.WaitHist)
+	}
+	merged := viewer.MergeWaitHists(hists...)
+	row.P50WaitUnits = viewer.WaitQuantile(merged, int64(n), 0.50)
+	row.P99WaitUnits = viewer.WaitQuantile(merged, int64(n), 0.99)
+	if row.RepairRequests > 0 {
+		row.BusyRate = float64(row.BusyReplies) / float64(row.RepairRequests)
+	}
+	row.ServerDatagrams = srv.Hub().Sent() - dg0
+	row.ServerRepairs = srv.RepairsServed() - rp0
+
+	resp, err := http.Get(statusURL + "/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap server.StatusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	row.ControlSessionsPeak = snap.ControlSessionsPeak
+	return row, nil
+}
+
+// cpuSeconds is this process's user+system CPU time — with the server
+// in-process and the emulators forked out, it is the server's cost.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano()).Seconds()
+}

@@ -28,15 +28,15 @@ import (
 
 	"skyscraper/internal/content"
 	"skyscraper/internal/core"
-	"skyscraper/internal/des"
 	"skyscraper/internal/mcast"
 	"skyscraper/internal/series"
 	"skyscraper/internal/trace"
+	"skyscraper/internal/viewer"
 	"skyscraper/internal/wire"
 )
 
 // maxRepairAttempts caps the unicast round trips spent on one chunk.
-const maxRepairAttempts = 5
+const maxRepairAttempts = viewer.DefaultMaxRepairAttempts
 
 // errServerDraining reports a server-initiated bye: the server is shutting
 // down gracefully and will answer no further requests on this session.
@@ -249,25 +249,16 @@ type session struct {
 const jitterKeyReconnect = ^uint64(0)
 
 func repairJitterKey(channel, idx int) uint64 {
-	return uint64(uint32(channel))<<32 | uint64(uint32(idx))
+	return viewer.RepairJitterKey(channel, idx)
 }
 
 // jitterIn returns a deterministic full-jitter delay: uniform in
 // (0, window], bounded below by 1ms so retries never spin, drawn from the
-// substream of the session seed identified by (key, stream). Distinct
-// seeds produce uncorrelated schedules (SubSeed is a SplitMix64
-// finalizer), which is what breaks up client retry synchronization after
-// a shared fault or a shared Busy release time.
+// substream of the session seed identified by (key, stream). The formula
+// lives in viewer.JitterIn so the virtual-viewer multiplexer draws
+// bit-identical schedules for the seeds its viewers would have used here.
 func (s *session) jitterIn(key, stream uint64, window time.Duration) time.Duration {
-	if window < time.Millisecond {
-		window = time.Millisecond
-	}
-	r := des.NewRand(des.SubSeed(des.SubSeed(s.cfg.Seed, key), stream))
-	d := time.Duration(r.Float64() * float64(window))
-	if d < time.Millisecond {
-		d = time.Millisecond
-	}
-	return d
+	return viewer.JitterIn(s.cfg.Seed, key, stream, window)
 }
 
 // maxInt64 raises the atomic to at least v.
@@ -508,6 +499,33 @@ func (s *session) run() (*Stats, error) {
 	return stats, nil
 }
 
+// tuneEntry is one fragment on a loader's tuning schedule: which channel
+// to receive, when its join lead opens, and whether the join has fired —
+// possibly early, from inside the previous fragment's receive loop (the
+// tuner handoff in receiveFragment).
+type tuneEntry struct {
+	channel  int
+	g        series.Group
+	j        int
+	tuneUnit int64
+	wantSeq  uint32
+	joinAt   time.Time
+	joined   bool
+	// handoff holds this fragment's datagrams read by the predecessor's
+	// loop during the handoff overlap; booked before the first deadline
+	// pass of this fragment's own loop.
+	handoff []handoffChunk
+}
+
+// handoffChunk is one successor-fragment datagram read by the
+// predecessor's loop: payload copied out of the shared read buffer,
+// stamped with its read time so booking is faithful to arrival.
+type handoffChunk struct {
+	payload []byte
+	offset  int64
+	at      time.Time
+}
+
 // loader receives this loader's transmission groups in order on one tuner.
 func (s *session) loader(ld core.LoaderID, downloads []core.Download) error {
 	rcv, err := mcast.NewReceiverSized(s.cfg.RecvBufBytes)
@@ -517,29 +535,46 @@ func (s *session) loader(ld core.LoaderID, downloads []core.Download) error {
 	defer rcv.Close()
 	port := rcv.Addr().Port
 
+	// Flatten the schedule so each fragment's receive loop can see its
+	// successor: consecutive broadcast windows on a skyscraper loader abut
+	// exactly, so the handoff between them must not hinge on how fast the
+	// previous fragment's repair tail drains.
+	lead := time.Duration(s.cfg.JoinLeadFrac * float64(s.unit))
+	var entries []*tuneEntry
 	for _, d := range downloads {
 		for j := 0; j < d.Group.Count; j++ {
-			channel := d.Group.First + j
 			tuneUnit := d.FragmentStart(j)
-			if err := s.receiveFragment(rcv, port, channel, d.Group, j, tuneUnit); err != nil {
-				return fmt.Errorf("group %d %v channel %d: %w", d.Group.Index, d.Group, channel, err)
-			}
+			entries = append(entries, &tuneEntry{
+				channel:  d.Group.First + j,
+				g:        d.Group,
+				j:        j,
+				tuneUnit: tuneUnit,
+				wantSeq:  uint32(tuneUnit / d.Group.Size),
+				joinAt:   s.unitTime(tuneUnit).Add(-lead),
+			})
+		}
+	}
+	for i, e := range entries {
+		var next *tuneEntry
+		if i+1 < len(entries) {
+			next = entries[i+1]
+		}
+		if err := s.receiveFragment(rcv, port, e, next); err != nil {
+			return fmt.Errorf("group %d %v channel %d: %w", e.g.Index, e.g, e.channel, err)
 		}
 	}
 	return nil
 }
 
-// accountChunk verifies and books one received or repaired chunk payload.
-func (s *session) accountChunk(payload []byte, videoOffset int64, playAt time.Time, slack time.Duration, now time.Time) error {
+// accountPayload verifies and books one received or repaired chunk
+// payload. Jitter (late-arrival) accounting lives in the loader state
+// machine, which sees every resolution; this handles what the machine
+// cannot: the bytes themselves.
+func (s *session) accountPayload(payload []byte, videoOffset int64, now time.Time) error {
 	if bad := content.Verify(payload, s.cfg.Video, videoOffset); bad >= 0 {
 		s.byteErrors.Add(1)
 	}
 	s.bytes.Add(int64(len(payload)))
-
-	// Jitter check: data is useful only if it lands by its playback time.
-	if now.After(playAt.Add(slack)) {
-		s.lateChunks.Add(1)
-	}
 
 	// Buffer accounting: downloaded minus played, sampled at arrivals
 	// (the high-water mark occurs at an arrival).
@@ -554,171 +589,130 @@ func (s *session) accountChunk(payload []byte, videoOffset int64, playAt time.Ti
 
 // receiveFragment tunes one channel at a broadcast beginning and collects
 // the complete fragment, recovering gaps over unicast as playback
-// deadlines approach.
-func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g series.Group, j int, tuneUnit int64) error {
-	var (
-		size       = g.Size
-		totalBytes = int(size) * s.w.BytesPerUnit
-		wantSeq    = uint32(tuneUnit / size) // broadcast repetition starting at tuneUnit
-		start      = s.unitTime(tuneUnit)
-		period     = time.Duration(size) * s.unit
-		nchunks    = (totalBytes + s.w.ChunkBytes - 1) / s.w.ChunkBytes
-		spacing    = period / time.Duration(nchunks)
-		// Receive cutoff: the broadcast nominally ends at
-		// tuneUnit+size; several units of grace absorb server pacing
-		// drift on a loaded machine. Chunks still missing here are lost.
-		deadline = s.unitTime(tuneUnit + size).Add(6 * s.unit)
-		have     = make([]bool, nchunks)
-		got      = 0
-		buf      = make([]byte, wire.EncodedSize(wire.MaxPayload))
-		slack    = time.Duration(s.cfg.SlackFrac * float64(s.unit))
-		lag      = time.Duration(s.cfg.RepairLagFrac * float64(s.unit))
-		// Per-chunk recovery state: when to next act, and round trips
-		// burned so far.
-		tryAt    = make([]time.Time, nchunks)
-		attempts = make([]int, nchunks)
-	)
-	// Playback timing of this fragment.
-	playUnit := s.playStartUnit + g.StartUnit + int64(j)*size
+// deadlines approach. The gap-detection/repair/loss policy lives in the
+// shared loader state machine (viewer.Machine); this method supplies its
+// wall clock, socket, and control plane.
+//
+// When next is non-nil it is the successor fragment on the same tuner,
+// and this loop performs the handoff itself: it fires next's join once
+// its lead opens, and any successor datagram it then reads off the
+// shared socket is queued on next's entry instead of discarded. On a
+// skyscraper loader consecutive broadcast windows abut exactly, so the
+// successor's first chunks can land while this fragment's repair tail is
+// still draining; the handoff makes catching them independent of how
+// fast this loop exits.
+func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEntry) error {
+	channel, g, j, tuneUnit := e.channel, e.g, e.j, e.tuneUnit
+	size := g.Size
+	totalBytes := int(size) * s.w.BytesPerUnit
 	videoBase := g.StartUnit*int64(s.w.BytesPerUnit) + int64(j)*size*int64(s.w.BytesPerUnit)
+	wantSeq := uint32(tuneUnit / size) // broadcast repetition starting at tuneUnit
+	m := viewer.NewMachine(viewer.FragmentParams{
+		Video:        s.cfg.Video,
+		Channel:      channel,
+		Size:         size,
+		TuneUnit:     tuneUnit,
+		PlayUnit:     s.playStartUnit + g.StartUnit + int64(j)*size,
+		TotalBytes:   totalBytes,
+		ChunkBytes:   s.w.ChunkBytes,
+		BytesPerUnit: s.w.BytesPerUnit,
+		Epoch:        s.epoch,
+		Unit:         s.unit,
+		Slack:        time.Duration(s.cfg.SlackFrac * float64(s.unit)),
+		Lag:          time.Duration(s.cfg.RepairLagFrac * float64(s.unit)),
 
-	// playAt is when chunk idx's first byte is consumed by the player.
-	playAt := func(idx int) time.Time {
-		off := idx * s.w.ChunkBytes
-		return s.unitTime(playUnit).Add(time.Duration(float64(off) / float64(s.w.BytesPerUnit) * float64(s.unit)))
-	}
-	chunkLen := func(idx int) int {
-		if rem := totalBytes - idx*s.w.ChunkBytes; rem < s.w.ChunkBytes {
-			return rem
-		}
-		return s.w.ChunkBytes
-	}
-	// lostBy is the point past which chunk idx can no longer play
-	// jitter-free; recovery gives up there (bounded by the receive
-	// cutoff for chunks whose playback lies far in the future).
-	lostBy := func(idx int) time.Time {
-		lb := playAt(idx).Add(slack)
-		if lb.After(deadline) {
-			return deadline
-		}
-		return lb
-	}
-	markLost := func(idx int) {
-		have[idx] = true
-		got++
-		s.lost.Add(1)
-		s.tracef("chunk-lost", "ch %d seq %d chunk %d lost (%d repair attempts)", channel, wantSeq, idx, attempts[idx])
-		s.cfg.Logf("client: ch %d chunk %d lost after %d repair attempts", channel, idx, attempts[idx])
-	}
+		DisableRepair:  s.cfg.DisableRepair,
+		RepairsEnabled: func() bool { return !s.serverBye.Load() },
+		Jitter:         s.jitterIn,
+		OnLost: func(idx, attempts int) {
+			s.tracef("chunk-lost", "ch %d seq %d chunk %d lost (%d repair attempts)", channel, wantSeq, idx, attempts)
+			s.cfg.Logf("client: ch %d chunk %d lost after %d repair attempts", channel, idx, attempts)
+		},
+	})
+	buf := make([]byte, wire.EncodedSize(wire.MaxPayload))
 
-	// The gap detector's per-chunk checkpoint: the server paces chunk
-	// idx at start + idx*spacing, so if it has not arrived one lag past
-	// that, it is presumed missing and repair begins — early enough,
-	// though, that a repair round trip still fits before the chunk's
-	// playback deadline.
-	for idx := range tryAt {
-		expected := start.Add(time.Duration(idx+1) * spacing)
-		t := expected.Add(lag)
-		if latest := lostBy(idx).Add(-spacing); t.After(latest) {
-			t = latest
+	// Join ahead of the broadcast start — unless the previous fragment's
+	// receive loop already fired this join during its handoff overlap.
+	if !e.joined {
+		if d := time.Until(e.joinAt); d > 0 {
+			time.Sleep(d)
 		}
-		if t.Before(expected) {
-			t = expected
+		if err := s.control(wire.KindJoin, s.cfg.Video, channel, port); err != nil {
+			return err
 		}
-		tryAt[idx] = t
-	}
-
-	// Join ahead of the broadcast start.
-	lead := time.Duration(s.cfg.JoinLeadFrac * float64(s.unit))
-	if d := time.Until(start.Add(-lead)); d > 0 {
-		time.Sleep(d)
-	}
-	if err := s.control(wire.KindJoin, s.cfg.Video, channel, port); err != nil {
-		return err
+		e.joined = true
 	}
 	defer func() { _ = s.control(wire.KindLeave, s.cfg.Video, channel, 0) }()
 
-	for got < nchunks {
-		// Recovery pass: declare overdue chunks lost, fire due repairs,
-		// and find the next deadline to wake at.
+	// Book datagrams the predecessor's loop read for this fragment during
+	// the handoff overlap — before the machine's first deadline pass, so
+	// a boundary chunk that already arrived can never be mistaken for a
+	// gap, however late this loop starts.
+	for _, h := range e.handoff {
+		if int(h.offset)%s.w.ChunkBytes != 0 || int(h.offset) >= totalBytes {
+			return fmt.Errorf("inconsistent handoff chunk: offset %d", h.offset)
+		}
+		if m.Chunk(int(h.offset)/s.w.ChunkBytes, h.at) == viewer.Duplicate {
+			continue
+		}
+		if err := s.accountPayload(h.payload, videoBase+h.offset, h.at); err != nil {
+			return err
+		}
+	}
+	e.handoff = nil
+
+	for !m.Done() {
 		now := time.Now()
-		next := deadline
-		for idx := 0; idx < nchunks; idx++ {
-			if have[idx] {
-				continue
+		// Tuner handoff: once the successor's join lead opens, fire its
+		// join from here, so whether its first chunks are caught off the
+		// broadcast no longer depends on how fast this loop exits.
+		if next != nil && !next.joined && !now.Before(next.joinAt) {
+			if err := s.control(wire.KindJoin, s.cfg.Video, next.channel, port); err != nil {
+				return err
 			}
-			lb := lostBy(idx)
-			if !now.Before(lb) {
-				markLost(idx)
-				continue
-			}
-			repairable := !s.cfg.DisableRepair && attempts[idx] < maxRepairAttempts && !s.serverBye.Load()
-			if repairable && !now.Before(tryAt[idx]) {
-				off := int64(idx) * int64(s.w.ChunkBytes)
-				s.tracef("repair-req", "ch %d seq %d chunk %d (attempt %d)", channel, wantSeq, idx, attempts[idx]+1)
-				data, err := s.repairChunk(channel, wantSeq, off, chunkLen(idx))
-				now = time.Now()
-				attempts[idx]++
-				if err != nil {
-					var busy *errBusy
-					switch {
-					case errors.As(err, &busy):
-						// Admission pushback is flow control, not failure:
-						// the chunk stays eligible until its playback
-						// deadline. A positive hint is honored with added
-						// jitter so clients released together do not
-						// re-storm; a zero hint means the answer is in
-						// flight on the broadcast group — re-listen for
-						// about a chunk interval before asking again.
-						s.tracef("repair-busy", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
-						wait := busy.retryAfter
-						if wait <= 0 {
-							wait = 2 * spacing
-						}
-						tryAt[idx] = now.Add(wait +
-							s.jitterIn(repairJitterKey(channel, idx), uint64(attempts[idx]), wait/2+time.Millisecond))
-					case errors.Is(err, errServerDraining):
-						// No further repairs this session; the chunk rides
-						// the broadcast until its deadline.
-						s.tracef("repair-off", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
-					default:
-						s.tracef("repair-fail", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
-						if attempts[idx] >= maxRepairAttempts {
-							markLost(idx)
-							continue
-						}
-						// Full-jitter exponential backoff, bounded below
-						// by a millisecond so retries never spin and
-						// keyed per chunk so concurrent recoveries
-						// desynchronize.
-						window := 4 * time.Millisecond << attempts[idx]
-						tryAt[idx] = now.Add(s.jitterIn(repairJitterKey(channel, idx), uint64(attempts[idx]), window))
-					}
-				} else {
-					have[idx] = true
-					got++
-					s.repaired.Add(1)
-					s.tracef("repair-ok", "ch %d seq %d chunk %d repaired (attempt %d)", channel, wantSeq, idx, attempts[idx])
-					if err := s.accountChunk(data, videoBase+off, playAt(idx), slack, now); err != nil {
-						return err
-					}
-					continue
+			next.joined = true
+		}
+		act := m.Next(now)
+		if act.Kind == viewer.ActRepair {
+			idx := act.Idx
+			off := int64(idx) * int64(s.w.ChunkBytes)
+			s.tracef("repair-req", "ch %d seq %d chunk %d (attempt %d)", channel, wantSeq, idx, act.Attempt)
+			data, err := s.repairChunk(channel, wantSeq, off, m.ChunkLen(idx))
+			now = time.Now()
+			outcome, retryAfter := viewer.RepairOK, time.Duration(0)
+			if err != nil {
+				var busy *errBusy
+				switch {
+				case errors.As(err, &busy):
+					// Admission pushback is flow control, not failure: the
+					// chunk stays eligible until its playback deadline.
+					s.tracef("repair-busy", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
+					outcome, retryAfter = viewer.RepairBusy, busy.retryAfter
+				case errors.Is(err, errServerDraining):
+					// No further repairs this session; the chunk rides the
+					// broadcast until its deadline.
+					s.tracef("repair-off", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
+					outcome = viewer.RepairDisabled
+				default:
+					s.tracef("repair-fail", "ch %d seq %d chunk %d: %v", channel, wantSeq, idx, err)
+					outcome = viewer.RepairFailed
 				}
 			}
-			ev := lb
-			if repairable && tryAt[idx].Before(ev) {
-				ev = tryAt[idx]
+			if m.RepairResult(idx, outcome, retryAfter, now) == viewer.Repaired {
+				s.tracef("repair-ok", "ch %d seq %d chunk %d repaired (attempt %d)", channel, wantSeq, idx, m.Attempts(idx))
+				if err := s.accountPayload(data, videoBase+off, now); err != nil {
+					return err
+				}
 			}
-			if ev.Before(next) {
-				next = ev
-			}
-		}
-		if got >= nchunks {
-			break
+			continue
 		}
 
-		// Block on the broadcast until the next recovery deadline.
-		wake := next
+		// Block on the broadcast until the next recovery deadline (or the
+		// successor's join lead, whichever opens sooner).
+		wake := act.Wake
+		if next != nil && !next.joined && next.joinAt.Before(wake) {
+			wake = next.joinAt
+		}
 		if earliest := now.Add(time.Millisecond); wake.Before(earliest) {
 			wake = earliest
 		}
@@ -731,7 +725,7 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g seri
 			if errors.As(err, &ne) && ne.Timeout() {
 				continue // run another recovery pass
 			}
-			return fmt.Errorf("receiving (have %d/%d chunks): %w", got, nchunks, err)
+			return fmt.Errorf("receiving (%d chunks outstanding): %w", outstanding(m), err)
 		}
 		now = time.Now()
 		c, err := wire.Decode(buf[:n])
@@ -743,23 +737,50 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port, channel int, g seri
 			return err
 		}
 		if int(c.Video) != s.cfg.Video || int(c.Channel) != channel || c.Seq != wantSeq {
-			continue // stray datagram from an earlier membership or repetition
+			// A successor datagram read during the handoff overlap is
+			// queued for the successor's own loop (the payload is copied:
+			// the read buffer is reused). Anything else is a stray from an
+			// earlier membership or repetition.
+			if next != nil && next.joined && int(c.Video) == s.cfg.Video &&
+				int(c.Channel) == next.channel && c.Seq == next.wantSeq {
+				next.handoff = append(next.handoff, handoffChunk{
+					payload: append([]byte(nil), c.Payload...),
+					offset:  int64(c.Offset),
+					at:      now,
+				})
+			}
+			continue
 		}
 		if int(c.Total) != totalBytes || int(c.Offset)%s.w.ChunkBytes != 0 || int(c.Offset) >= totalBytes {
 			return fmt.Errorf("inconsistent chunk: offset %d total %d", c.Offset, c.Total)
 		}
 		idx := int(c.Offset) / s.w.ChunkBytes
-		if have[idx] {
-			s.dupChunks.Add(1)
+		if m.Chunk(idx, now) == viewer.Duplicate {
 			continue
 		}
-		have[idx] = true
-		got++
-		if err := s.accountChunk(c.Payload, videoBase+int64(c.Offset), playAt(idx), slack, now); err != nil {
+		if err := s.accountPayload(c.Payload, videoBase+int64(c.Offset), now); err != nil {
 			return err
 		}
 	}
+
+	// Fold the machine's recovery ledger into the session counters.
+	st := m.Stats()
+	s.lateChunks.Add(st.Late)
+	s.dupChunks.Add(st.Duplicates)
+	s.lost.Add(st.Lost)
+	s.repaired.Add(st.Repaired)
 	return nil
+}
+
+// outstanding counts the chunks a machine has not yet resolved.
+func outstanding(m *viewer.Machine) int {
+	n := 0
+	for idx := 0; idx < m.NChunks(); idx++ {
+		if !m.Have(idx) {
+			n++
+		}
+	}
+	return n
 }
 
 // playedBytes returns how many bytes the player has consumed by time t

@@ -1,0 +1,259 @@
+package mcast
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"skyscraper/internal/metrics"
+)
+
+// Classifier maps a raw datagram to its broadcast group without decoding
+// the payload. ok=false marks the datagram unroutable (garbage, foreign
+// traffic); it is counted and dropped. The virtual-viewer multiplexer
+// passes a wire.PeekID-based classifier, keeping this package free of any
+// framing knowledge.
+type Classifier func(frame []byte) (Group, bool)
+
+// maxDatagram bounds one read from the shared socket: the largest UDP
+// payload loopback can carry.
+const maxDatagram = 64 << 10
+
+// SharedReceiver is the fan-in complement of Hub's fan-out: one UDP
+// socket whose datagrams are routed to per-group subscriptions. A cohort
+// multiplexer emulating thousands of viewers holds one SharedReceiver and
+// one subscription per tuned channel instead of one socket per viewer, so
+// kernel-side cost scales with cohorts, not audience size.
+//
+// The dispatch path mirrors Send's discipline: subscriptions live in
+// copy-on-write snapshots behind an atomic pointer (Subscribe and
+// Unsubscribe copy under a mutex, the read loop only loads), frames are
+// copied into slots the subscriber preallocated, and slot handoff rides
+// buffered int channels — so a steady-state delivery allocates nothing.
+// Delivery is best-effort, as multicast is: a subscriber that stops
+// draining its ring loses its own datagrams, never its neighbors'.
+type SharedReceiver struct {
+	conn     *net.UDPConn
+	classify Classifier
+
+	// mu serializes the writers (Subscribe, Unsubscribe, Close); the read
+	// loop never takes it.
+	mu     sync.Mutex
+	subs   atomic.Pointer[subMap]
+	closed atomic.Bool
+	done   chan struct{}
+
+	delivered  metrics.PaddedCounter
+	dropped    metrics.PaddedCounter
+	unroutable metrics.PaddedCounter
+}
+
+// subMap is one immutable snapshot of every group's subscriptions.
+type subMap map[Group][]*Subscription
+
+// Subscription is one consumer's tap on a group: a ring of preallocated
+// frame slots filled by the receiver's read loop. The consumer loop is
+//
+//	for slot := range sub.Ready() {
+//	    frame := sub.Frame(slot)
+//	    ... decode, dispatch ...
+//	    sub.Release(slot)
+//	}
+//
+// Ready is closed when the SharedReceiver shuts down. A slot's frame is
+// stable until Release returns it to the ring; holding all slots while
+// datagrams keep arriving drops the excess (counted in Dropped).
+type Subscription struct {
+	g     Group
+	ring  [][]byte
+	used  []int // frame length per slot
+	ready chan int
+	free  chan int
+
+	dropped atomic.Int64
+}
+
+// NewSharedReceiver opens the shared socket with the given kernel receive
+// buffer (zero or negative selects DefaultRecvBufBytes) and classifier,
+// and starts the read loop. Close stops it.
+func NewSharedReceiver(rcvBuf int, classify Classifier) (*SharedReceiver, error) {
+	if classify == nil {
+		return nil, fmt.Errorf("mcast: shared receiver needs a classifier")
+	}
+	r, err := NewReceiverSized(rcvBuf)
+	if err != nil {
+		return nil, err
+	}
+	s := &SharedReceiver{conn: r.Conn, classify: classify, done: make(chan struct{})}
+	m := make(subMap)
+	s.subs.Store(&m)
+	go s.run()
+	return s, nil
+}
+
+// Addr returns the shared socket's UDP address — the one every
+// subscription's group is joined with.
+func (s *SharedReceiver) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Subscribe taps group g with a ring of depth slots of slotBytes each.
+// Datagrams larger than slotBytes are dropped for this subscription
+// (counted), so size slots for the largest frame the group carries.
+func (s *SharedReceiver) Subscribe(g Group, depth, slotBytes int) (*Subscription, error) {
+	if depth <= 0 || slotBytes <= 0 {
+		return nil, fmt.Errorf("mcast: subscription needs positive depth and slot size (got %d, %d)", depth, slotBytes)
+	}
+	sub := &Subscription{
+		g:     g,
+		ring:  make([][]byte, depth),
+		used:  make([]int, depth),
+		ready: make(chan int, depth),
+		free:  make(chan int, depth),
+	}
+	backing := make([]byte, depth*slotBytes)
+	for i := range sub.ring {
+		sub.ring[i] = backing[i*slotBytes : (i+1)*slotBytes]
+		sub.free <- i
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, fmt.Errorf("mcast: shared receiver closed")
+	}
+	cur := *s.subs.Load()
+	next := cur.clone(g)
+	next[g] = append(next[g], sub)
+	s.subs.Store(&next)
+	return sub, nil
+}
+
+// clone copies the snapshot, deep-copying only group g's slice.
+func (m subMap) clone(g Group) subMap {
+	next := make(subMap, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	next[g] = append([]*Subscription(nil), m[g]...)
+	return next
+}
+
+// Unsubscribe detaches sub. One in-flight delivery may still land after
+// return; the consumer simply stops draining Ready.
+func (s *SharedReceiver) Unsubscribe(sub *Subscription) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.subs.Load()
+	idx := -1
+	for i, have := range cur[sub.g] {
+		if have == sub {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	next := cur.clone(sub.g)
+	next[sub.g] = append(next[sub.g][:idx], next[sub.g][idx+1:]...)
+	if len(next[sub.g]) == 0 {
+		delete(next, sub.g)
+	}
+	s.subs.Store(&next)
+}
+
+// run is the read loop: one datagram in, zero or more slot deliveries
+// out. It owns every ready channel and closes them all on exit.
+func (s *SharedReceiver) run() {
+	defer close(s.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := s.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			if s.closed.Load() {
+				break
+			}
+			continue // transient (e.g. ICMP-induced) read error
+		}
+		s.dispatch(buf[:n])
+	}
+	// Wake every consumer: snapshot under mu so a racing Subscribe (which
+	// fails after closed is set) cannot add an unclosed channel.
+	s.mu.Lock()
+	subs := *s.subs.Load()
+	s.mu.Unlock()
+	for _, list := range subs {
+		for _, sub := range list {
+			close(sub.ready)
+		}
+	}
+}
+
+// dispatch routes one datagram to every subscription of its group. It is
+// the per-datagram hot path: a snapshot load, the classifier, and slot
+// handoffs — no locks, no allocation.
+func (s *SharedReceiver) dispatch(frame []byte) {
+	g, ok := s.classify(frame)
+	if !ok {
+		s.unroutable.Inc()
+		return
+	}
+	for _, sub := range (*s.subs.Load())[g] {
+		sub.deliver(frame, s)
+	}
+}
+
+// deliver copies frame into sub's next free slot, dropping it when the
+// ring is exhausted (consumer too slow) or the slot too small.
+func (sub *Subscription) deliver(frame []byte, s *SharedReceiver) {
+	select {
+	case slot := <-sub.free:
+		if len(frame) > len(sub.ring[slot]) {
+			sub.free <- slot
+			sub.dropped.Add(1)
+			s.dropped.Inc()
+			return
+		}
+		copy(sub.ring[slot], frame)
+		sub.used[slot] = len(frame)
+		sub.ready <- slot // never blocks: slots are conserved
+		s.delivered.Inc()
+	default:
+		sub.dropped.Add(1)
+		s.dropped.Inc()
+	}
+}
+
+// Ready delivers filled slot indices; it is closed when the shared
+// receiver shuts down.
+func (sub *Subscription) Ready() <-chan int { return sub.ready }
+
+// Frame returns slot's datagram bytes, valid until Release.
+func (sub *Subscription) Frame(slot int) []byte { return sub.ring[slot][:sub.used[slot]] }
+
+// Release returns slot to the ring for reuse.
+func (sub *Subscription) Release(slot int) { sub.free <- slot }
+
+// Dropped returns how many datagrams this subscription lost to a full
+// ring or an undersized slot.
+func (sub *Subscription) Dropped() int64 { return sub.dropped.Load() }
+
+// Delivered returns total slot deliveries across all subscriptions;
+// Dropped the datagrams lost to full rings; Unroutable the datagrams the
+// classifier rejected.
+func (s *SharedReceiver) Delivered() int64  { return s.delivered.Value() }
+func (s *SharedReceiver) Dropped() int64    { return s.dropped.Value() }
+func (s *SharedReceiver) Unroutable() int64 { return s.unroutable.Value() }
+
+// Close shuts the socket and stops the read loop; every subscription's
+// Ready channel is closed before Close returns.
+func (s *SharedReceiver) Close() error {
+	s.mu.Lock()
+	if s.closed.Swap(true) {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.conn.Close()
+	s.mu.Unlock()
+	<-s.done
+	return err
+}

@@ -202,6 +202,12 @@ type Server struct {
 	driftEvents   metrics.PaddedCounter
 	wheelWakeups  metrics.PaddedCounter
 
+	// controlSessions is the live control-connection level with its
+	// high-water mark — the server-side audience size a scale run reads
+	// off /status. Padded: it is bumped on every session open/close next
+	// to the hot counters above.
+	controlSessions metrics.PaddedGauge
+
 	// shards is how many egress shard goroutines the wheel engine runs
 	// (0 under EnginePacer); set once in Start.
 	shards int
@@ -528,6 +534,8 @@ func (s *Server) acceptLoop() {
 // memberships so a dropped connection cleans up after itself.
 func (s *Server) serveControl(conn net.Conn) {
 	defer s.connWG.Done()
+	s.controlSessions.Inc()
+	defer s.controlSessions.Dec()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()

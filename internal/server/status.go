@@ -32,6 +32,11 @@ type StatusSnapshot struct {
 	SendFailures  int64 `json:"sendFailures"`
 	// Memberships is the current total of (client, channel) joins.
 	Memberships int `json:"memberships"`
+	// ControlSessions is the live control-connection count and
+	// ControlSessionsPeak its high-water mark — with the virtual-viewer
+	// multiplexer, one session can stand for a whole cohort of viewers.
+	ControlSessions     int64 `json:"controlSessions"`
+	ControlSessionsPeak int64 `json:"controlSessionsPeak"`
 	// RepairsServed counts unicast chunk repairs answered; RepairBytes
 	// the payload bytes they carried.
 	RepairsServed int64 `json:"repairsServed"`
@@ -90,36 +95,38 @@ func (s *Server) snapshot() StatusSnapshot {
 		injected = &c
 	}
 	return StatusSnapshot{
-		RepairsServed:     s.repairs.Value(),
-		RepairBytes:       s.repairBytes.Value(),
-		BusyReplies:       s.busyReplies.Value(),
-		StormResends:      s.stormResends.Value(),
-		SuppressedRepairs: s.suppressed.Value(),
-		RepairTokens:      s.RepairTokens(),
-		PacerRestarts:     s.pacerRestarts.Value(),
-		PacerDriftEvents:  s.driftEvents.Value(),
-		EgressEngine:      s.EgressEngine(),
-		EgressShards:      s.shards,
-		EgressWakeups:     s.wheelWakeups.Value(),
-		EgressBatches:     s.hub.Batches(),
-		BatchedBytes:      s.hub.BatchedBytes(),
-		EgressSyscalls:    s.hub.SendSyscalls(),
-		Vectorized:        s.hub.Vectorized(),
-		MembersEvicted:    s.hub.Evictions(),
-		Draining:          s.draining.Load(),
-		FaultsInjected:    injected,
-		Videos:            sch.Config().Videos,
-		ChannelsPerVideo:  sch.K(),
-		Width:             sch.Width(),
-		SizeUnits:         append([]int64(nil), sch.Sizes()...),
-		UnitMillis:        float64(s.cfg.Unit) / float64(time.Millisecond),
-		UptimeMillis:      float64(time.Since(s.epoch)) / float64(time.Millisecond),
-		DatagramsSent:     s.hub.Sent(),
-		DatagramBytes:     s.hub.SentBytes(),
-		SendFailures:      s.hub.SendFailures(),
-		Memberships:       s.hub.TotalMembers(),
-		FrameCache:        s.cache.stats(),
-		ControlAddr:       s.Addr(),
+		RepairsServed:       s.repairs.Value(),
+		RepairBytes:         s.repairBytes.Value(),
+		BusyReplies:         s.busyReplies.Value(),
+		StormResends:        s.stormResends.Value(),
+		SuppressedRepairs:   s.suppressed.Value(),
+		RepairTokens:        s.RepairTokens(),
+		PacerRestarts:       s.pacerRestarts.Value(),
+		PacerDriftEvents:    s.driftEvents.Value(),
+		EgressEngine:        s.EgressEngine(),
+		EgressShards:        s.shards,
+		EgressWakeups:       s.wheelWakeups.Value(),
+		EgressBatches:       s.hub.Batches(),
+		BatchedBytes:        s.hub.BatchedBytes(),
+		EgressSyscalls:      s.hub.SendSyscalls(),
+		Vectorized:          s.hub.Vectorized(),
+		MembersEvicted:      s.hub.Evictions(),
+		Draining:            s.draining.Load(),
+		FaultsInjected:      injected,
+		Videos:              sch.Config().Videos,
+		ChannelsPerVideo:    sch.K(),
+		Width:               sch.Width(),
+		SizeUnits:           append([]int64(nil), sch.Sizes()...),
+		UnitMillis:          float64(s.cfg.Unit) / float64(time.Millisecond),
+		UptimeMillis:        float64(time.Since(s.epoch)) / float64(time.Millisecond),
+		DatagramsSent:       s.hub.Sent(),
+		DatagramBytes:       s.hub.SentBytes(),
+		SendFailures:        s.hub.SendFailures(),
+		Memberships:         s.hub.TotalMembers(),
+		ControlSessions:     s.controlSessions.Value(),
+		ControlSessionsPeak: s.controlSessions.High(),
+		FrameCache:          s.cache.stats(),
+		ControlAddr:         s.Addr(),
 	}
 }
 

@@ -1,0 +1,459 @@
+package viewer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skyscraper/internal/content"
+	"skyscraper/internal/core"
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/series"
+	"skyscraper/internal/wire"
+)
+
+// cohort is one set of viewers tuned identically: same video, same
+// playback start unit, hence the same channel set, the same broadcast
+// repetitions, and — by repetition invariance — byte-identical datagrams.
+// One pair of loader goroutines receives for the whole cohort; shared
+// counters here apply to every member, and per-viewer ledgers take over
+// only where losses make outcomes diverge.
+type cohort struct {
+	mux           *Mux
+	video         int
+	playStartUnit int64
+	viewers       []int // global viewer IDs, ascending
+
+	// Shared outcome counters, each applying to every viewer of the
+	// cohort; written by the two loader goroutines.
+	late, dup, lostShared, lostSharedBytes, byteErrors atomic.Int64
+}
+
+func (c *cohort) run(groups []series.Group) error {
+	m := c.mux
+	m.activeCohorts.Inc()
+	m.liveViewers.Add(int64(len(c.viewers)))
+	defer func() {
+		m.activeCohorts.Dec()
+		m.liveViewers.Add(-int64(len(c.viewers)))
+	}()
+
+	plan, err := core.PlanForGroups(groups, c.playStartUnit)
+	if err != nil {
+		return fmt.Errorf("viewer: planning cohort (video %d, start %d): %w", c.video, c.playStartUnit, err)
+	}
+	byLoader := map[core.LoaderID][]core.Download{}
+	for _, d := range plan.Downloads {
+		byLoader[d.Loader] = append(byLoader[d.Loader], d)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, ld := range []core.LoaderID{core.OddLoader, core.EvenLoader} {
+		downloads := byLoader[ld]
+		if len(downloads) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ld core.LoaderID, downloads []core.Download) {
+			defer wg.Done()
+			if err := c.loader(downloads); err != nil {
+				errs <- fmt.Errorf("viewer: cohort (video %d, start %d) %v loader: %w", c.video, c.playStartUnit, ld, err)
+			}
+		}(ld, downloads)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// tuneEntry is one fragment on a loader's tuning schedule: which channel
+// to receive, when its join lead opens, and — once the tuner handoff has
+// fired — the live subscription opened from inside the previous
+// fragment's receive loop.
+type tuneEntry struct {
+	channel  int
+	g        series.Group
+	j        int
+	tuneUnit int64
+	joinAt   time.Time
+	sub      *mcast.Subscription // non-nil once tuned
+}
+
+// loader receives this loader's transmission groups in order — the same
+// two-service-routine shape as the live client, but over a shared
+// subscription instead of a private socket.
+func (c *cohort) loader(downloads []core.Download) error {
+	m := c.mux
+	// Flatten the schedule so each fragment's receive loop can see its
+	// successor: consecutive broadcast windows on a skyscraper loader abut
+	// exactly, so the handoff between them must not hinge on how fast the
+	// previous fragment's repair tail drains.
+	lead := time.Duration(m.cfg.JoinLeadFrac * float64(m.unit))
+	var entries []*tuneEntry
+	for _, d := range downloads {
+		for j := 0; j < d.Group.Count; j++ {
+			tuneUnit := d.FragmentStart(j)
+			entries = append(entries, &tuneEntry{
+				channel:  d.Group.First + j,
+				g:        d.Group,
+				j:        j,
+				tuneUnit: tuneUnit,
+				joinAt:   m.epoch.Add(time.Duration(tuneUnit)*m.unit - lead),
+			})
+		}
+	}
+	for i, e := range entries {
+		var next *tuneEntry
+		if i+1 < len(entries) {
+			next = entries[i+1]
+		}
+		if err := c.receiveFragment(e, next); err != nil {
+			if next != nil && next.sub != nil {
+				// The handoff had already tuned the successor; release it.
+				m.rcv.Unsubscribe(next.sub)
+				m.jm.leave(mcast.Group{Video: c.video, Channel: next.channel})
+			}
+			return fmt.Errorf("group %d %v channel %d: %w", e.g.Index, e.g, e.channel, err)
+		}
+	}
+	return nil
+}
+
+// tune opens the cohort's tap on entry e's channel: subscribe first so no
+// datagram lands between the join ack and the tap, then join.
+func (c *cohort) tune(e *tuneEntry) error {
+	m := c.mux
+	grp := mcast.Group{Video: c.video, Channel: e.channel}
+	sub, err := m.rcv.Subscribe(grp, m.cfg.SubDepth, wire.EncodedSize(m.w.ChunkBytes))
+	if err != nil {
+		return err
+	}
+	if err := m.jm.join(grp); err != nil {
+		m.rcv.Unsubscribe(sub)
+		return err
+	}
+	e.sub = sub
+	return nil
+}
+
+// cohortFrag is one fragment reception shared by the whole cohort: the
+// Observe-mode machine the loader drives, plus the divergence state the
+// worker pool picks up when gaps appear.
+type cohortFrag struct {
+	c         *cohort
+	channel   int
+	videoBase int64
+	wantSeq   uint32
+	// params is the per-viewer machine template (repair mode); the
+	// loader's shared machine runs an Observe-mode copy of it.
+	params FragmentParams
+	m      *Machine
+
+	// diverged marks chunks handed to the per-viewer plane (loader-owned).
+	diverged []bool
+	// arrived records the broadcast arrival (unix nanos) of each diverged
+	// chunk, once; workers book it into viewer machines that still miss it.
+	arrived []atomic.Int64
+	// vfs are the per-viewer fragments, materialized at first divergence.
+	vfs []*viewerFrag
+	// pending counts unfinished viewer fragments; inflight counts
+	// commands queued to workers. The fragment completes when the shared
+	// machine is done and both reach zero.
+	pending  atomic.Int64
+	inflight atomic.Int64
+	wake     chan struct{}
+}
+
+// notify nudges the loader to re-check the completion condition.
+func (f *cohortFrag) notify() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// viewerFrag is one viewer's divergent view of a fragment. After the
+// loader materializes it, every field is owned by the viewer's worker.
+type viewerFrag struct {
+	f      *cohortFrag
+	viewer int
+	vm     *Machine
+	done   bool
+	// folded is the machine-stats prefix already credited to the ledger:
+	// a viewer can finish, be reopened by a later gap, and finish again,
+	// so each finish folds only the delta since the last one.
+	folded MachineStats
+}
+
+func chunkLen(totalBytes, chunkBytes, idx int) int {
+	if rem := totalBytes - idx*chunkBytes; rem < chunkBytes {
+		return rem
+	}
+	return chunkBytes
+}
+
+// receiveFragment tunes one channel for the whole cohort: one join, one
+// subscription, one decode/verify pass per datagram regardless of the
+// cohort's size.
+//
+// When next is non-nil it is the successor fragment on the same loader,
+// and this loop performs the tuner handoff itself: it tunes next once
+// its join lead opens, so next's frames accumulate in its subscription
+// ring while this fragment's repair tail drains — mirroring the
+// single-tuner client, where they queue in the socket buffer.
+func (c *cohort) receiveFragment(e, next *tuneEntry) error {
+	channel, g, j, tuneUnit := e.channel, e.g, e.j, e.tuneUnit
+	m := c.mux
+	size := g.Size
+	totalBytes := int(size) * m.w.BytesPerUnit
+	f := &cohortFrag{
+		c:         c,
+		channel:   channel,
+		videoBase: (g.StartUnit + int64(j)*size) * int64(m.w.BytesPerUnit),
+		wantSeq:   uint32(tuneUnit / size),
+		params: FragmentParams{
+			Video:        c.video,
+			Channel:      channel,
+			Size:         size,
+			TuneUnit:     tuneUnit,
+			PlayUnit:     c.playStartUnit + g.StartUnit + int64(j)*size,
+			TotalBytes:   totalBytes,
+			ChunkBytes:   m.w.ChunkBytes,
+			BytesPerUnit: m.w.BytesPerUnit,
+			Epoch:        m.epoch,
+			Unit:         m.unit,
+			Slack:        time.Duration(m.cfg.SlackFrac * float64(m.unit)),
+			Lag:          time.Duration(m.cfg.RepairLagFrac * float64(m.unit)),
+		},
+		wake: make(chan struct{}, 1),
+	}
+	op := f.params
+	// With repairs on, the shared machine only observes: gaps are handed
+	// to the per-viewer plane. With repairs off there is nothing to
+	// diverge over, so it keeps the deadline accounting itself and every
+	// loss is cohort-wide.
+	op.Observe = !m.cfg.DisableRepair
+	op.DisableRepair = m.cfg.DisableRepair
+	op.OnLost = func(idx, _ int) {
+		m.cfg.Logf("viewer: cohort (video %d, start %d) channel %d lost chunk %d cohort-wide",
+			c.video, c.playStartUnit, channel, idx)
+		c.lostShared.Add(1)
+		c.lostSharedBytes.Add(int64(chunkLen(totalBytes, m.w.ChunkBytes, idx)))
+	}
+	f.m = NewMachine(op)
+	f.diverged = make([]bool, f.m.NChunks())
+	f.arrived = make([]atomic.Int64, f.m.NChunks())
+
+	// Join ahead of the broadcast start — unless the previous fragment's
+	// receive loop already tuned this entry during its handoff overlap.
+	if e.sub == nil {
+		if d := time.Until(e.joinAt); d > 0 {
+			time.Sleep(d)
+		}
+		if err := c.tune(e); err != nil {
+			return err
+		}
+	}
+	sub := e.sub
+	grp := mcast.Group{Video: c.video, Channel: channel}
+	defer m.rcv.Unsubscribe(sub)
+	defer m.jm.leave(grp)
+
+	// Book the backlog that accumulated in the subscription ring during
+	// the tuner handoff before the machine's first deadline pass, so a
+	// boundary chunk that already arrived can never be mistaken for a
+	// gap, however late this loop starts. (The single-tuner client does
+	// the same with the handoff queue its predecessor read for it.)
+drain:
+	for {
+		select {
+		case slot, ok := <-sub.Ready():
+			if !ok {
+				return errors.New("shared receiver closed")
+			}
+			err := c.handleFrame(f, sub.Frame(slot), time.Now())
+			sub.Release(slot)
+			if err != nil {
+				return err
+			}
+		default:
+			break drain
+		}
+	}
+
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		if f.vfs != nil && f.pending.Load() == 0 && f.inflight.Load() == 0 {
+			// Every viewer has resolved its divergent chunks (repaired or
+			// lost), so the shared machine need not hold them open to
+			// their loss deadlines — lingering here would delay this
+			// loader's next fragment past its join time. Only the loader
+			// goroutine submits work, so the zero reading is stable.
+			for idx, d := range f.diverged {
+				if d && !f.m.Have(idx) {
+					f.m.ResolveRepaired(idx)
+				}
+			}
+		}
+		if f.m.Done() && f.pending.Load() == 0 && f.inflight.Load() == 0 {
+			break
+		}
+		now := time.Now()
+		// Tuner handoff: once the successor's join lead opens, tune it
+		// from here, so whether its first chunks are caught off the
+		// broadcast no longer depends on how fast this loop exits.
+		if next != nil && next.sub == nil && !now.Before(next.joinAt) {
+			if err := c.tune(next); err != nil {
+				return err
+			}
+		}
+		var wake time.Time
+		if !f.m.Done() {
+			act := f.m.Next(now)
+			if act.Kind == ActGap {
+				c.diverge(f, act.Idx)
+				continue
+			}
+			if f.m.Done() {
+				continue // that pass resolved the rest
+			}
+			wake = act.Wake
+		} else {
+			// Only worker completions remain; f.wake is the primary
+			// signal, the timer a backstop.
+			wake = now.Add(20 * time.Millisecond)
+		}
+		if next != nil && next.sub == nil && next.joinAt.Before(wake) {
+			wake = next.joinAt
+		}
+		d := wake.Sub(now)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		resetTimer(timer, d)
+		select {
+		case slot, ok := <-sub.Ready():
+			if !ok {
+				return errors.New("shared receiver closed")
+			}
+			err := c.handleFrame(f, sub.Frame(slot), time.Now())
+			sub.Release(slot)
+			if err != nil {
+				return err
+			}
+		case <-f.wake:
+		case <-timer.C:
+		}
+	}
+
+	// Fold the shared machine's ledger in: these outcomes hit every
+	// viewer of the cohort identically. (Shared losses were booked
+	// through OnLost, with their byte counts.)
+	st := f.m.Stats()
+	c.late.Add(st.Late)
+	c.dup.Add(st.Duplicates)
+	return nil
+}
+
+// handleFrame books one datagram for the whole cohort: one decode, one
+// CRC check, one content verification — O(1) in the cohort's size. This
+// is the steady-state hot path; on the converged branch it allocates
+// nothing.
+func (c *cohort) handleFrame(f *cohortFrag, frame []byte, now time.Time) error {
+	m := c.mux
+	ch, err := wire.Decode(frame)
+	if err != nil {
+		if errors.Is(err, wire.ErrBadCRC) {
+			c.byteErrors.Add(1)
+			return nil
+		}
+		return err
+	}
+	if int(ch.Video) != c.video || int(ch.Channel) != f.channel || ch.Seq != f.wantSeq {
+		return nil // stray datagram from an earlier membership or repetition
+	}
+	if int(ch.Total) != f.params.TotalBytes || int(ch.Offset)%m.w.ChunkBytes != 0 || int(ch.Offset) >= f.params.TotalBytes {
+		return fmt.Errorf("inconsistent chunk: offset %d total %d", ch.Offset, ch.Total)
+	}
+	if f.m.Done() {
+		return nil // post-deadline stray
+	}
+	idx := int(ch.Offset) / m.w.ChunkBytes
+	if f.diverged[idx] {
+		if f.arrived[idx].Load() != 0 {
+			// A further broadcast copy of an already-recorded divergent
+			// chunk: booked cohort-wide.
+			c.dup.Add(1)
+			return nil
+		}
+		if bad := content.Verify(ch.Payload, c.video, f.videoBase+int64(ch.Offset)); bad >= 0 {
+			c.byteErrors.Add(1)
+		}
+		f.arrived[idx].Store(now.UnixNano())
+		// The shared machine no longer waits on it; viewers that still
+		// miss it book the recorded arrival on their own clocks.
+		f.m.ResolveRepaired(idx)
+		for _, vf := range f.vfs {
+			m.submit(vf, -1)
+		}
+		return nil
+	}
+	if f.m.Chunk(idx, now) == Duplicate {
+		return nil
+	}
+	if bad := content.Verify(ch.Payload, c.video, f.videoBase+int64(ch.Offset)); bad >= 0 {
+		c.byteErrors.Add(1)
+	}
+	return nil
+}
+
+// diverge hands a gap to the per-viewer repair plane. The first gap of a
+// fragment materializes one machine per viewer — with every other chunk
+// pre-resolved, so per-viewer work stays proportional to divergence, not
+// fragment size; later gaps re-arm (reopen) the existing machines.
+func (c *cohort) diverge(f *cohortFrag, idx int) {
+	f.diverged[idx] = true
+	if f.vfs == nil {
+		f.vfs = make([]*viewerFrag, len(c.viewers))
+		f.pending.Store(int64(len(c.viewers)))
+		for i, v := range c.viewers {
+			f.vfs[i] = c.newViewerFrag(f, v, idx)
+		}
+		for _, vf := range f.vfs {
+			c.mux.submit(vf, -1)
+		}
+		return
+	}
+	for _, vf := range f.vfs {
+		c.mux.submit(vf, idx)
+	}
+}
+
+// newViewerFrag builds viewer v's machine for fragment f with only the
+// diverging chunk outstanding. Its policy parameters mirror the live
+// client's exactly, keyed on the viewer's own seed.
+func (c *cohort) newViewerFrag(f *cohortFrag, v, gapIdx int) *viewerFrag {
+	m := c.mux
+	p := f.params
+	p.RepairsEnabled = func() bool { return !m.bye.Load() }
+	seed := ViewerSeed(m.cfg.Seed, v)
+	p.Jitter = func(key, stream uint64, window time.Duration) time.Duration {
+		return JitterIn(seed, key, stream, window)
+	}
+	led := &m.ledgers[v]
+	totalBytes, chunkBytes := f.params.TotalBytes, f.params.ChunkBytes
+	p.OnLost = func(idx, _ int) {
+		led.lost++
+		led.lostBytes += int64(chunkLen(totalBytes, chunkBytes, idx))
+	}
+	vf := &viewerFrag{f: f, viewer: v, vm: NewMachine(p)}
+	for x := 0; x < vf.vm.NChunks(); x++ {
+		if x != gapIdx {
+			vf.vm.ResolveRepaired(x)
+		}
+	}
+	return vf
+}

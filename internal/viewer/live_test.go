@@ -1,0 +1,269 @@
+package viewer_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"skyscraper/internal/client"
+	"skyscraper/internal/core"
+	"skyscraper/internal/faults"
+	"skyscraper/internal/server"
+	"skyscraper/internal/viewer"
+	"skyscraper/internal/vod"
+)
+
+// liveScheme builds a small broadcast: m videos, k channels each, width w.
+func liveScheme(t *testing.T, m, k int, w int64) *core.Scheme {
+	t.Helper()
+	cfg := vod.Config{ServerMbps: 1.5 * float64(m*k), Videos: m, LengthMin: 120, RateMbps: 1.5}
+	sch, err := core.New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.K() != k {
+		t.Fatalf("K = %d, want %d", sch.K(), k)
+	}
+	return sch
+}
+
+func startServer(t *testing.T, sch *core.Scheme, unit time.Duration, plan *faults.Plan) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Scheme:       sch,
+		Unit:         unit,
+		BytesPerUnit: 4096,
+		ChunkBytes:   1024,
+		Faults:       plan,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestMuxGoldenSingleViewer is the cohort-equivalence anchor over real
+// sockets: a one-viewer mux run and a real client.Watch session with the
+// same derived seed, against a server injecting deterministic drops, must
+// report identical recovery stats. The fault injector keys drops without
+// the repetition number, so the two sessions see the same injured chunk
+// positions even though they tune different repetitions.
+func TestMuxGoldenSingleViewer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 1, 5, 2) // fragments 1,2,2,2,2 — 9 units per playback
+	srv := startServer(t, sch, 200*time.Millisecond, &faults.Plan{Drop: 0.25, Seed: 11})
+
+	const muxSeed = 42
+	stats, err := client.Watch(client.Config{
+		ServerAddr:   srv.Addr(),
+		Video:        0,
+		JoinLeadFrac: 0.9,
+		SlackFrac:    2.0,
+		// Over a unit of repair lag: merely-slow broadcast chunks on a
+		// loaded CI machine must not shift between the repaired and
+		// duplicate columns and break the golden equality (the same
+		// hardening as the server chaos suite's determinism runs). The
+		// extra eighth keeps the lag off the 50ms chunk-spacing grid: an
+		// on-grid lag puts some chunk's repair checkpoint in an exact tie
+		// with the next fragment's start on the same loader, and whether
+		// that repair completes before the next join decides — by
+		// scheduler luck — if the next fragment's first chunk is caught
+		// off the broadcast or repaired. Off-grid, every checkpoint sits
+		// a quarter-spacing clear of the boundary.
+		RepairLagFrac: 1.125,
+		Seed:          viewer.ViewerSeed(muxSeed, 0),
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("client watch: %v (stats %+v)", err, stats)
+	}
+	res, err := viewer.Run(viewer.MuxConfig{
+		ServerAddr:    srv.Addr(),
+		Viewers:       1,
+		Videos:        1,
+		Seed:          muxSeed,
+		JoinLeadFrac:  0.9,
+		SlackFrac:     2.0,
+		RepairLagFrac: 1.125,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("mux run: %v (result %+v)", err, res)
+	}
+
+	if res.Cohorts != 1 || res.Viewers != 1 {
+		t.Errorf("got %d cohorts / %d viewers, want 1/1", res.Cohorts, res.Viewers)
+	}
+	if stats.RepairedChunks == 0 {
+		t.Error("client repaired no chunks under a 25% drop plan; the golden comparison is vacuous")
+	}
+	if res.Bytes != stats.Bytes {
+		t.Errorf("bytes: mux %d, client %d", res.Bytes, stats.Bytes)
+	}
+	if res.RepairedChunks != stats.RepairedChunks {
+		t.Errorf("repaired: mux %d, client %d", res.RepairedChunks, stats.RepairedChunks)
+	}
+	if res.RepairRequests != stats.RepairRequests {
+		t.Errorf("repair requests: mux %d, client %d", res.RepairRequests, stats.RepairRequests)
+	}
+	if res.LostChunks != 0 || stats.LostChunks != 0 {
+		t.Errorf("lost: mux %d, client %d, want 0", res.LostChunks, stats.LostChunks)
+	}
+	if res.LateChunks != 0 || stats.LateChunks != 0 {
+		t.Errorf("late: mux %d, client %d, want 0", res.LateChunks, stats.LateChunks)
+	}
+	if res.ByteErrors != 0 || stats.ByteErrors != 0 {
+		t.Errorf("byte errors: mux %d, client %d, want 0", res.ByteErrors, stats.ByteErrors)
+	}
+	if res.Degraded != 0 {
+		t.Errorf("degraded viewers = %d, want 0", res.Degraded)
+	}
+}
+
+// TestMuxMatchesIndependentClients scales the golden anchor to a small
+// cohort: a mux run of n viewers must aggregate to exactly the sums of n
+// independent client sessions seeded viewer-by-viewer — and the result must
+// be bit-identical across worker-pool sizes, since per-viewer bookkeeping
+// is sharded by viewer ID, not by scheduling order.
+func TestMuxMatchesIndependentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 1, 5, 2)
+	srv := startServer(t, sch, 200*time.Millisecond, &faults.Plan{Drop: 0.25, Seed: 11})
+
+	const n = 3
+	const muxSeed = 7
+	mux := func(workers int) *viewer.Result {
+		res, err := viewer.Run(viewer.MuxConfig{
+			ServerAddr:    srv.Addr(),
+			Viewers:       n,
+			Videos:        1,
+			Seed:          muxSeed,
+			Workers:       workers,
+			JoinLeadFrac:  0.9,
+			SlackFrac:     2.0,
+			RepairLagFrac: 1.125,
+		})
+		if err != nil {
+			t.Fatalf("mux run (%d workers): %v (result %+v)", workers, err, res)
+		}
+		return res
+	}
+	res1 := mux(1)
+	res3 := mux(3)
+
+	type sums struct {
+		bytes, lost, late, dup, repaired, reqs, busy, byteErrors int64
+	}
+	fold := func(r *viewer.Result) sums {
+		return sums{r.Bytes, r.LostChunks, r.LateChunks, r.DuplicateChunks,
+			r.RepairedChunks, r.RepairRequests, r.BusyReplies, r.ByteErrors}
+	}
+	if fold(res1) != fold(res3) {
+		t.Errorf("stats depend on worker count:\n 1 worker  %+v\n 3 workers %+v", fold(res1), fold(res3))
+	}
+
+	// The clients run sequentially: repetition invariance makes their
+	// phase irrelevant to the stats, and one session at a time keeps the
+	// comparison free of scheduling contention on small CI machines.
+	var want sums
+	for v := 0; v < n; v++ {
+		st, err := client.Watch(client.Config{
+			ServerAddr:    srv.Addr(),
+			Video:         0,
+			JoinLeadFrac:  0.9,
+			SlackFrac:     2.0,
+			RepairLagFrac: 1.125,
+			Seed:          viewer.ViewerSeed(muxSeed, v),
+		})
+		if err != nil {
+			t.Fatalf("client %d: %v", v, err)
+		}
+		want.bytes += st.Bytes
+		want.lost += st.LostChunks
+		want.late += st.LateChunks
+		want.dup += st.DuplicateChunks
+		want.repaired += st.RepairedChunks
+		want.reqs += st.RepairRequests
+		want.busy += st.BusyReplies
+		want.byteErrors += st.ByteErrors
+	}
+	if got := fold(res1); got != want {
+		t.Errorf("mux aggregate differs from %d independent clients:\n mux     %+v\n clients %+v", n, got, want)
+	}
+	if res1.RepairedChunks == 0 {
+		t.Error("no repairs under a 25% drop plan; the comparison is vacuous")
+	}
+}
+
+// TestMuxScaleSmoke holds thousands of concurrent virtual viewers in one
+// process against one live server — the cohort dedup makes the receive
+// path O(cohorts) — and checks that server-side control load stays
+// independent of the audience size.
+func TestMuxScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 2, 5, 2)
+	srv := startServer(t, sch, 200*time.Millisecond, nil)
+	statusURL, err := srv.ServeStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const viewers = 3000
+	res, err := viewer.Run(viewer.MuxConfig{
+		ServerAddr:    srv.Addr(),
+		Viewers:       viewers,
+		SpreadUnits:   2,
+		Seed:          9,
+		JoinLeadFrac:  0.9,
+		SlackFrac:     2.0,
+		RepairLagFrac: 1.125,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("mux run: %v (result %+v)", err, res)
+	}
+	if res.Degraded != 0 || res.LostChunks != 0 || res.ByteErrors != 0 {
+		t.Errorf("degraded %d lost %d byteErrors %d, want all 0", res.Degraded, res.LostChunks, res.ByteErrors)
+	}
+	wantBytes := int64(viewers) * int64(sch.TotalUnits()) * 4096
+	if res.Bytes != wantBytes {
+		t.Errorf("bytes %d, want %d (viewers x full video)", res.Bytes, wantBytes)
+	}
+	if res.PeakViewers != viewers {
+		t.Errorf("peak viewers %d, want %d held concurrently", res.PeakViewers, viewers)
+	}
+	if res.Cohorts < 4 {
+		t.Errorf("only %d cohorts for a 2-video, 2-unit admission spread", res.Cohorts)
+	}
+	if res.Datagrams == 0 {
+		t.Error("shared receiver delivered no datagrams")
+	}
+
+	// The server must not have felt the audience: control sessions stay
+	// bounded by the mux's connection pool, not the viewer count.
+	resp, err := http.Get(statusURL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.StatusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if limit := int64(res.Workers) + 1; snap.ControlSessionsPeak > limit {
+		t.Errorf("server saw %d peak control sessions for %d viewers, want <= %d (mux pool)",
+			snap.ControlSessionsPeak, viewers, limit)
+	}
+}

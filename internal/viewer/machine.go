@@ -1,0 +1,469 @@
+// Package viewer scales the receiving side of the live Skyscraper demo to
+// metropolitan audiences. The paper's server cost is independent of the
+// audience size; demonstrating that requires an audience the test machine
+// can actually hold. This package supplies it in two layers:
+//
+//   - Machine (this file): the client's deterministic per-fragment loader
+//     state machine — gap detection on the wire sequence numbering, repair
+//     scheduling with deadline-bounded jittered backoff, and degradation
+//     accounting — extracted from internal/client so one implementation
+//     drives both a real single-viewer session and the multiplexer below.
+//
+//   - Mux (mux.go/cohort.go): a virtual-viewer multiplexer that emulates
+//     100k+ sessions in one process by exploiting the scheme's repetition
+//     invariance: viewers tuned to the same (video, channel set, phase)
+//     form a cohort sharing one receiver subscription and one
+//     decode/CRC/content-verify pass per datagram, with per-viewer state
+//     materialized only when losses force viewers to diverge.
+//
+// Machine is pure state: every method takes the current time explicitly
+// and touches no clock, socket, or goroutine, so the same transitions can
+// run against wall time (the live client) or a scripted virtual time (the
+// cohort equivalence property tests).
+package viewer
+
+import (
+	"time"
+
+	"skyscraper/internal/des"
+)
+
+// DefaultMaxRepairAttempts caps the unicast round trips spent on one chunk
+// when FragmentParams leaves MaxRepairAttempts zero; it matches the
+// historical client constant.
+const DefaultMaxRepairAttempts = 5
+
+// DefaultGraceUnits is the receive cutoff's slack past the broadcast's
+// nominal end: several units absorb server pacing drift on a loaded
+// machine before missing chunks are declared lost.
+const DefaultGraceUnits = 6
+
+// RepairJitterKey is the jitter substream key for repair retries of one
+// chunk: distinct (channel, chunk) sites never share a stream.
+func RepairJitterKey(channel, idx int) uint64 {
+	return uint64(uint32(channel))<<32 | uint64(uint32(idx))
+}
+
+// JitterIn returns the deterministic full-jitter delay every retry site
+// uses: uniform in (0, window], bounded below by 1ms so retries never
+// spin, drawn from the substream of seed identified by (key, stream).
+// Distinct seeds produce uncorrelated schedules (SubSeed is a SplitMix64
+// finalizer), which is what breaks up viewer retry synchronization after
+// a shared fault or a shared Busy release time.
+func JitterIn(seed, key, stream uint64, window time.Duration) time.Duration {
+	if window < time.Millisecond {
+		window = time.Millisecond
+	}
+	r := des.NewRand(des.SubSeed(des.SubSeed(seed, key), stream))
+	d := time.Duration(r.Float64() * float64(window))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// JitterFunc draws one deterministic backoff delay; the live client binds
+// JitterIn to its session seed, the multiplexer to each viewer's seed.
+type JitterFunc func(key, stream uint64, window time.Duration) time.Duration
+
+// FragmentParams describes one fragment reception: the broadcast geometry
+// a loader tunes to and the recovery policy it runs. All times derive from
+// (Epoch, Unit) exactly as in the live client.
+type FragmentParams struct {
+	// Video and Channel identify the fragment's broadcast group.
+	Video, Channel int
+	// Size is the fragment length in D1 units; TuneUnit the absolute unit
+	// the loader tunes at (a multiple of Size); PlayUnit the absolute unit
+	// the fragment's first byte plays at.
+	Size, TuneUnit, PlayUnit int64
+	// TotalBytes is the fragment's payload size; ChunkBytes the datagram
+	// payload size; BytesPerUnit the payload density (for playback times).
+	TotalBytes, ChunkBytes, BytesPerUnit int
+	// Epoch and Unit anchor the broadcast grid in wall time.
+	Epoch time.Time
+	Unit  time.Duration
+	// Slack is how long after its scheduled playback a chunk may arrive
+	// before it counts as jitter; Lag how long after a chunk's expected
+	// broadcast arrival the gap detector waits before presuming it missing.
+	Slack, Lag time.Duration
+	// GraceUnits extends the receive cutoff past the broadcast's nominal
+	// end; zero selects DefaultGraceUnits.
+	GraceUnits int64
+
+	// DisableRepair turns recovery off: gaps run out their deadlines and
+	// become losses. MaxRepairAttempts caps round trips per chunk (zero
+	// selects DefaultMaxRepairAttempts). RepairsEnabled, when non-nil, is
+	// consulted before scheduling each repair — the live client parks
+	// repairs after a server-initiated bye. Jitter draws retry backoff
+	// (required unless DisableRepair or Observe).
+	DisableRepair     bool
+	MaxRepairAttempts int
+	RepairsEnabled    func() bool
+	Jitter            JitterFunc
+
+	// Observe switches the machine into the cohort multiplexer's shared
+	// mode: instead of scheduling repairs itself, Next reports each
+	// detected gap exactly once (ActGap) and keeps only the loss
+	// deadlines; the per-viewer repair ledgers take over from there.
+	Observe bool
+
+	// OnLost, when non-nil, observes each chunk declared unrecoverable
+	// (for tracing); attempts is how many repair round trips it consumed.
+	OnLost func(idx, attempts int)
+}
+
+// MachineStats counts a fragment reception's recovery outcomes.
+type MachineStats struct {
+	// Late counts chunks that arrived (or were repaired) after their
+	// playback time plus slack; Duplicates retransmissions discarded;
+	// Lost chunks neither broadcast nor repaired before their deadline;
+	// Repaired chunks recovered over unicast.
+	Late, Duplicates, Lost, Repaired int64
+}
+
+// ActionKind classifies what a Machine wants its driver to do next.
+type ActionKind int
+
+const (
+	// ActWait blocks on the broadcast until Action.Wake, then polls again.
+	ActWait ActionKind = iota
+	// ActRepair requests one unicast round trip for chunk Action.Idx now.
+	ActRepair
+	// ActGap (Observe mode) reports chunk Action.Idx overdue, exactly once.
+	ActGap
+)
+
+// Action is one decision from Next.
+type Action struct {
+	Kind ActionKind
+	// Idx is the chunk for ActRepair/ActGap.
+	Idx int
+	// Attempt is the 1-based repair attempt ActRepair begins.
+	Attempt int
+	// Wake is when to poll again for ActWait.
+	Wake time.Time
+}
+
+// RepairOutcome classifies one repair round trip's result.
+type RepairOutcome int
+
+const (
+	// RepairOK recovered the chunk.
+	RepairOK RepairOutcome = iota
+	// RepairBusy is admission pushback: flow control, not failure.
+	RepairBusy
+	// RepairFailed is a transport or protocol failure, retried with
+	// exponential backoff up to the attempt cap.
+	RepairFailed
+	// RepairDisabled reports the repair plane gone for the session
+	// (server draining); the chunk rides the broadcast to its deadline.
+	RepairDisabled
+)
+
+// Disposition reports what RepairResult did with the chunk.
+type Disposition int
+
+const (
+	// Repaired: the chunk is recovered and booked.
+	Repaired Disposition = iota
+	// Rescheduled: a retry is planned at a backoff-jittered time.
+	Rescheduled
+	// Parked: no retry planned; the chunk waits on the broadcast.
+	Parked
+	// LostNow: the attempt cap is spent; the chunk was declared lost.
+	LostNow
+)
+
+// Machine is the loader state machine for one fragment reception. It is
+// not safe for concurrent use; the cohort multiplexer serializes access
+// per cohort and the live client drives one machine per loader.
+type Machine struct {
+	p        FragmentParams
+	nchunks  int
+	spacing  time.Duration
+	start    time.Time
+	deadline time.Time
+	wantSeq  uint32
+	maxTries int
+
+	have     []bool
+	got      int
+	tryAt    []time.Time
+	attempts []int
+	stats    MachineStats
+}
+
+// NewMachine builds the state machine for one fragment. The gap
+// detector's per-chunk checkpoints are fixed at construction: the server
+// paces chunk idx at start + idx*spacing, so if it has not arrived one
+// Lag past that it is presumed missing and repair begins — early enough,
+// though, that a repair round trip still fits before the chunk's playback
+// deadline.
+func NewMachine(p FragmentParams) *Machine {
+	if p.GraceUnits == 0 {
+		p.GraceUnits = DefaultGraceUnits
+	}
+	maxTries := p.MaxRepairAttempts
+	if maxTries == 0 {
+		maxTries = DefaultMaxRepairAttempts
+	}
+	nchunks := (p.TotalBytes + p.ChunkBytes - 1) / p.ChunkBytes
+	period := time.Duration(p.Size) * p.Unit
+	m := &Machine{
+		p:        p,
+		nchunks:  nchunks,
+		spacing:  period / time.Duration(nchunks),
+		start:    p.Epoch.Add(time.Duration(p.TuneUnit) * p.Unit),
+		deadline: p.Epoch.Add(time.Duration(p.TuneUnit+p.Size)*p.Unit + time.Duration(p.GraceUnits)*p.Unit),
+		wantSeq:  uint32(p.TuneUnit / p.Size),
+		maxTries: maxTries,
+		have:     make([]bool, nchunks),
+		tryAt:    make([]time.Time, nchunks),
+		attempts: make([]int, nchunks),
+	}
+	for idx := range m.tryAt {
+		m.tryAt[idx] = m.checkpoint(idx)
+	}
+	return m
+}
+
+// checkpoint is the gap detector's initial per-chunk deadline (see
+// NewMachine).
+func (m *Machine) checkpoint(idx int) time.Time {
+	expected := m.start.Add(time.Duration(idx+1) * m.spacing)
+	t := expected.Add(m.p.Lag)
+	if latest := m.LostBy(idx).Add(-m.spacing); t.After(latest) {
+		t = latest
+	}
+	if t.Before(expected) {
+		t = expected
+	}
+	return t
+}
+
+// WantSeq is the broadcast repetition this reception tunes to.
+func (m *Machine) WantSeq() uint32 { return m.wantSeq }
+
+// NChunks is the fragment's chunk count.
+func (m *Machine) NChunks() int { return m.nchunks }
+
+// Done reports whether every chunk is resolved (received, repaired, or
+// declared lost).
+func (m *Machine) Done() bool { return m.got >= m.nchunks }
+
+// Have reports whether chunk idx is resolved.
+func (m *Machine) Have(idx int) bool { return m.have[idx] }
+
+// Attempts returns how many repair round trips chunk idx has consumed.
+func (m *Machine) Attempts(idx int) int { return m.attempts[idx] }
+
+// Stats returns the recovery counters accumulated so far.
+func (m *Machine) Stats() MachineStats { return m.stats }
+
+// Deadline is the receive cutoff: the broadcast's nominal end plus grace.
+func (m *Machine) Deadline() time.Time { return m.deadline }
+
+// ChunkLen returns chunk idx's payload length (the tail chunk may be
+// short).
+func (m *Machine) ChunkLen(idx int) int {
+	if rem := m.p.TotalBytes - idx*m.p.ChunkBytes; rem < m.p.ChunkBytes {
+		return rem
+	}
+	return m.p.ChunkBytes
+}
+
+// PlayAt is when chunk idx's first byte is consumed by the player.
+func (m *Machine) PlayAt(idx int) time.Time {
+	off := idx * m.p.ChunkBytes
+	base := m.p.Epoch.Add(time.Duration(m.p.PlayUnit) * m.p.Unit)
+	return base.Add(time.Duration(float64(off) / float64(m.p.BytesPerUnit) * float64(m.p.Unit)))
+}
+
+// LostBy is the point past which chunk idx can no longer play jitter-free;
+// recovery gives up there (bounded by the receive cutoff for chunks whose
+// playback lies far in the future).
+func (m *Machine) LostBy(idx int) time.Time {
+	lb := m.PlayAt(idx).Add(m.p.Slack)
+	if lb.After(m.deadline) {
+		return m.deadline
+	}
+	return lb
+}
+
+// markLost books chunk idx as unrecoverable.
+func (m *Machine) markLost(idx int) {
+	m.have[idx] = true
+	m.got++
+	m.stats.Lost++
+	if m.p.OnLost != nil {
+		m.p.OnLost(idx, m.attempts[idx])
+	}
+}
+
+// repairable reports whether chunk idx may still be pulled over unicast.
+func (m *Machine) repairable(idx int) bool {
+	if m.p.DisableRepair || m.p.Observe || m.attempts[idx] >= m.maxTries {
+		return false
+	}
+	return m.p.RepairsEnabled == nil || m.p.RepairsEnabled()
+}
+
+// gapPending reports whether chunk idx still owes an ActGap notification
+// (Observe mode: tryAt is cleared once the gap is handed over).
+func (m *Machine) gapPending(idx int) bool {
+	return m.p.Observe && !m.tryAt[idx].IsZero()
+}
+
+// Next runs one recovery pass at time now: overdue chunks are declared
+// lost, the first due repair (or, in Observe mode, undelivered gap
+// notification) is returned, and otherwise the next deadline to wake at.
+// Drivers loop: act on the returned action, then call Next again with a
+// fresh now until Done.
+func (m *Machine) Next(now time.Time) Action {
+	next := m.deadline
+	for idx := 0; idx < m.nchunks; idx++ {
+		if m.have[idx] {
+			continue
+		}
+		lb := m.LostBy(idx)
+		if !now.Before(lb) {
+			if m.p.Observe && m.tryAt[idx].IsZero() {
+				// The gap was handed to the per-viewer repair ledgers; they
+				// own its outcome, so the shared machine closes it silently.
+				m.have[idx] = true
+				m.got++
+			} else {
+				m.markLost(idx)
+			}
+			continue
+		}
+		if m.gapPending(idx) {
+			if !now.Before(m.tryAt[idx]) {
+				// Hand the gap to the per-viewer repair plane exactly once;
+				// the shared machine keeps only the loss deadline.
+				m.tryAt[idx] = time.Time{}
+				return Action{Kind: ActGap, Idx: idx}
+			}
+			if m.tryAt[idx].Before(next) {
+				next = m.tryAt[idx]
+			}
+		}
+		if m.repairable(idx) {
+			if !now.Before(m.tryAt[idx]) {
+				return Action{Kind: ActRepair, Idx: idx, Attempt: m.attempts[idx] + 1}
+			}
+			if m.tryAt[idx].Before(next) {
+				next = m.tryAt[idx]
+			}
+		}
+		if lb.Before(next) {
+			next = lb
+		}
+	}
+	return Action{Kind: ActWait, Wake: next}
+}
+
+// ChunkVerdict reports how an arriving broadcast chunk was booked.
+type ChunkVerdict int
+
+const (
+	// Accepted: a fresh chunk, booked (and jitter-checked).
+	Accepted ChunkVerdict = iota
+	// Duplicate: already resolved; the retransmission was discarded.
+	Duplicate
+)
+
+// Chunk books the broadcast arrival of chunk idx at time now. Data landing
+// after its playback time plus slack counts as jitter.
+func (m *Machine) Chunk(idx int, now time.Time) ChunkVerdict {
+	if m.have[idx] {
+		m.stats.Duplicates++
+		return Duplicate
+	}
+	m.have[idx] = true
+	m.got++
+	if now.After(m.PlayAt(idx).Add(m.p.Slack)) {
+		m.stats.Late++
+	}
+	return Accepted
+}
+
+// ResolveRepaired marks a still-missing chunk resolved outside the
+// broadcast — the cohort multiplexer calls it when every viewer has
+// recovered the chunk over unicast, so the shared machine need not hold
+// the fragment open to its deadline. Unlike Chunk it books no arrival
+// stats (the per-viewer ledgers own them). It reports whether the chunk
+// was still outstanding.
+func (m *Machine) ResolveRepaired(idx int) bool {
+	if m.have[idx] {
+		return false
+	}
+	m.have[idx] = true
+	m.got++
+	return true
+}
+
+// Reopen reverses a ResolveRepaired: the chunk becomes outstanding again
+// with its construction-time gap checkpoint and a zero attempt count. The
+// cohort multiplexer materializes per-viewer machines lazily — at the
+// first divergence every chunk except the diverging one is pre-resolved —
+// and Reopen re-arms a chunk when a later gap on the same fragment
+// diverges too, leaving the machine exactly as if the chunk had never
+// been resolved.
+func (m *Machine) Reopen(idx int) {
+	if !m.have[idx] {
+		return
+	}
+	m.have[idx] = false
+	m.got--
+	m.attempts[idx] = 0
+	m.tryAt[idx] = m.checkpoint(idx)
+}
+
+// RepairResult applies one repair round trip's outcome to chunk idx,
+// mirroring the live client's recovery policy exactly:
+//
+//   - RepairOK books the chunk (jitter-checked at now).
+//   - RepairBusy reschedules at now + hint (or two chunk intervals when
+//     the hint is zero: the answer is in flight on the broadcast group)
+//     plus half-window full jitter, so viewers released together do not
+//     re-storm.
+//   - RepairFailed retries under full-jitter exponential backoff until
+//     the attempt cap, then declares the chunk lost.
+//   - RepairDisabled parks the chunk on the broadcast.
+//
+// The attempt counter increments for every outcome, and jitter streams key
+// on the post-increment count so no two retries share a draw.
+func (m *Machine) RepairResult(idx int, outcome RepairOutcome, retryAfter time.Duration, now time.Time) Disposition {
+	m.attempts[idx]++
+	switch outcome {
+	case RepairOK:
+		if !m.have[idx] {
+			m.have[idx] = true
+			m.got++
+			m.stats.Repaired++
+			if now.After(m.PlayAt(idx).Add(m.p.Slack)) {
+				m.stats.Late++
+			}
+		}
+		return Repaired
+	case RepairBusy:
+		wait := retryAfter
+		if wait <= 0 {
+			wait = 2 * m.spacing
+		}
+		m.tryAt[idx] = now.Add(wait +
+			m.p.Jitter(RepairJitterKey(m.p.Channel, idx), uint64(m.attempts[idx]), wait/2+time.Millisecond))
+		return Rescheduled
+	case RepairDisabled:
+		return Parked
+	default: // RepairFailed
+		if m.attempts[idx] >= m.maxTries {
+			m.markLost(idx)
+			return LostNow
+		}
+		window := 4 * time.Millisecond << m.attempts[idx]
+		m.tryAt[idx] = now.Add(m.p.Jitter(RepairJitterKey(m.p.Channel, idx), uint64(m.attempts[idx]), window))
+		return Rescheduled
+	}
+}

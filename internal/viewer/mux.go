@@ -1,0 +1,784 @@
+package viewer
+
+import (
+	"bufio"
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skyscraper/internal/content"
+	"skyscraper/internal/des"
+	"skyscraper/internal/mcast"
+	"skyscraper/internal/metrics"
+	"skyscraper/internal/series"
+	"skyscraper/internal/wire"
+)
+
+// errMuxDraining reports a server-initiated bye on a mux control
+// connection: the repair plane is gone for every emulated viewer.
+var errMuxDraining = errors.New("viewer: server draining (bye received)")
+
+// busyError is the server's admission pushback on a repair request; it is
+// flow control, not failure.
+type busyError struct{ retryAfter time.Duration }
+
+func (e *busyError) Error() string {
+	if e.retryAfter <= 0 {
+		return "viewer: server busy (re-listen to broadcast)"
+	}
+	return fmt.Sprintf("viewer: server busy (retry after %v)", e.retryAfter)
+}
+
+// arrivalStream keys each viewer's admission-offset draw. It is a direct
+// substream of the viewer seed, one SubSeed layer above the jitter
+// streams (which derive via SubSeed(SubSeed(seed, key), stream)), so no
+// repair or reconnect jitter draw can collide with it.
+const arrivalStream = ^uint64(1)
+
+// ViewerSeed is virtual viewer v's session seed under a mux seeded with
+// muxSeed. A real client.Config{Seed: ViewerSeed(muxSeed, v)} draws
+// bit-identical repair jitter schedules to mux viewer v — the anchor the
+// cohort-equivalence tests build on.
+func ViewerSeed(muxSeed uint64, v int) uint64 {
+	return des.SubSeed(muxSeed, uint64(v))
+}
+
+// MuxConfig parameterizes one virtual-viewer multiplexer run.
+type MuxConfig struct {
+	// ServerAddr is the server's TCP control address.
+	ServerAddr string
+	// Viewers is how many virtual sessions to emulate.
+	Viewers int
+	// Videos spreads viewers round-robin over the first Videos catalog
+	// entries; zero (or anything past the catalog) selects the whole
+	// catalog.
+	Videos int
+	// SpreadUnits is the admission window in D1 units: viewer arrival
+	// offsets are drawn uniformly from [0, SpreadUnits), so viewers land
+	// on about SpreadUnits+1 distinct playback start units per video.
+	// Zero admits everyone at once (one cohort per video).
+	SpreadUnits float64
+	// Seed keys every viewer's deterministic substreams (arrival offset,
+	// repair jitter) via ViewerSeed.
+	Seed uint64
+	// Workers sizes the repair-plane worker pool; per-viewer bookkeeping
+	// for diverged viewers is sharded over it by viewer ID (viewer v is
+	// owned by worker v mod Workers), so stats are independent of the
+	// worker count. Zero selects GOMAXPROCS capped at 8. Each worker
+	// lazily dials one control connection.
+	Workers int
+	// JoinLeadFrac, SlackFrac, RepairLagFrac mirror client.Config (all
+	// default to 0.5).
+	JoinLeadFrac  float64
+	SlackFrac     float64
+	RepairLagFrac float64
+	// DisableRepair turns per-viewer loss recovery off: gaps become
+	// cohort-wide losses at their playback deadlines.
+	DisableRepair bool
+	// ControlTimeout bounds each control round trip; defaults to 5s.
+	ControlTimeout time.Duration
+	// RecvBufBytes sizes the shared UDP socket's kernel buffer; zero
+	// selects mcast.DefaultRecvBufBytes.
+	RecvBufBytes int
+	// SubDepth is the per-subscription slot ring depth; defaults to 256.
+	SubDepth int
+	// Logf, when non-nil, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+// WaitBucket is one bin of the admission-latency histogram: Count viewers
+// waited about MilliUnits/1000 D1 units for playback to start.
+type WaitBucket struct {
+	MilliUnits int64 `json:"milliUnits"`
+	Count      int64 `json:"count"`
+}
+
+// Result reports a completed mux run. Aggregates are sums over all
+// emulated viewers, so they compare directly against the same number of
+// independent client sessions.
+type Result struct {
+	Viewers int `json:"viewers"`
+	Cohorts int `json:"cohorts"`
+	Workers int `json:"workers"`
+	// ElapsedSec is the wall time from first admission to last cohort
+	// completion.
+	ElapsedSec float64 `json:"elapsedSec"`
+	// Bytes is total payload credited across viewers (video bytes minus
+	// each viewer's lost bytes); ByteErrors content-verification
+	// mismatches (counted once per cohort on the shared path).
+	Bytes      int64 `json:"bytes"`
+	ByteErrors int64 `json:"byteErrors"`
+	// Chunk outcome sums over viewers, as in client.Stats.
+	LateChunks      int64 `json:"lateChunks"`
+	DuplicateChunks int64 `json:"duplicateChunks"`
+	LostChunks      int64 `json:"lostChunks"`
+	RepairedChunks  int64 `json:"repairedChunks"`
+	RepairRequests  int64 `json:"repairRequests"`
+	BusyReplies     int64 `json:"busyReplies"`
+	Reconnects      int64 `json:"reconnects"`
+	// Degraded counts viewers that finished with any lost or late chunk.
+	Degraded int `json:"degraded"`
+	// PeakViewers and PeakCohorts are the concurrency high-water marks.
+	PeakViewers int64 `json:"peakViewers"`
+	PeakCohorts int64 `json:"peakCohorts"`
+	// Datagrams counts slot deliveries on the shared receiver (one per
+	// subscribed datagram, not per viewer); RecvDropped the datagrams
+	// lost to a full subscription ring (they surface as repairs).
+	Datagrams   int64 `json:"datagrams"`
+	RecvDropped int64 `json:"recvDropped"`
+	// WaitHist is the per-viewer admission-wait histogram in milli-unit
+	// bins, mergeable across emulator processes.
+	WaitHist []WaitBucket `json:"waitHist"`
+}
+
+// WaitQuantile returns the q-quantile (0 < q <= 1) of per-viewer
+// admission waits in D1 units, to the histogram's milli-unit resolution.
+func (r *Result) WaitQuantile(q float64) float64 {
+	return WaitQuantile(r.WaitHist, int64(r.Viewers), q)
+}
+
+// WaitQuantile computes a quantile over a merged admission-wait
+// histogram with total viewers across all merged results.
+func WaitQuantile(hist []WaitBucket, total int64, q float64) float64 {
+	if total <= 0 || len(hist) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range hist {
+		cum += b.Count
+		if cum >= rank {
+			return float64(b.MilliUnits+1) / 1000
+		}
+	}
+	return float64(hist[len(hist)-1].MilliUnits+1) / 1000
+}
+
+// MergeWaitHists merges admission-wait histograms from several results.
+func MergeWaitHists(hists ...[]WaitBucket) []WaitBucket {
+	counts := map[int64]int64{}
+	for _, h := range hists {
+		for _, b := range h {
+			counts[b.MilliUnits] += b.Count
+		}
+	}
+	return histFromCounts(counts)
+}
+
+func histFromCounts(counts map[int64]int64) []WaitBucket {
+	out := make([]WaitBucket, 0, len(counts))
+	for mu, n := range counts {
+		out = append(out, WaitBucket{MilliUnits: mu, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MilliUnits < out[j].MilliUnits })
+	return out
+}
+
+// viewerLedger is one viewer's divergence bookkeeping: every field is
+// written only by the viewer's owner worker (single-writer by the
+// viewer-ID sharding), and read only after the worker pool has drained.
+type viewerLedger struct {
+	lost, late, dup, repaired int64
+	repairReqs, busyReplies   int64
+	byteErrors                int64
+	lostBytes                 int64
+}
+
+// Mux is the virtual-viewer multiplexer: one process emulating Viewers
+// sessions against a live server. Viewers tuned to the same (video,
+// playback start) form a cohort sharing one receiver subscription per
+// channel and one decode/verify pass per datagram; per-viewer machines
+// materialize only when a loss makes outcomes diverge.
+type Mux struct {
+	cfg   MuxConfig
+	w     *wire.Welcome
+	unit  time.Duration
+	epoch time.Time
+
+	rcv     *mcast.SharedReceiver
+	jm      *joinManager
+	workers []*worker
+	stop    chan struct{}
+	wwg     sync.WaitGroup
+
+	// bye latches a server-initiated drain for every viewer at once.
+	bye        atomic.Bool
+	reconnects atomic.Int64
+
+	ledgers []viewerLedger
+	waits   []float64 // per-viewer admission wait in units; read-only after admission
+
+	liveViewers   metrics.PaddedGauge
+	activeCohorts metrics.PaddedGauge
+}
+
+// LiveViewers and ActiveCohorts expose the emulation's concurrency
+// levels (and, via High, their peaks) for live sampling.
+func (m *Mux) LiveViewers() *metrics.PaddedGauge   { return &m.liveViewers }
+func (m *Mux) ActiveCohorts() *metrics.PaddedGauge { return &m.activeCohorts }
+
+// Run emulates cfg.Viewers sessions to completion and aggregates their
+// stats. Like client.Watch, a degraded run still returns its Result
+// alongside the error.
+func Run(cfg MuxConfig) (*Result, error) {
+	m, err := NewMux(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// NewMux validates cfg, performs the control handshake, and prepares an
+// emulation. Run executes it.
+func NewMux(cfg MuxConfig) (*Mux, error) {
+	if cfg.Viewers <= 0 {
+		return nil, fmt.Errorf("viewer: mux needs a positive viewer count (got %d)", cfg.Viewers)
+	}
+	if cfg.JoinLeadFrac <= 0 {
+		cfg.JoinLeadFrac = 0.5
+	}
+	if cfg.SlackFrac <= 0 {
+		cfg.SlackFrac = 0.5
+	}
+	if cfg.RepairLagFrac <= 0 {
+		cfg.RepairLagFrac = 0.5
+	}
+	if cfg.ControlTimeout <= 0 {
+		cfg.ControlTimeout = 5 * time.Second
+	}
+	if cfg.SubDepth <= 0 {
+		cfg.SubDepth = 256
+	}
+	if cfg.SpreadUnits < 0 {
+		cfg.SpreadUnits = 0
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	m := &Mux{cfg: cfg, stop: make(chan struct{})}
+	cc := &controlConn{mux: m}
+	w, err := cc.welcome()
+	if err != nil {
+		return nil, err
+	}
+	if len(w.SizeUnits) != w.ChannelsPerVideo || w.ChannelsPerVideo == 0 || w.Videos <= 0 {
+		cc.close()
+		return nil, fmt.Errorf("viewer: malformed welcome: %d sizes for %d channels, %d videos",
+			len(w.SizeUnits), w.ChannelsPerVideo, w.Videos)
+	}
+	m.w = w
+	m.unit = time.Duration(w.UnitNanos)
+	m.epoch = time.Unix(0, w.EpochUnixNano)
+	m.jm = &joinManager{cc: cc, refs: map[mcast.Group]int{}}
+	return m, nil
+}
+
+// Run executes the emulation prepared by NewMux.
+func (m *Mux) Run() (*Result, error) {
+	defer m.jm.cc.close()
+	rcv, err := mcast.NewSharedReceiver(m.cfg.RecvBufBytes, func(frame []byte) (mcast.Group, bool) {
+		v, ch, _, _, ok := wire.PeekID(frame)
+		if !ok {
+			return mcast.Group{}, false
+		}
+		return mcast.Group{Video: int(v), Channel: int(ch)}, true
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rcv.Close()
+	m.rcv = rcv
+	m.jm.port = rcv.Addr().Port
+
+	groups := series.Groups(m.w.SizeUnits)
+	cohorts := m.admit()
+	m.cfg.Logf("viewer: %d viewers in %d cohorts over %d workers", m.cfg.Viewers, len(cohorts), m.cfg.Workers)
+
+	m.workers = make([]*worker, m.cfg.Workers)
+	for i := range m.workers {
+		w := &worker{mux: m, in: make(chan wcmd, 1024)}
+		w.conn = &controlConn{mux: m}
+		m.workers[i] = w
+		m.wwg.Add(1)
+		go w.run()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(cohorts))
+	for _, co := range cohorts {
+		wg.Add(1)
+		go func(co *cohort) {
+			defer wg.Done()
+			if err := co.run(groups); err != nil {
+				errCh <- err
+			}
+		}(co)
+	}
+	wg.Wait()
+	close(m.stop)
+	m.wwg.Wait()
+	_, _ = m.jm.cc.roundTrip(&wire.Control{Kind: wire.KindBye}, false)
+	for _, w := range m.workers {
+		w.conn.close()
+	}
+	close(errCh)
+	var firstErr error
+	failed := 0
+	for err := range errCh {
+		failed++
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	res := m.aggregate(cohorts, time.Since(start))
+	if firstErr != nil {
+		return res, fmt.Errorf("viewer: %d of %d cohorts failed: %w", failed, len(cohorts), firstErr)
+	}
+	return res, nil
+}
+
+// admit assigns every viewer a video, an arrival offset, and a playback
+// start unit, grouping viewers with identical (video, playback start)
+// into cohorts. Everything here derives from the mux seed, so admission
+// is reproducible; only the shared run start is wall time.
+func (m *Mux) admit() []*cohort {
+	videos := m.cfg.Videos
+	if videos <= 0 || videos > m.w.Videos {
+		videos = m.w.Videos
+	}
+	m.ledgers = make([]viewerLedger, m.cfg.Viewers)
+	m.waits = make([]float64, m.cfg.Viewers)
+	arrivalUnits := float64(time.Since(m.epoch)) / float64(m.unit)
+
+	type ckey struct {
+		video     int
+		playStart int64
+	}
+	byKey := map[ckey]*cohort{}
+	var order []*cohort
+	for v := 0; v < m.cfg.Viewers; v++ {
+		r := des.NewRand(des.SubSeed(ViewerSeed(m.cfg.Seed, v), arrivalStream))
+		a := arrivalUnits + r.Float64()*m.cfg.SpreadUnits
+		playStart := int64(math.Ceil(a + m.cfg.JoinLeadFrac))
+		m.waits[v] = float64(playStart) - a
+		k := ckey{video: v % videos, playStart: playStart}
+		co := byKey[k]
+		if co == nil {
+			co = &cohort{mux: m, video: k.video, playStartUnit: k.playStart}
+			byKey[k] = co
+			order = append(order, co)
+		}
+		co.viewers = append(co.viewers, v)
+	}
+	return order
+}
+
+// aggregate folds cohort-shared counters (applied to every member) and
+// per-viewer ledgers into the Result.
+func (m *Mux) aggregate(cohorts []*cohort, elapsed time.Duration) *Result {
+	res := &Result{
+		Viewers:     m.cfg.Viewers,
+		Cohorts:     len(cohorts),
+		Workers:     m.cfg.Workers,
+		ElapsedSec:  elapsed.Seconds(),
+		PeakViewers: m.liveViewers.High(),
+		PeakCohorts: m.activeCohorts.High(),
+		Datagrams:   m.rcv.Delivered(),
+		RecvDropped: m.rcv.Dropped(),
+		Reconnects:  m.reconnects.Load(),
+	}
+	var totalUnits int64
+	for _, s := range m.w.SizeUnits {
+		totalUnits += s
+	}
+	videoBytes := totalUnits * int64(m.w.BytesPerUnit)
+	for _, co := range cohorts {
+		n := int64(len(co.viewers))
+		sharedLate, sharedLost := co.late.Load(), co.lostShared.Load()
+		res.LateChunks += sharedLate * n
+		res.DuplicateChunks += co.dup.Load() * n
+		res.LostChunks += sharedLost * n
+		res.ByteErrors += co.byteErrors.Load()
+		res.Bytes += n * (videoBytes - co.lostSharedBytes.Load())
+		for _, v := range co.viewers {
+			led := &m.ledgers[v]
+			res.LateChunks += led.late
+			res.DuplicateChunks += led.dup
+			res.LostChunks += led.lost
+			res.RepairedChunks += led.repaired
+			res.RepairRequests += led.repairReqs
+			res.BusyReplies += led.busyReplies
+			res.ByteErrors += led.byteErrors
+			res.Bytes -= led.lostBytes
+			if led.lost+sharedLost > 0 || led.late+sharedLate > 0 {
+				res.Degraded++
+			}
+		}
+	}
+	counts := map[int64]int64{}
+	for _, w := range m.waits {
+		counts[int64(w*1000)]++
+	}
+	res.WaitHist = histFromCounts(counts)
+	return res
+}
+
+// submit hands a viewer-fragment to its owner worker, tracking the
+// handoff in the fragment's inflight count so the cohort loader cannot
+// conclude the fragment while commands are still queued.
+func (m *Mux) submit(vf *viewerFrag, reopen int) {
+	vf.f.inflight.Add(1)
+	m.workers[vf.viewer%len(m.workers)].in <- wcmd{vf: vf, reopen: reopen}
+}
+
+// wcmd is one loader-to-worker handoff: wake vf (and first reopen chunk
+// `reopen`, when >= 0, re-arming it for repair).
+type wcmd struct {
+	vf     *viewerFrag
+	reopen int
+}
+
+// worker owns the divergent side of the emulation for viewers v with
+// v mod Workers == its index: their machines, their repair round trips
+// (over one lazily-dialed control connection), and their ledgers. All
+// state of a given viewer is touched by exactly one worker, which is
+// what makes stats worker-count-independent.
+type worker struct {
+	mux  *Mux
+	in   chan wcmd
+	h    wakeHeap
+	conn *controlConn
+}
+
+func (w *worker) run() {
+	defer w.mux.wwg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		var tc <-chan time.Time
+		if len(w.h) > 0 {
+			d := time.Until(w.h[0].at)
+			if d < 0 {
+				d = 0
+			}
+			resetTimer(timer, d)
+			tc = timer.C
+		}
+		select {
+		case cmd := <-w.in:
+			w.exec(cmd)
+		case <-tc:
+			now := time.Now()
+			for len(w.h) > 0 && !w.h[0].at.After(now) {
+				e := heap.Pop(&w.h).(wakeEntry)
+				w.step(e.vf, time.Now())
+				e.vf.f.notify()
+			}
+		case <-w.mux.stop:
+			return
+		}
+	}
+}
+
+// exec applies one loader command. A reopen on a finished viewer brings
+// it back into the pending count before the chunk is re-armed.
+func (w *worker) exec(cmd wcmd) {
+	vf := cmd.vf
+	f := vf.f
+	if cmd.reopen >= 0 {
+		if vf.done {
+			vf.done = false
+			f.pending.Add(1)
+		}
+		vf.vm.Reopen(cmd.reopen)
+	}
+	f.inflight.Add(-1)
+	if !vf.done {
+		w.step(vf, time.Now())
+	}
+	f.notify()
+}
+
+// step advances one viewer's machine: book any recorded broadcast
+// arrivals, then run repairs until the machine parks (heap) or finishes.
+func (w *worker) step(vf *viewerFrag, now time.Time) {
+	if vf.done {
+		return
+	}
+	f := vf.f
+	led := &w.mux.ledgers[vf.viewer]
+	for idx := range f.arrived {
+		if t := f.arrived[idx].Load(); t != 0 && !vf.vm.Have(idx) {
+			vf.vm.Chunk(idx, time.Unix(0, t))
+		}
+	}
+	for {
+		if vf.vm.Done() {
+			w.finish(vf)
+			return
+		}
+		act := vf.vm.Next(now)
+		if act.Kind != ActRepair {
+			heap.Push(&w.h, wakeEntry{at: act.Wake, vf: vf})
+			return
+		}
+		idx := act.Idx
+		led.repairReqs++
+		off := int64(idx) * int64(f.params.ChunkBytes)
+		data, err := w.conn.repair(f.c.video, f.channel, f.wantSeq, off, vf.vm.ChunkLen(idx))
+		now = time.Now()
+		outcome, retryAfter := RepairOK, time.Duration(0)
+		if err != nil {
+			var busy *busyError
+			switch {
+			case errors.As(err, &busy):
+				led.busyReplies++
+				outcome, retryAfter = RepairBusy, busy.retryAfter
+			case errors.Is(err, errMuxDraining):
+				outcome = RepairDisabled
+			default:
+				outcome = RepairFailed
+			}
+		}
+		if vf.vm.RepairResult(idx, outcome, retryAfter, now) == Repaired {
+			if bad := content.Verify(data, f.c.video, f.videoBase+off); bad >= 0 {
+				led.byteErrors++
+			}
+		}
+	}
+}
+
+// finish folds a completed viewer-fragment's machine stats into the
+// viewer's ledger (losses and their bytes were already booked through
+// the machine's OnLost callback).
+func (w *worker) finish(vf *viewerFrag) {
+	vf.done = true
+	st := vf.vm.Stats()
+	led := &w.mux.ledgers[vf.viewer]
+	led.late += st.Late - vf.folded.Late
+	led.dup += st.Duplicates - vf.folded.Duplicates
+	led.repaired += st.Repaired - vf.folded.Repaired
+	vf.folded = st
+	vf.f.pending.Add(-1)
+}
+
+// wakeHeap orders parked viewer-fragments by wake time. Stale entries
+// (a viewer re-woken through the channel and finished) are filtered by
+// the done flag in step.
+type wakeEntry struct {
+	at time.Time
+	vf *viewerFrag
+}
+
+type wakeHeap []wakeEntry
+
+func (h wakeHeap) Len() int           { return len(h) }
+func (h wakeHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h wakeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *wakeHeap) Push(x any)        { *h = append(*h, x.(wakeEntry)) }
+func (h *wakeHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// resetTimer re-arms a timer whose channel is only read by its owner
+// loop (the pre-Go-1.23 drain discipline).
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// controlConn is one mux-side control connection: dialed on first use,
+// re-dialed transparently on transport failure, serialized by a mutex.
+// The join manager holds one; each worker holds its own, so repair round
+// trips parallelize across workers without interleaving on one socket.
+type controlConn struct {
+	mux *Mux
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *wire.Welcome
+	dialed bool
+}
+
+// welcome dials (if needed) and returns the server's welcome.
+func (c *controlConn) welcome() (*wire.Welcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return nil, err
+	}
+	return c.w, nil
+}
+
+func (c *controlConn) ensureLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.mux.cfg.ServerAddr, c.mux.cfg.ControlTimeout)
+	if err != nil {
+		return fmt.Errorf("viewer: dialing control: %w", err)
+	}
+	r := bufio.NewReader(conn)
+	w, err := muxHandshake(conn, r, c.mux.cfg.ControlTimeout)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if have := c.mux.w; have != nil && w.EpochUnixNano != have.EpochUnixNano {
+		conn.Close()
+		return errors.New("viewer: server restarted (broadcast epoch changed)")
+	}
+	c.conn, c.r, c.w = conn, r, w
+	if c.dialed {
+		c.mux.reconnects.Add(1)
+	}
+	c.dialed = true
+	return nil
+}
+
+func muxHandshake(conn net.Conn, r *bufio.Reader, timeout time.Duration) (*wire.Welcome, error) {
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := wire.WriteControl(conn, &wire.Control{Kind: wire.KindHello}); err != nil {
+		return nil, err
+	}
+	m, err := wire.ReadControl(r)
+	if err != nil {
+		return nil, fmt.Errorf("viewer: reading welcome: %w", err)
+	}
+	if m.Kind != wire.KindWelcome || m.Welcome == nil {
+		return nil, fmt.Errorf("viewer: expected welcome, got %q (%s)", m.Kind, m.Error)
+	}
+	return m.Welcome, nil
+}
+
+// roundTrip performs one control request, re-dialing a broken connection
+// up to three attempts. A server bye latches the mux-wide drain flag.
+func (c *controlConn) roundTrip(msg *wire.Control, wantReply bool) (*wire.Control, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if c.conn == nil && !wantReply {
+			return nil, nil // fire-and-forget on a dead link: drop it
+		}
+		if err := c.ensureLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		_ = c.conn.SetDeadline(time.Now().Add(c.mux.cfg.ControlTimeout))
+		err := wire.WriteControl(c.conn, msg)
+		var reply *wire.Control
+		if err == nil && wantReply {
+			reply, err = wire.ReadControl(c.r)
+		}
+		_ = c.conn.SetDeadline(time.Time{})
+		if err == nil {
+			if wantReply && reply.Kind == wire.KindBye {
+				c.mux.bye.Store(true)
+				c.mux.cfg.Logf("viewer: server draining (bye); repairs disabled for all viewers")
+				c.conn.Close()
+				c.conn, c.r = nil, nil
+				return nil, errMuxDraining
+			}
+			return reply, nil
+		}
+		lastErr = err
+		c.conn.Close()
+		c.conn, c.r = nil, nil
+	}
+	return nil, lastErr
+}
+
+// repair pulls one chunk over unicast, exactly as the live client does.
+func (c *controlConn) repair(video, channel int, seq uint32, offset int64, length int) ([]byte, error) {
+	req := &wire.Repair{Video: video, Channel: channel, Seq: seq, Offset: offset, Length: length}
+	reply, err := c.roundTrip(&wire.Control{Kind: wire.KindRepair, Repair: req}, true)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind == wire.KindBusy {
+		return nil, &busyError{retryAfter: time.Duration(reply.RetryAfterNanos)}
+	}
+	if reply.Kind != wire.KindRepairOK || reply.Repair == nil {
+		return nil, fmt.Errorf("viewer: repair rejected: %s", reply.Error)
+	}
+	rp := reply.Repair
+	if rp.Video != video || rp.Channel != channel || rp.Offset != offset || len(rp.Data) != length {
+		return nil, fmt.Errorf("viewer: repair reply mismatch: got %d/%d@%d (%d bytes)", rp.Video, rp.Channel, rp.Offset, len(rp.Data))
+	}
+	return rp.Data, nil
+}
+
+func (c *controlConn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.r = nil, nil
+	}
+}
+
+// joinManager refcounts group memberships across every cohort on one
+// control connection: the first subscriber of a group joins it on the
+// server, the last leaves, and overlapping cohorts in between share the
+// membership — the server-side analogue of the shared receiver.
+type joinManager struct {
+	cc   *controlConn
+	port int
+
+	mu   sync.Mutex
+	refs map[mcast.Group]int
+}
+
+func (jm *joinManager) join(g mcast.Group) error {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.refs[g]++; jm.refs[g] > 1 {
+		return nil
+	}
+	reply, err := jm.cc.roundTrip(&wire.Control{Kind: wire.KindJoin, Video: g.Video, Channel: g.Channel, Port: jm.port}, true)
+	if err != nil {
+		jm.refs[g]--
+		return fmt.Errorf("viewer: waiting for join ack: %w", err)
+	}
+	if reply.Kind != wire.KindJoined {
+		jm.refs[g]--
+		return fmt.Errorf("viewer: join rejected: %s", reply.Error)
+	}
+	return nil
+}
+
+func (jm *joinManager) leave(g mcast.Group) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.refs[g] == 0 {
+		return
+	}
+	if jm.refs[g]--; jm.refs[g] == 0 {
+		delete(jm.refs, g)
+		_, _ = jm.cc.roundTrip(&wire.Control{Kind: wire.KindLeave, Video: g.Video, Channel: g.Channel}, false)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package viewer
+
+// raceEnabled lets alloc-count assertions stand down under the race
+// detector, whose instrumentation allocates; see race_off_test.go.
+const raceEnabled = true
