@@ -5,7 +5,7 @@ GO ?= go
 # machine produced them.
 BENCHMETA = ./scripts/benchmeta.sh
 
-.PHONY: build test vet race chaos fuzz vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress bench-scale
+.PHONY: build test vet race chaos fuzz scale-smoke vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress bench-scale
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ race:
 # vectorized/fallback identity) — under the race detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux' \
+		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux|Nack' \
 		./internal/faults ./internal/client ./internal/server ./internal/mcast ./internal/viewer
 
 # Ten seconds of coverage-guided fuzzing per wire decoder (frame and
@@ -50,10 +50,20 @@ vulncheck:
 		echo "vulncheck: govulncheck not installed; skipping"; \
 	fi
 
+# The cohort-repair smoke gate: a fast faulted capacity sweep that fails
+# unless every session survives 2% loss undegraded AND unicast repair
+# round trips stay under half the per-viewer recovery baseline
+# (drop x chunks/session x viewers) — the NACK plane keeping repair
+# work O(cohorts), asserted on every verify.
+scale-smoke:
+	$(GO) run ./cmd/skychaos -scale -viewers 200 -fault-viewers 200,800 \
+		-fault-drop 0.02 -unit 50ms -procs 2 -assert-cohort-repair \
+		-out /tmp/BENCH_scale_smoke.json
+
 # The PR gate: tier-1 build+test, vet, race-checked concurrency, the
-# chaos suite, fuzzers, vulnerability scan, and the data-path benchmark
-# record.
-verify: build vet test race chaos fuzz vulncheck bench-datapath
+# chaos suite, fuzzers, the cohort-repair smoke sweep, vulnerability
+# scan, and the data-path benchmark record.
+verify: build vet test race chaos fuzz scale-smoke vulncheck bench-datapath
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -77,14 +87,18 @@ bench-overload:
 	$(GO) run ./cmd/skychaos -overload -drops 0.05 -multipliers 1,2,3 -out BENCH_overload.json
 	$(BENCHMETA) bench-overload >> BENCH_overload.json
 
-# Record the audience-capacity curve: the virtual-viewer mux holds
+# Record the audience-capacity curves: the lossless base sweep holds
 # 1k/10k/100k emulated sessions (two emulator processes, real loopback
 # sockets) against one server and records viewers vs {start-latency
-# quantiles, repair load, busy rate, degraded sessions, server CPU}
-# (see EXPERIMENTS.md "Audience capacity").
+# quantiles, repair load, busy rate, degraded sessions, server CPU};
+# the faulted contrast sweep replays 500/2k/8k viewers under 2% drop on
+# its own server and records the cohort repair plane's ledger (NACKs,
+# suppressed windows, multicast heals) next to the unicast round trips
+# it replaced (see EXPERIMENTS.md "Audience capacity").
 bench-scale:
 	$(GO) run ./cmd/skychaos -scale -viewers 1000,10000,100000 -procs 2 \
-		-unit 200ms -out BENCH_scale.json
+		-fault-drop 0.02 -fault-viewers 500,2000,8000 \
+		-unit 200ms -assert-cohort-repair -out BENCH_scale.json
 	$(BENCHMETA) bench-scale >> BENCH_scale.json
 
 # Record the batched egress benchmarks: vectorized vs fallback fan-out

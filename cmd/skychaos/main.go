@@ -75,6 +75,12 @@ func main() {
 		procs      = flag.Int("procs", 2, "emulator processes per -scale point")
 		spread     = flag.Float64("spread", 4, "admission spread in D1 units for the virtual audience")
 		muxWorkers = flag.Int("mux-workers", 0, "repair worker pool per emulator (0 = GOMAXPROCS, capped)")
+		faultDrop  = flag.Float64("fault-drop", 0.02,
+			"drop rate for the faulted contrast sweep in -scale (0 disables it)")
+		faultViewers = flag.String("fault-viewers", "500,2000,8000",
+			"comma-separated audience sizes for the faulted -scale sweep")
+		assertCohort = flag.Bool("assert-cohort-repair", false,
+			"fail -scale unless every faulted sweep ends undegraded with unicast repairs under half the per-viewer recovery baseline")
 	)
 	flag.Parse()
 	if *emulateMode {
@@ -98,8 +104,25 @@ func main() {
 		if scaleOut == "BENCH_overload.json" {
 			scaleOut = "BENCH_scale.json"
 		}
-		if err := scaleSweep(*videos, *channels, *width, *unit, rate, *seed, *viewers,
-			*procs, *muxWorkers, *spread, *noRepair, *verbose, scaleOut); err != nil {
+		counts, err := parseCounts(*viewers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skychaos:", err)
+			os.Exit(2)
+		}
+		// The base sweep measures pure fan-out cost at -drops (lossless by
+		// default); the faulted contrast sweep puts the cohort repair
+		// plane under correlated loss on its own server.
+		sweeps := []sweepSpec{{drop: rate, counts: counts}}
+		if *faultDrop > 0 {
+			fcounts, err := parseCounts(*faultViewers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "skychaos:", err)
+				os.Exit(2)
+			}
+			sweeps = append(sweeps, sweepSpec{drop: *faultDrop, counts: fcounts})
+		}
+		if err := scaleSweep(*videos, *channels, *width, *unit, *seed, sweeps,
+			*procs, *muxWorkers, *spread, *noRepair, *verbose, *assertCohort, scaleOut); err != nil {
 			fmt.Fprintln(os.Stderr, "skychaos:", err)
 			os.Exit(1)
 		}

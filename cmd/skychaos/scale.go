@@ -47,6 +47,13 @@ type scaleRow struct {
 	LostChunks       int64 `json:"lost_chunks"`
 	LateChunks       int64 `json:"late_chunks"`
 	DegradedSessions int   `json:"degraded_sessions"`
+	// The cohort repair plane: NACK control messages sent (one per cohort
+	// aggregation window, not per viewer), windows suppressed because the
+	// gap healed first, and chunks healed by multicast re-sends (summed
+	// over viewers — the audience-side harvest of each re-send).
+	NacksSent        int64 `json:"nacks_sent"`
+	NacksSuppressed  int64 `json:"nack_suppressed"`
+	MulticastRepairs int64 `json:"multicast_repairs"`
 	// BusyRate is BusyReplies / RepairRequests (0 when no requests).
 	BusyRate float64 `json:"busy_rate"`
 	// Datagrams / RecvDropped are shared-receiver deliveries and ring
@@ -60,19 +67,34 @@ type scaleRow struct {
 	ServerCPUSec        float64 `json:"server_cpu_sec"`
 	ServerDatagrams     int64   `json:"server_datagrams"`
 	ServerRepairs       int64   `json:"server_repairs"`
+	ServerNackResends   int64   `json:"server_nack_resends"`
 	ControlSessionsPeak int64   `json:"control_sessions_peak"`
+}
+
+// sweepSpec is one capacity sweep: a drop rate and the audience sizes to
+// walk through it. The lossless base sweep measures pure fan-out cost;
+// a faulted sweep contrasts it with the repair plane under correlated
+// loss, where the cohort NACK path must keep repair work O(cohorts).
+type sweepSpec struct {
+	drop   float64
+	counts []int
+}
+
+// scaleSweepResult is one sweep's slice of the report.
+type scaleSweepResult struct {
+	DropRate float64    `json:"drop_rate"`
+	Rows     []scaleRow `json:"rows"`
 }
 
 // scaleReport is the BENCH_scale.json document.
 type scaleReport struct {
-	Videos      int        `json:"videos"`
-	Channels    int        `json:"channels"`
-	Width       int64      `json:"width"`
-	UnitNanos   int64      `json:"unit_nanos"`
-	DropRate    float64    `json:"drop_rate"`
-	Seed        uint64     `json:"seed"`
-	SpreadUnits float64    `json:"spread_units"`
-	Rows        []scaleRow `json:"rows"`
+	Videos      int                `json:"videos"`
+	Channels    int                `json:"channels"`
+	Width       int64              `json:"width"`
+	UnitNanos   int64              `json:"unit_nanos"`
+	Seed        uint64             `json:"seed"`
+	SpreadUnits float64            `json:"spread_units"`
+	Sweeps      []scaleSweepResult `json:"sweeps"`
 }
 
 // emulate is the child-process mode: run one virtual-viewer mux against
@@ -82,14 +104,18 @@ type scaleReport struct {
 func emulate(serverAddr string, viewers, videos int, spread float64, seed uint64,
 	workers int, noRepair, verbose bool) error {
 	cfg := viewer.MuxConfig{
-		ServerAddr:    serverAddr,
-		Viewers:       viewers,
-		Videos:        videos,
-		SpreadUnits:   spread,
-		Seed:          seed,
-		Workers:       workers,
-		JoinLeadFrac:  0.9,
-		SlackFrac:     1.0,
+		ServerAddr:   serverAddr,
+		Viewers:      viewers,
+		Videos:       videos,
+		SpreadUnits:  spread,
+		Seed:         seed,
+		Workers:      workers,
+		JoinLeadFrac: 0.9,
+		// Two units of slack (matching the chaos-suite clients): the NACK
+		// ladder only engages on chunks with a multicast round's worth of
+		// deadline headroom, so the one-unit budget would silently disable
+		// the cohort repair plane this harness is meant to measure.
+		SlackFrac:     2.0,
 		RepairLagFrac: 0.3,
 		DisableRepair: noRepair,
 	}
@@ -105,28 +131,38 @@ func emulate(serverAddr string, viewers, videos int, spread float64, seed uint64
 	return runErr
 }
 
-// scaleSweep is the parent mode: one in-process server, then for each
-// audience size N it forks -emulate children (os.Executable re-exec) that
-// hold N virtual viewers between them over real loopback sockets, and
-// records the viewers-vs-{start latency, repair load, busy rate,
-// degradation, server CPU} capacity curve.
-func scaleSweep(videos, channels int, width int64, unit time.Duration,
-	drop float64, seed uint64, viewersList string, procs, muxWorkers int,
-	spread float64, noRepair, verbose bool, out string) error {
+// parseCounts splits "500,2000,8000" into audience sizes.
+func parseCounts(s string) ([]int, error) {
 	var counts []int
-	for _, f := range strings.Split(viewersList, ",") {
+	for _, f := range strings.Split(s, ",") {
 		if f = strings.TrimSpace(f); f == "" {
 			continue
 		}
 		n, err := strconv.Atoi(f)
 		if err != nil || n <= 0 {
-			return fmt.Errorf("bad viewer count %q", f)
+			return nil, fmt.Errorf("bad viewer count %q", f)
 		}
 		counts = append(counts, n)
 	}
 	if len(counts) == 0 {
-		return fmt.Errorf("no viewer counts in %q", viewersList)
+		return nil, fmt.Errorf("no viewer counts in %q", s)
 	}
+	return counts, nil
+}
+
+// scaleSweep is the parent mode: for each sweep (a drop rate and its
+// audience sizes) it starts a fresh in-process server, then for each
+// audience size N forks -emulate children (os.Executable re-exec) that
+// hold N virtual viewers between them over real loopback sockets, and
+// records the viewers-vs-{start latency, repair load, busy rate,
+// degradation, server CPU} capacity curve. Faulted sweeps additionally
+// record the cohort repair plane's ledger: NACKs, suppressed windows,
+// and multicast re-send heals. With assertCohort set, every faulted
+// sweep must come back undegraded with sublinear unicast-repair growth —
+// the O(cohorts)-not-O(viewers) property, enforced.
+func scaleSweep(videos, channels int, width int64, unit time.Duration,
+	seed uint64, sweeps []sweepSpec, procs, muxWorkers int,
+	spread float64, noRepair, verbose, assertCohort bool, out string) error {
 	if procs <= 0 {
 		procs = 1
 	}
@@ -140,48 +176,23 @@ func scaleSweep(videos, channels int, width int64, unit time.Duration,
 	if err != nil {
 		return err
 	}
-	scfg := server.Config{
-		Scheme:       sch,
-		Unit:         unit,
-		BytesPerUnit: 4096,
-		ChunkBytes:   1024,
-	}
-	if drop > 0 {
-		scfg.Faults = &faults.Plan{Seed: seed, Drop: drop}
-	}
-	if verbose {
-		scfg.Logf = log.Printf
-	}
-	srv, err := server.New(scfg)
-	if err != nil {
-		return err
-	}
-	if err := srv.Start(); err != nil {
-		return err
-	}
-	defer srv.Close()
-	statusURL, err := srv.ServeStatus()
-	if err != nil {
-		return err
-	}
-
 	report := scaleReport{
 		Videos: videos, Channels: channels, Width: width,
-		UnitNanos: int64(unit), DropRate: drop, Seed: seed, SpreadUnits: spread,
+		UnitNanos: int64(unit), Seed: seed, SpreadUnits: spread,
 	}
-	fmt.Printf("%-9s %5s %7s %9s %9s %9s %7s %8s %9s %9s %8s %9s\n",
-		"viewers", "procs", "cohorts", "p50-wait", "p99-wait", "repairs", "busy%", "degraded",
-		"datagrams", "srv-cpu-s", "srv-dgs", "sessions")
-	for _, n := range counts {
-		row, err := scalePoint(srv, statusURL, n, procs, videos, spread, seed, muxWorkers, noRepair, verbose)
+	for _, sw := range sweeps {
+		res, err := runScaleSweep(sch, unit, seed, sw, procs, videos, muxWorkers, spread, noRepair, verbose)
 		if err != nil {
-			return fmt.Errorf("viewers %d: %w", n, err)
+			return err
 		}
-		fmt.Printf("%-9d %5d %7d %9.3f %9.3f %9d %7.2f %8d %9d %9.2f %8d %9d\n",
-			row.Viewers, row.Procs, row.Cohorts, row.P50WaitUnits, row.P99WaitUnits,
-			row.RepairRequests, 100*row.BusyRate, row.DegradedSessions,
-			row.Datagrams, row.ServerCPUSec, row.ServerDatagrams, row.ControlSessionsPeak)
-		report.Rows = append(report.Rows, *row)
+		report.Sweeps = append(report.Sweeps, *res)
+	}
+	if assertCohort {
+		chunksPerViewer := int(sch.TotalUnits()) * 4096 / 1024
+		if err := assertCohortRepair(&report, chunksPerViewer); err != nil {
+			return err
+		}
+		fmt.Println("skychaos: cohort-repair assertion held on every faulted sweep")
 	}
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
@@ -191,6 +202,90 @@ func scaleSweep(videos, channels int, width int64, unit time.Duration,
 		return err
 	}
 	fmt.Printf("skychaos: wrote %s\n", out)
+	return nil
+}
+
+// runScaleSweep runs one sweep against its own server, so each drop rate
+// gets a clean fault plan and cost ledger.
+func runScaleSweep(sch *core.Scheme, unit time.Duration, seed uint64, sw sweepSpec,
+	procs, videos, muxWorkers int, spread float64, noRepair, verbose bool) (*scaleSweepResult, error) {
+	scfg := server.Config{
+		Scheme:       sch,
+		Unit:         unit,
+		BytesPerUnit: 4096,
+		ChunkBytes:   1024,
+	}
+	if sw.drop > 0 {
+		scfg.Faults = &faults.Plan{Seed: seed, Drop: sw.drop}
+	}
+	if verbose {
+		scfg.Logf = log.Printf
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	statusURL, err := srv.ServeStatus()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &scaleSweepResult{DropRate: sw.drop}
+	fmt.Printf("sweep: drop=%v\n", sw.drop)
+	fmt.Printf("%-9s %5s %7s %9s %9s %9s %7s %8s %7s %8s %9s %9s %8s %9s\n",
+		"viewers", "procs", "cohorts", "p50-wait", "p99-wait", "repairs", "busy%", "degraded",
+		"nacks", "mc-heals", "datagrams", "srv-cpu-s", "srv-dgs", "sessions")
+	for _, n := range sw.counts {
+		row, err := scalePoint(srv, statusURL, n, procs, videos, spread, seed, muxWorkers, noRepair, verbose)
+		if err != nil {
+			return nil, fmt.Errorf("drop %v viewers %d: %w", sw.drop, n, err)
+		}
+		fmt.Printf("%-9d %5d %7d %9.3f %9.3f %9d %7.2f %8d %7d %8d %9d %9.2f %8d %9d\n",
+			row.Viewers, row.Procs, row.Cohorts, row.P50WaitUnits, row.P99WaitUnits,
+			row.RepairRequests, 100*row.BusyRate, row.DegradedSessions,
+			row.NacksSent, row.MulticastRepairs,
+			row.Datagrams, row.ServerCPUSec, row.ServerDatagrams, row.ControlSessionsPeak)
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// assertCohortRepair enforces the repair plane's scaling contract on
+// every faulted sweep: no session may degrade, and unicast repair round
+// trips must stay well under the per-viewer recovery baseline of
+// drop x chunks/session x viewers — what O(viewers) recovery would
+// spend (PR 6 measured exactly that: ~1 round trip per viewer at 2%
+// drop). Half the baseline is the failure line: generous enough that
+// deadline-forced unicast fallback on a stalled CI box (a legitimate
+// ladder escalation) passes, while a ladder that stopped aggregating —
+// every injured viewer pulling its own chunk — lands at ~1x baseline
+// and fails every row.
+func assertCohortRepair(report *scaleReport, chunksPerViewer int) error {
+	asserted := false
+	for _, sw := range report.Sweeps {
+		if sw.DropRate == 0 || len(sw.Rows) == 0 {
+			continue
+		}
+		asserted = true
+		for _, row := range sw.Rows {
+			if row.DegradedSessions > 0 {
+				return fmt.Errorf("cohort-repair assertion: drop %v, %d viewers: %d degraded sessions",
+					sw.DropRate, row.Viewers, row.DegradedSessions)
+			}
+			baseline := sw.DropRate * float64(chunksPerViewer) * float64(row.Viewers)
+			if float64(row.RepairRequests) >= baseline/2 {
+				return fmt.Errorf("cohort-repair assertion: drop %v, %d viewers: %d unicast repairs vs a per-viewer baseline of %.0f — repair work is scaling with viewers, not cohorts",
+					sw.DropRate, row.Viewers, row.RepairRequests, baseline)
+			}
+		}
+	}
+	if !asserted {
+		return fmt.Errorf("cohort-repair assertion: no faulted sweep (drop_rate > 0) to assert on")
+	}
 	return nil
 }
 
@@ -208,6 +303,7 @@ func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
 	cpu0 := cpuSeconds()
 	dg0 := srv.Hub().Sent()
 	rp0 := srv.RepairsServed()
+	nr0 := srv.NackResends() + srv.StormResends()
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -271,6 +367,9 @@ func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
 		row.LostChunks += res.LostChunks
 		row.LateChunks += res.LateChunks
 		row.DegradedSessions += res.Degraded
+		row.NacksSent += res.NacksSent
+		row.NacksSuppressed += res.NacksSuppressed
+		row.MulticastRepairs += res.MulticastRepairs
 		row.Datagrams += res.Datagrams
 		row.RecvDropped += res.RecvDropped
 		hists = append(hists, res.WaitHist)
@@ -283,6 +382,7 @@ func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
 	}
 	row.ServerDatagrams = srv.Hub().Sent() - dg0
 	row.ServerRepairs = srv.RepairsServed() - rp0
+	row.ServerNackResends = srv.NackResends() + srv.StormResends() - nr0
 
 	resp, err := http.Get(statusURL + "/status")
 	if err != nil {

@@ -75,6 +75,12 @@ type Config struct {
 	// never requested from the server and become LostChunks when their
 	// playback deadline passes.
 	DisableRepair bool
+	// DisableNack turns off the multicast-first NACK ladder: gaps go
+	// straight to unicast KindRepair round trips. The ladder is on by
+	// default whenever the server advertises it (Welcome.NackRepair), so
+	// a burst of losses costs one aggregated gap-bitmap NACK and heals
+	// off one multicast re-send shared by the whole injured audience.
+	DisableNack bool
 	// AllowDegraded lets a session complete, with losses and jitter
 	// counted in Stats, instead of failing when chunks could not be
 	// recovered before their playback deadline. Content-verification
@@ -132,6 +138,13 @@ type Stats struct {
 	RepairedChunks int64
 	// RepairRequests counts REPAIR round trips issued, retries included.
 	RepairRequests int64
+	// NacksSent counts gap-bitmap NACK round trips issued (one may cover
+	// a burst of losses); NacksSuppressed aggregation windows that closed
+	// with nothing left to report; MulticastRepairs chunks healed by a
+	// NACK-triggered multicast re-send rather than a unicast pull.
+	NacksSent        int64
+	NacksSuppressed  int64
+	MulticastRepairs int64
 	// BusyReplies counts repair requests the server pushed back with Busy
 	// (admission control or storm suppression).
 	BusyReplies int64
@@ -234,6 +247,7 @@ type session struct {
 	// Counters shared by the two loader goroutines.
 	downloaded, bytes, byteErrors, lateChunks, dupChunks, maxBuffer atomic.Int64
 	lost, repaired, repairReqs, reconnects, busyReplies             atomic.Int64
+	nacks, nackSuppressed, nackRepaired                             atomic.Int64
 
 	// serverBye latches a server-initiated bye (graceful drain): no
 	// further repairs are attempted; pending chunks ride the broadcast.
@@ -428,6 +442,31 @@ func (s *session) repairChunk(channel int, seq uint32, offset int64, length int)
 	return rp.Data, nil
 }
 
+// nackChunks reports a burst of losses as one gap-bitmap NACK and returns
+// a predicate over the chunks the server accepted for multicast re-send
+// (the rest fall back to unicast). A transport or protocol failure
+// returns an error; the caller escalates every chunk.
+func (s *session) nackChunks(channel int, seq uint32, chunks []int) (func(idx int) bool, error) {
+	s.nacks.Add(1)
+	req := wire.NackFromChunks(s.cfg.Video, channel, seq, chunks)
+	reply, err := s.roundTrip(&wire.Control{Kind: wire.KindNack, Nack: req}, true)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind == wire.KindBusy {
+		s.busyReplies.Add(1)
+		return nil, &errBusy{retryAfter: time.Duration(reply.RetryAfterNanos)}
+	}
+	if reply.Kind != wire.KindNackOK {
+		return nil, fmt.Errorf("nack rejected: %s", reply.Error)
+	}
+	acc := reply.Nack
+	if acc == nil {
+		return func(int) bool { return false }, nil
+	}
+	return acc.Has, nil
+}
+
 func (s *session) run() (*Stats, error) {
 	groups := series.Groups(s.w.SizeUnits)
 
@@ -472,18 +511,21 @@ func (s *session) run() (*Stats, error) {
 	_, _ = s.roundTrip(&wire.Control{Kind: wire.KindBye}, false)
 
 	stats := &Stats{
-		WaitUnits:       waitUnits,
-		Bytes:           s.bytes.Load(),
-		ByteErrors:      s.byteErrors.Load(),
-		LateChunks:      s.lateChunks.Load(),
-		DuplicateChunks: s.dupChunks.Load(),
-		LostChunks:      s.lost.Load(),
-		RepairedChunks:  s.repaired.Load(),
-		RepairRequests:  s.repairReqs.Load(),
-		BusyReplies:     s.busyReplies.Load(),
-		Reconnects:      s.reconnects.Load(),
-		MaxBufferBytes:  s.maxBuffer.Load(),
-		Groups:          len(groups),
+		WaitUnits:        waitUnits,
+		Bytes:            s.bytes.Load(),
+		ByteErrors:       s.byteErrors.Load(),
+		LateChunks:       s.lateChunks.Load(),
+		DuplicateChunks:  s.dupChunks.Load(),
+		LostChunks:       s.lost.Load(),
+		RepairedChunks:   s.repaired.Load(),
+		RepairRequests:   s.repairReqs.Load(),
+		NacksSent:        s.nacks.Load(),
+		NacksSuppressed:  s.nackSuppressed.Load(),
+		MulticastRepairs: s.nackRepaired.Load(),
+		BusyReplies:      s.busyReplies.Load(),
+		Reconnects:       s.reconnects.Load(),
+		MaxBufferBytes:   s.maxBuffer.Load(),
+		Groups:           len(groups),
 	}
 	if stats.ByteErrors > 0 {
 		return stats, fmt.Errorf("client: %d byte verification errors", stats.ByteErrors)
@@ -623,6 +665,7 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 
 		DisableRepair:  s.cfg.DisableRepair,
 		RepairsEnabled: func() bool { return !s.serverBye.Load() },
+		NackEnabled:    s.w.NackRepair && !s.cfg.DisableNack,
 		Jitter:         s.jitterIn,
 		OnLost: func(idx, attempts int) {
 			s.tracef("chunk-lost", "ch %d seq %d chunk %d lost (%d repair attempts)", channel, wantSeq, idx, attempts)
@@ -706,6 +749,20 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 			}
 			continue
 		}
+		if act.Kind == viewer.ActNack {
+			// Multicast-first recovery: one aggregated gap bitmap for the
+			// burst; accepted chunks heal off the broadcast group, refused
+			// ones escalate to unicast.
+			s.tracef("nack", "ch %d seq %d: %d chunks", channel, wantSeq, len(act.Chunks))
+			accepted, err := s.nackChunks(channel, wantSeq, act.Chunks)
+			now = time.Now()
+			if err != nil {
+				s.tracef("nack-fail", "ch %d seq %d: %v", channel, wantSeq, err)
+				accepted = nil
+			}
+			m.NackResult(act.Chunks, accepted, now)
+			continue
+		}
 
 		// Block on the broadcast until the next recovery deadline (or the
 		// successor's join lead, whichever opens sooner).
@@ -769,6 +826,8 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 	s.dupChunks.Add(st.Duplicates)
 	s.lost.Add(st.Lost)
 	s.repaired.Add(st.Repaired)
+	s.nackSuppressed.Add(st.NacksSuppressed)
+	s.nackRepaired.Add(st.NackRepaired)
 	return nil
 }
 

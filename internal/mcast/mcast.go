@@ -91,6 +91,10 @@ type Hub struct {
 	batches      metrics.PaddedCounter
 	batchedBytes metrics.PaddedCounter
 	syscalls     metrics.PaddedCounter
+	// repairSent counts the subset of sent that were repair re-sends
+	// (storm- or NACK-triggered), so ledgers can tell repair traffic
+	// from schedule traffic sharing the same batch path.
+	repairSent metrics.PaddedCounter
 
 	// failing tracks consecutive send failures per (group, member) edge,
 	// under mu; a member reaching EvictAfterFailures is removed from its
@@ -337,6 +341,10 @@ func (h *Hub) Vectorized() bool { return h.vectorized.Load() }
 // Evictions returns how many members have been removed after
 // EvictAfterFailures consecutive send failures.
 func (h *Hub) Evictions() int64 { return h.evicted.Value() }
+
+// RepairDatagrams returns how many of the sent datagrams were repair
+// re-sends dispatched via SendRepairBatch.
+func (h *Hub) RepairDatagrams() int64 { return h.repairSent.Value() }
 
 // Close shuts the sending socket; subsequent Joins and Sends fail.
 func (h *Hub) Close() error {

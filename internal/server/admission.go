@@ -99,6 +99,31 @@ func (t *stormTable) note(k stormKey, connID int64, now time.Time) stormVerdict 
 	return stormSuppress
 }
 
+// noteNack records a NACK for chunk k and reports whether the server
+// should multicast a re-send now. Unlike note, it needs no distinct-client
+// threshold: a NACK is already the aggregated voice of a whole cohort, so
+// the first one in a window triggers the re-send and every later one for
+// the same chunk is absorbed — the requester just keeps re-listening. A
+// window opened by unicast requests counts too: if its re-send already
+// happened, the NACK rides it.
+func (t *stormTable) noteNack(k stormKey, now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.states[k]
+	if st == nil || now.Sub(st.windowStart) > t.window {
+		if len(t.states) >= stormTableCap {
+			t.sweepLocked(now)
+		}
+		st = &stormState{windowStart: now, conns: make(map[int64]struct{})}
+		t.states[k] = st
+	}
+	if st.resent {
+		return false
+	}
+	st.resent = true
+	return true
+}
+
 // sweepLocked drops expired windows. Callers hold mu.
 func (t *stormTable) sweepLocked(now time.Time) {
 	for k, st := range t.states {
@@ -118,6 +143,10 @@ func (t *stormTable) sweepLocked(now time.Time) {
 //   - It patches a private copy of the frame: resident cache frames are
 //     patch-owned by their channel pacer, which may be mid-broadcast on
 //     another goroutine.
+//
+// The dispatch goes through the hub's repair batch path, so storm
+// re-sends share the sendmmsg/batching ledger with scheduled egress and
+// show up in the repair-datagram ledger.
 func (s *Server) stormResend(video, channel, chunk int, seq uint32, scratch *frameScratch) {
 	cc := s.cache.channel(video, channel)
 	frame := append([]byte(nil), s.cache.acquire(cc, chunk, scratch)...)
@@ -126,8 +155,33 @@ func (s *Server) stormResend(video, channel, chunk int, seq uint32, scratch *fra
 		return
 	}
 	g := mcast.Group{Video: video, Channel: channel}
-	if _, err := s.hub.Send(g, frame); err != nil {
+	if _, err := s.hub.SendRepairBatch([]mcast.BatchEntry{{Group: g, Frame: frame}}); err != nil {
 		s.cfg.Logf("server: storm re-send %v: %v", g, err)
 	}
 	s.stormResends.Inc()
+}
+
+// nackResend answers one NACK's accepted chunks with a batched multicast
+// re-send on the channel's broadcast group: one vectorized dispatch heals
+// the whole injured audience. It shares stormResend's two asymmetries
+// (injector bypass, private frame copies) for the same reasons.
+func (s *Server) nackResend(video, channel int, seq uint32, chunks []int, scratch *frameScratch) {
+	cc := s.cache.channel(video, channel)
+	g := mcast.Group{Video: video, Channel: channel}
+	entries := make([]mcast.BatchEntry, 0, len(chunks))
+	for _, chunk := range chunks {
+		frame := append([]byte(nil), s.cache.acquire(cc, chunk, scratch)...)
+		if err := wire.PatchSeq(frame, seq); err != nil {
+			s.cfg.Logf("server: nack re-send video%d/ch%d chunk %d: %v", video, channel, chunk, err)
+			continue
+		}
+		entries = append(entries, mcast.BatchEntry{Group: g, Frame: frame})
+	}
+	if len(entries) == 0 {
+		return
+	}
+	if _, err := s.hub.SendRepairBatch(entries); err != nil {
+		s.cfg.Logf("server: nack re-send %v: %v", g, err)
+	}
+	s.nackResends.Add(int64(len(entries)))
 }

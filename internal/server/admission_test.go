@@ -1,0 +1,112 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStormTableSweepAtCap proves a long-running server's storm table
+// cannot grow without bound: hitting stormTableCap sweeps expired windows
+// on the next insert (for both the unicast note and the NACK path), live
+// windows survive the sweep, and verdicts stay correct across it — a
+// swept-and-reopened window starts counting distinct clients from zero.
+func TestStormTableSweepAtCap(t *testing.T) {
+	tbl := newStormTable(3, time.Second)
+	base := time.Unix(1000, 0)
+
+	// Fill to the cap with distinct chunks, one client each: all pass.
+	for i := 0; i < stormTableCap; i++ {
+		if v := tbl.note(stormKey{chunk: i}, 1, base); v != stormPass {
+			t.Fatalf("fill %d: verdict %v, want stormPass", i, v)
+		}
+	}
+	if len(tbl.states) != stormTableCap {
+		t.Fatalf("after fill: %d states, want %d", len(tbl.states), stormTableCap)
+	}
+
+	// At the cap with every window still live, the sweep reclaims nothing
+	// — the table grows past the cap transiently rather than dropping an
+	// active window, and the new request still gets a correct verdict.
+	if v := tbl.note(stormKey{chunk: stormTableCap}, 1, base.Add(500*time.Millisecond)); v != stormPass {
+		t.Fatalf("insert at cap: verdict %v, want stormPass", v)
+	}
+	if len(tbl.states) != stormTableCap+1 {
+		t.Fatalf("live windows swept: %d states, want %d", len(tbl.states), stormTableCap+1)
+	}
+
+	// Build a storm two-thirds of the way on chunk 0 before everything
+	// expires; the sweep must not leak its distinct-client count into the
+	// window that later replaces it.
+	tbl.note(stormKey{chunk: 0}, 2, base.Add(500*time.Millisecond))
+
+	// Past the window, the next insert sweeps every expired entry and
+	// keeps only itself.
+	later := base.Add(2 * time.Second)
+	if v := tbl.note(stormKey{chunk: -1}, 1, later); v != stormPass {
+		t.Fatalf("post-expiry insert: verdict %v, want stormPass", v)
+	}
+	if len(tbl.states) != 1 {
+		t.Fatalf("after sweep: %d states, want 1", len(tbl.states))
+	}
+
+	// The swept chunk-0 storm restarts from zero: three distinct clients
+	// again walk pass, pass, resend.
+	k := stormKey{chunk: 0}
+	if v := tbl.note(k, 10, later); v != stormPass {
+		t.Fatalf("reopened window client 1: %v, want stormPass", v)
+	}
+	if v := tbl.note(k, 11, later); v != stormPass {
+		t.Fatalf("reopened window client 2: %v, want stormPass", v)
+	}
+	if v := tbl.note(k, 12, later); v != stormResend {
+		t.Fatalf("reopened window client 3: %v, want stormResend", v)
+	}
+
+	// The NACK path sweeps too: refill to the cap, expire it all, and the
+	// next noteNack reclaims the table while answering correctly.
+	for i := 0; i < stormTableCap; i++ {
+		tbl.note(stormKey{video: 1, chunk: i}, 1, later)
+	}
+	if len(tbl.states) < stormTableCap {
+		t.Fatalf("refill: %d states, want >= %d", len(tbl.states), stormTableCap)
+	}
+	final := later.Add(2 * time.Second)
+	nk := stormKey{video: 2, chunk: 7}
+	if !tbl.noteNack(nk, final) {
+		t.Fatal("first NACK in a fresh window must trigger the re-send")
+	}
+	if len(tbl.states) != 1 {
+		t.Fatalf("after noteNack sweep: %d states, want 1", len(tbl.states))
+	}
+	if tbl.noteNack(nk, final.Add(100*time.Millisecond)) {
+		t.Fatal("second NACK in the window must be absorbed")
+	}
+	// A unicast storm on the same chunk rides the NACK's re-send: the
+	// threshold-crossing client is suppressed, not answered with another
+	// multicast.
+	tbl.note(nk, 20, final.Add(200*time.Millisecond))
+	tbl.note(nk, 21, final.Add(200*time.Millisecond))
+	if v := tbl.note(nk, 22, final.Add(200*time.Millisecond)); v != stormSuppress {
+		t.Fatalf("storm after NACK re-send: %v, want stormSuppress", v)
+	}
+}
+
+// TestStormTableWindowExpiryResets: an expired window is replaced in
+// place even far below the cap, so stale distinct-client counts never
+// trigger a re-send across quiet gaps.
+func TestStormTableWindowExpiryResets(t *testing.T) {
+	tbl := newStormTable(2, time.Second)
+	base := time.Unix(2000, 0)
+	k := stormKey{video: 3, channel: 1, chunk: 4}
+	if v := tbl.note(k, 1, base); v != stormPass {
+		t.Fatalf("client 1: %v, want stormPass", v)
+	}
+	// 1.5s later the window is stale: a second distinct client opens a
+	// fresh one instead of crossing the threshold.
+	if v := tbl.note(k, 2, base.Add(1500*time.Millisecond)); v != stormPass {
+		t.Fatalf("client 2 after expiry: %v, want stormPass (fresh window)", v)
+	}
+	if v := tbl.note(k, 3, base.Add(1600*time.Millisecond)); v != stormResend {
+		t.Fatalf("client 3 in fresh window: %v, want stormResend", v)
+	}
+}

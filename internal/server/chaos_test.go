@@ -49,6 +49,9 @@ func chaosClient(addr string, video int, tb *trace.Buffer) client.Config {
 	cfg.SlackFrac = 2.0
 	cfg.RepairLagFrac = 0.3
 	cfg.Trace = tb
+	// These suites prove the unicast repair plane specifically; the
+	// NACK ladder has its own coverage (nack_test.go, live_test.go).
+	cfg.DisableNack = true
 	return cfg
 }
 

@@ -172,8 +172,9 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 
 	// repairBudget is the repair plane's shared token bucket (nil when
-	// RepairBandwidth is 0); storms is the coalescing table (nil when
-	// StormThreshold is 0).
+	// RepairBandwidth is 0); storms is the coalescing table — always
+	// present, because NACK re-send dedup needs it even when the
+	// unicast storm threshold (StormThreshold > 0) is off.
 	repairBudget *metrics.TokenBucket
 	storms       *stormTable
 
@@ -193,6 +194,12 @@ type Server struct {
 	busyReplies  metrics.PaddedCounter
 	stormResends metrics.PaddedCounter
 	suppressed   metrics.PaddedCounter
+	// nacksServed counts gap-bitmap NACK messages answered; nackResends
+	// the multicast re-sends they triggered; nackSuppressed the NACKed
+	// chunks absorbed because a re-send was already in flight.
+	nacksServed    metrics.PaddedCounter
+	nackResends    metrics.PaddedCounter
+	nackSuppressed metrics.PaddedCounter
 
 	// pacerRestarts counts supervisor restarts after pacer (or egress
 	// shard) panics; driftEvents broadcasts that missed their schedule by
@@ -252,9 +259,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RepairBandwidth > 0 {
 		s.repairBudget = metrics.NewTokenBucket(float64(cfg.RepairBandwidth), float64(cfg.RepairBurstBytes))
 	}
-	if cfg.StormThreshold > 0 {
-		s.storms = newStormTable(cfg.StormThreshold, cfg.StormWindow)
-	}
+	s.storms = newStormTable(cfg.StormThreshold, cfg.StormWindow)
 	return s, nil
 }
 
@@ -331,6 +336,14 @@ func (s *Server) BusyReplies() int64 { return s.busyReplies.Value() }
 // a multicast re-send; SuppressedRepairs the unicast requests absorbed.
 func (s *Server) StormResends() int64      { return s.stormResends.Value() }
 func (s *Server) SuppressedRepairs() int64 { return s.suppressed.Value() }
+
+// NacksServed returns how many gap-bitmap NACK messages were answered;
+// NackResends how many multicast re-sends those NACKs triggered;
+// NackSuppressed how many NACKed chunks were absorbed because a re-send
+// within the storm window was already in flight.
+func (s *Server) NacksServed() int64    { return s.nacksServed.Value() }
+func (s *Server) NackResends() int64    { return s.nackResends.Value() }
+func (s *Server) NackSuppressed() int64 { return s.nackSuppressed.Value() }
 
 // RepairTokens returns the repair token bucket's current level in bytes,
 // or -1 when the budget is unlimited.
@@ -606,6 +619,7 @@ func (s *Server) serveControl(conn net.Conn) {
 				SizeUnits:        append([]int64(nil), sch.Sizes()...),
 				BytesPerUnit:     s.cfg.BytesPerUnit,
 				ChunkBytes:       s.cfg.ChunkBytes,
+				NackRepair:       true,
 			}
 			if err := write(&wire.Control{Kind: wire.KindWelcome, Welcome: w}); err != nil {
 				return
@@ -659,7 +673,7 @@ func (s *Server) serveControl(conn net.Conn) {
 			// chunk are answered once, by multicast, on the chunk's own
 			// group. Only chunk-aligned full-chunk requests (the shape a
 			// lost datagram produces) participate.
-			if cb := int64(s.cfg.ChunkBytes); s.storms != nil && rp.Length == s.cfg.ChunkBytes && rp.Offset%cb == 0 {
+			if cb := int64(s.cfg.ChunkBytes); s.cfg.StormThreshold > 0 && rp.Length == s.cfg.ChunkBytes && rp.Offset%cb == 0 {
 				k := stormKey{video: rp.Video, channel: rp.Channel, chunk: int(rp.Offset / cb)}
 				switch s.storms.note(k, connID, now) {
 				case stormResend:
@@ -695,6 +709,69 @@ func (s *Server) serveControl(conn net.Conn) {
 			if err := write(&wire.Control{Kind: wire.KindRepairOK, Repair: &reply}); err != nil {
 				return
 			}
+		case wire.KindNack:
+			// Cohort-aware repair: one gap bitmap reports a burst of
+			// losses, and the accepted chunks are answered with a batched
+			// multicast re-send on the channel's own broadcast group —
+			// one dispatch heals every injured member. ReadControl has
+			// already validated the bitmap shape.
+			nk := m.Nack
+			if nk.Video < 0 || nk.Video >= sch.Config().Videos || nk.Channel < 1 || nk.Channel > sch.K() {
+				fail("nack: no channel %d/%d", nk.Video, nk.Channel)
+				continue
+			}
+			nchunks := (s.fragmentBytes(nk.Channel) + s.cfg.ChunkBytes - 1) / s.cfg.ChunkBytes
+			chunks := nk.Chunks()
+			if last := chunks[len(chunks)-1]; last >= nchunks {
+				fail("nack: chunk %d outside %d-chunk fragment", last, nchunks)
+				continue
+			}
+			now := time.Now()
+			// One NACK costs one per-connection token regardless of how
+			// many chunks it reports: aggregation must not be taxed.
+			if connLimit != nil {
+				if ok, retry := connLimit.Take(now, 1); !ok {
+					if err := busy(retry); err != nil {
+						return
+					}
+					continue
+				}
+			}
+			s.nacksServed.Inc()
+			accepted := &wire.Nack{Video: nk.Video, Channel: nk.Channel, Seq: nk.Seq,
+				BaseChunk: nk.BaseChunk, Bitmap: make([]byte, len(nk.Bitmap))}
+			resend := chunks[:0]
+			for _, chunk := range chunks {
+				k := stormKey{video: nk.Video, channel: nk.Channel, chunk: chunk}
+				if !s.storms.noteNack(k, now) {
+					// A re-send within the window is already in flight;
+					// the client just keeps re-listening.
+					s.nackSuppressed.Inc()
+					accepted.Set(chunk)
+					continue
+				}
+				// The re-send spends the shared repair byte budget like
+				// any repair; a refused chunk stays unmarked and the
+				// client falls back to unicast (which is budget-gated
+				// too, so an over-budget plane degrades, not amplifies).
+				clen := s.cfg.ChunkBytes
+				if rem := s.fragmentBytes(nk.Channel) - chunk*s.cfg.ChunkBytes; rem < clen {
+					clen = rem
+				}
+				if s.repairBudget != nil {
+					if ok, _ := s.repairBudget.Take(now, float64(clen)); !ok {
+						continue
+					}
+				}
+				accepted.Set(chunk)
+				resend = append(resend, chunk)
+			}
+			if len(resend) > 0 {
+				s.nackResend(nk.Video, nk.Channel, nk.Seq, resend, scratch)
+			}
+			if err := write(&wire.Control{Kind: wire.KindNackOK, Nack: accepted}); err != nil {
+				return
+			}
 		case wire.KindStats:
 			st := &wire.Stats{
 				UptimeNanos:       int64(time.Since(s.epoch)),
@@ -706,6 +783,10 @@ func (s *Server) serveControl(conn net.Conn) {
 				BusyReplies:       s.busyReplies.Value(),
 				StormResends:      s.stormResends.Value(),
 				SuppressedRepairs: s.suppressed.Value(),
+				NacksServed:       s.nacksServed.Value(),
+				NackResends:       s.nackResends.Value(),
+				NackSuppressed:    s.nackSuppressed.Value(),
+				RepairDatagrams:   s.hub.RepairDatagrams(),
 				RepairTokens:      s.RepairTokens(),
 				PacerRestarts:     s.pacerRestarts.Value(),
 				PacerDriftEvents:  s.driftEvents.Value(),

@@ -47,6 +47,15 @@ type StatusSnapshot struct {
 	BusyReplies       int64 `json:"busyReplies"`
 	StormResends      int64 `json:"stormResends"`
 	SuppressedRepairs int64 `json:"suppressedRepairs"`
+	// NacksServed counts gap-bitmap NACK messages answered; NackResends
+	// the multicast re-sends they triggered; NackSuppressed the NACKed
+	// chunks absorbed by a re-send already in flight; RepairDatagrams
+	// the multicast repair re-sends (storm- and NACK-triggered) on the
+	// wire, so repair traffic is distinguishable from schedule traffic.
+	NacksServed     int64 `json:"nacksServed"`
+	NackResends     int64 `json:"nackResends"`
+	NackSuppressed  int64 `json:"nackSuppressed"`
+	RepairDatagrams int64 `json:"repairDatagrams"`
 	// RepairTokens is the repair budget's current level in bytes, -1 when
 	// unlimited.
 	RepairTokens int64 `json:"repairTokens"`
@@ -100,6 +109,10 @@ func (s *Server) snapshot() StatusSnapshot {
 		BusyReplies:         s.busyReplies.Value(),
 		StormResends:        s.stormResends.Value(),
 		SuppressedRepairs:   s.suppressed.Value(),
+		NacksServed:         s.nacksServed.Value(),
+		NackResends:         s.nackResends.Value(),
+		NackSuppressed:      s.nackSuppressed.Value(),
+		RepairDatagrams:     s.hub.RepairDatagrams(),
 		RepairTokens:        s.RepairTokens(),
 		PacerRestarts:       s.pacerRestarts.Value(),
 		PacerDriftEvents:    s.driftEvents.Value(),

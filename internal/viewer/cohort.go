@@ -29,6 +29,12 @@ type cohort struct {
 	// Shared outcome counters, each applying to every viewer of the
 	// cohort; written by the two loader goroutines.
 	late, dup, lostShared, lostSharedBytes, byteErrors atomic.Int64
+
+	// NACK-ladder counters. nacks and nackSuppressed are cohort-level
+	// events (one NACK speaks for every member); nackRepaired chunks heal
+	// every member at once, so the aggregator multiplies it by the cohort
+	// size. nackBusy counts admission pushback on NACK round trips.
+	nacks, nackSuppressed, nackRepaired, nackBusy atomic.Int64
 }
 
 func (c *cohort) run(groups []series.Group) error {
@@ -242,6 +248,18 @@ func (c *cohort) receiveFragment(e, next *tuneEntry) error {
 		c.lostShared.Add(1)
 		c.lostSharedBytes.Add(int64(chunkLen(totalBytes, m.w.ChunkBytes, idx)))
 	}
+	// The shared machine runs the multicast-first NACK ladder before any
+	// gap is handed to the per-viewer unicast plane: one NACK speaks for
+	// the whole cohort, and one re-send heals it. Timing keys on the first
+	// member's seed, so a single-viewer cohort NACKs bit-identically to a
+	// real client seeded with ViewerSeed — the golden-equivalence anchor.
+	op.NackEnabled = m.w.NackRepair && !m.cfg.DisableNack
+	if op.NackEnabled {
+		seed := ViewerSeed(m.cfg.Seed, c.viewers[0])
+		op.Jitter = func(key, stream uint64, window time.Duration) time.Duration {
+			return JitterIn(seed, key, stream, window)
+		}
+	}
 	f.m = NewMachine(op)
 	f.diverged = make([]bool, f.m.NChunks())
 	f.arrived = make([]atomic.Int64, f.m.NChunks())
@@ -317,6 +335,20 @@ drain:
 				c.diverge(f, act.Idx)
 				continue
 			}
+			if act.Kind == ActNack {
+				accepted, err := m.jm.cc.nack(c.video, channel, f.wantSeq, act.Chunks)
+				if err != nil {
+					var busy *busyError
+					if errors.As(err, &busy) {
+						c.nackBusy.Add(1)
+					}
+					m.cfg.Logf("viewer: cohort (video %d, start %d) channel %d nack (%d chunks) failed: %v",
+						c.video, c.playStartUnit, channel, len(act.Chunks), err)
+					accepted = nil
+				}
+				f.m.NackResult(act.Chunks, accepted, time.Now())
+				continue
+			}
 			if f.m.Done() {
 				continue // that pass resolved the rest
 			}
@@ -355,6 +387,9 @@ drain:
 	st := f.m.Stats()
 	c.late.Add(st.Late)
 	c.dup.Add(st.Duplicates)
+	c.nacks.Add(st.Nacks)
+	c.nackSuppressed.Add(st.NacksSuppressed)
+	c.nackRepaired.Add(st.NackRepaired)
 	return nil
 }
 

@@ -107,6 +107,17 @@ type FragmentParams struct {
 	// deadlines; the per-viewer repair ledgers take over from there.
 	Observe bool
 
+	// NackEnabled turns on the multicast-first NACK ladder (nack.go):
+	// missing chunks are aggregated into jittered gap-bitmap NACKs
+	// (ActNack) and heal off multicast re-sends, with the unicast plane
+	// (ActRepair/ActGap) as last resort. Requires Jitter. NackWindow is
+	// the aggregation window (zero selects two chunk intervals);
+	// MaxNackRounds caps windows joined per chunk (zero selects
+	// DefaultMaxNackRounds).
+	NackEnabled   bool
+	NackWindow    time.Duration
+	MaxNackRounds int
+
 	// OnLost, when non-nil, observes each chunk declared unrecoverable
 	// (for tracing); attempts is how many repair round trips it consumed.
 	OnLost func(idx, attempts int)
@@ -119,6 +130,11 @@ type MachineStats struct {
 	// Lost chunks neither broadcast nor repaired before their deadline;
 	// Repaired chunks recovered over unicast.
 	Late, Duplicates, Lost, Repaired int64
+	// Nacks counts gap-bitmap NACK round trips issued; NacksSuppressed
+	// aggregation windows that closed with nothing left to report (the
+	// multicast re-send arrived first); NackRepaired chunks healed by a
+	// multicast re-send while in the NACK re-listen phase.
+	Nacks, NacksSuppressed, NackRepaired int64
 }
 
 // ActionKind classifies what a Machine wants its driver to do next.
@@ -131,6 +147,9 @@ const (
 	ActRepair
 	// ActGap (Observe mode) reports chunk Action.Idx overdue, exactly once.
 	ActGap
+	// ActNack asks for one gap-bitmap NACK round trip covering
+	// Action.Chunks; the driver reports the reply via NackResult.
+	ActNack
 )
 
 // Action is one decision from Next.
@@ -142,6 +161,8 @@ type Action struct {
 	Attempt int
 	// Wake is when to poll again for ActWait.
 	Wake time.Time
+	// Chunks are the missing chunk indices (ascending) for ActNack.
+	Chunks []int
 }
 
 // RepairOutcome classifies one repair round trip's result.
@@ -191,6 +212,16 @@ type Machine struct {
 	tryAt    []time.Time
 	attempts []int
 	stats    MachineStats
+
+	// NACK ladder state (nack.go); nackPhase is nil unless NackEnabled,
+	// which keeps every legacy path untouched. nackSeq numbers armed
+	// aggregation windows, providing the jitter stream.
+	nackPhase     []uint8
+	nackTries     []uint8
+	nackAt        time.Time
+	nackSeq       uint64
+	nackWindow    time.Duration
+	maxNackRounds int
 }
 
 // NewMachine builds the state machine for one fragment. The gap
@@ -223,6 +254,33 @@ func NewMachine(p FragmentParams) *Machine {
 	}
 	for idx := range m.tryAt {
 		m.tryAt[idx] = m.checkpoint(idx)
+	}
+	if p.NackEnabled && !p.DisableRepair {
+		m.nackPhase = make([]uint8, nchunks)
+		m.nackTries = make([]uint8, nchunks)
+		m.nackWindow = p.NackWindow
+		if m.nackWindow == 0 {
+			m.nackWindow = 2 * m.spacing
+		}
+		m.maxNackRounds = p.MaxNackRounds
+		if m.maxNackRounds == 0 {
+			m.maxNackRounds = DefaultMaxNackRounds
+		}
+		// A chunk whose loss deadline leaves no room for a multicast
+		// round never enters the ladder: on the tight just-in-time
+		// channels the unicast plane's immediate round trip is the only
+		// recovery that fits. The room required is the worst-case window
+		// fire (checkpoint + window) plus a re-listen that still ends a
+		// full chunk interval before the deadline (relistenBy's floor is
+		// half an interval), so even a lost re-send escalates to unicast
+		// in time. The bound compares grid times (checkpoint vs
+		// deadline): eligibility is a pure function of the broadcast
+		// geometry, never of driver scheduling.
+		for idx := range m.nackPhase {
+			if m.LostBy(idx).Sub(m.tryAt[idx]) <= m.nackWindow+m.spacing*3/2 {
+				m.nackPhase[idx] = nackDone
+			}
+		}
 	}
 	return m
 }
@@ -321,6 +379,8 @@ func (m *Machine) gapPending(idx int) bool {
 // fresh now until Done.
 func (m *Machine) Next(now time.Time) Action {
 	next := m.deadline
+	nackDue := false
+	var nackAnchor time.Time
 	for idx := 0; idx < m.nchunks; idx++ {
 		if m.have[idx] {
 			continue
@@ -336,6 +396,33 @@ func (m *Machine) Next(now time.Time) Action {
 				m.markLost(idx)
 			}
 			continue
+		}
+		if m.nackPhase != nil && m.nackPhase[idx] != nackDone {
+			// Multicast-first: the chunk is still in the NACK ladder.
+			if m.nackPhase[idx] == nackWait && !now.Before(m.tryAt[idx]) {
+				// The re-listen deadline passed without the re-send.
+				m.escalateNack(idx, now)
+			}
+			if m.nackPhase[idx] == nackPre && !now.Before(m.tryAt[idx]) {
+				if int(m.nackTries[idx]) >= m.maxNackRounds && m.nackAt.IsZero() {
+					// Round cap spent: the unicast plane takes over now.
+					m.nackPhase[idx] = nackDone
+				} else {
+					nackDue = true
+					if nackAnchor.IsZero() || m.tryAt[idx].Before(nackAnchor) {
+						nackAnchor = m.tryAt[idx]
+					}
+				}
+			}
+			if m.nackPhase[idx] != nackDone {
+				if t := m.tryAt[idx]; now.Before(t) && t.Before(next) {
+					next = t
+				}
+				if lb.Before(next) {
+					next = lb
+				}
+				continue
+			}
 		}
 		if m.gapPending(idx) {
 			if !now.Before(m.tryAt[idx]) {
@@ -360,6 +447,33 @@ func (m *Machine) Next(now time.Time) Action {
 			next = lb
 		}
 	}
+	// Arm, then fire, the NACK aggregation window: one seeded-jittered
+	// window gathers a whole burst of losses into one gap bitmap. The
+	// window is anchored at the earliest due checkpoint — a grid time —
+	// not at the wall clock, and fireNack admits chunks by comparing
+	// their checkpoints against the scheduled fire time, so which chunks
+	// share a bitmap is a pure function of the loss pattern and the seed:
+	// driver scheduling latency cannot split or merge bursts. (The
+	// cohort-equivalence golden tests assert exactly this.)
+	if nackDue && m.nackAt.IsZero() {
+		m.nackSeq++
+		m.nackAt = nackAnchor.Add(m.p.Jitter(NackJitterKey(m.p.Channel), m.nackSeq, m.nackWindow))
+	}
+	if !m.nackAt.IsZero() {
+		if !now.Before(m.nackAt) {
+			until := m.nackAt
+			m.nackAt = time.Time{}
+			if chunks := m.fireNack(until, now); len(chunks) > 0 {
+				m.stats.Nacks++
+				return Action{Kind: ActNack, Chunks: chunks}
+			}
+			// Everything the window covered healed before it fired: the
+			// re-send another viewer's NACK triggered reached us first.
+			m.stats.NacksSuppressed++
+		} else if m.nackAt.Before(next) {
+			next = m.nackAt
+		}
+	}
 	return Action{Kind: ActWait, Wake: next}
 }
 
@@ -379,6 +493,10 @@ func (m *Machine) Chunk(idx int, now time.Time) ChunkVerdict {
 	if m.have[idx] {
 		m.stats.Duplicates++
 		return Duplicate
+	}
+	if m.nackPhase != nil && m.nackPhase[idx] == nackWait {
+		// Healed by the multicast re-send while re-listening.
+		m.stats.NackRepaired++
 	}
 	m.have[idx] = true
 	m.got++
@@ -418,6 +536,11 @@ func (m *Machine) Reopen(idx int) {
 	m.got--
 	m.attempts[idx] = 0
 	m.tryAt[idx] = m.checkpoint(idx)
+	if m.nackPhase != nil {
+		// A reopened chunk is already being repaired over unicast by the
+		// per-viewer plane; the ladder does not re-enter for it.
+		m.nackPhase[idx] = nackDone
+	}
 }
 
 // RepairResult applies one repair round trip's outcome to chunk idx,

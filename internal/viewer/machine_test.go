@@ -338,7 +338,7 @@ func TestMachineReopen(t *testing.T) {
 	m.Chunk(0, epoch.Add(5*time.Second))
 	fresh.Chunk(0, epoch.Add(5*time.Second))
 	got, want := m.Next(at), fresh.Next(at)
-	if got != want {
+	if got.Kind != want.Kind || got.Idx != want.Idx || got.Attempt != want.Attempt || !got.Wake.Equal(want.Wake) {
 		t.Errorf("reopened Next = %+v, fresh Next = %+v", got, want)
 	}
 	m.Reopen(2) // no-op on an outstanding chunk

@@ -82,6 +82,12 @@ type MuxConfig struct {
 	// DisableRepair turns per-viewer loss recovery off: gaps become
 	// cohort-wide losses at their playback deadlines.
 	DisableRepair bool
+	// DisableNack turns off the cohort-level multicast-first NACK ladder:
+	// gaps go straight to the per-viewer unicast repair plane. The ladder
+	// is on by default whenever the server advertises it
+	// (Welcome.NackRepair): each cohort NACKs as one voice, so a burst of
+	// losses costs one aggregated gap bitmap regardless of cohort size.
+	DisableNack bool
 	// ControlTimeout bounds each control round trip; defaults to 5s.
 	ControlTimeout time.Duration
 	// RecvBufBytes sizes the shared UDP socket's kernel buffer; zero
@@ -123,6 +129,15 @@ type Result struct {
 	RepairRequests  int64 `json:"repairRequests"`
 	BusyReplies     int64 `json:"busyReplies"`
 	Reconnects      int64 `json:"reconnects"`
+	// NacksSent counts gap-bitmap NACK round trips and NacksSuppressed
+	// aggregation windows that closed with nothing left to report. Both
+	// are per cohort, NOT per viewer — the cohort NACKs as one voice,
+	// which is exactly the control-traffic reduction being measured.
+	// MulticastRepairs counts chunks healed by a NACK-triggered multicast
+	// re-send, summed over viewers like RepairedChunks.
+	NacksSent        int64 `json:"nacksSent"`
+	NacksSuppressed  int64 `json:"nacksSuppressed"`
+	MulticastRepairs int64 `json:"multicastRepairs"`
 	// Degraded counts viewers that finished with any lost or late chunk.
 	Degraded int `json:"degraded"`
 	// PeakViewers and PeakCohorts are the concurrency high-water marks.
@@ -418,6 +433,12 @@ func (m *Mux) aggregate(cohorts []*cohort, elapsed time.Duration) *Result {
 		res.LostChunks += sharedLost * n
 		res.ByteErrors += co.byteErrors.Load()
 		res.Bytes += n * (videoBytes - co.lostSharedBytes.Load())
+		res.NacksSent += co.nacks.Load()
+		res.NacksSuppressed += co.nackSuppressed.Load()
+		res.BusyReplies += co.nackBusy.Load()
+		// A multicast re-send lands on the shared subscription, so the one
+		// healed chunk is credited to every member of the cohort.
+		res.MulticastRepairs += co.nackRepaired.Load() * n
 		for _, v := range co.viewers {
 			led := &m.ledgers[v]
 			res.LateChunks += led.late
@@ -730,6 +751,29 @@ func (c *controlConn) repair(video, channel int, seq uint32, offset int64, lengt
 		return nil, fmt.Errorf("viewer: repair reply mismatch: got %d/%d@%d (%d bytes)", rp.Video, rp.Channel, rp.Offset, len(rp.Data))
 	}
 	return rp.Data, nil
+}
+
+// nack reports a burst of losses as one gap-bitmap NACK — the cohort's
+// aggregated voice — and returns a predicate over the chunks the server
+// accepted for multicast re-send, exactly as the live client does. A
+// transport or protocol failure returns an error; the caller escalates
+// every chunk to the per-viewer unicast plane.
+func (c *controlConn) nack(video, channel int, seq uint32, chunks []int) (func(idx int) bool, error) {
+	req := wire.NackFromChunks(video, channel, seq, chunks)
+	reply, err := c.roundTrip(&wire.Control{Kind: wire.KindNack, Nack: req}, true)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind == wire.KindBusy {
+		return nil, &busyError{retryAfter: time.Duration(reply.RetryAfterNanos)}
+	}
+	if reply.Kind != wire.KindNackOK {
+		return nil, fmt.Errorf("viewer: nack rejected: %s", reply.Error)
+	}
+	if acc := reply.Nack; acc != nil {
+		return acc.Has, nil
+	}
+	return func(int) bool { return false }, nil
 }
 
 func (c *controlConn) close() {

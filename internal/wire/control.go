@@ -27,6 +27,13 @@ const (
 	// zero hint means "re-listen to the broadcast group" — the answer is
 	// already in flight as a multicast re-send.
 	KindBusy = "busy"
+	// KindNack reports a burst of losses on one channel as a compact gap
+	// bitmap (see Nack); the server answers with KindNackOK whose bitmap
+	// marks the chunks it accepted for a multicast re-send on the
+	// channel's broadcast group. Chunks left unmarked were refused
+	// (budget) and fall back to unicast KindRepair.
+	KindNack   = "nack"
+	KindNackOK = "nackok"
 )
 
 // Errors returned by ReadControl, so callers can distinguish a connection
@@ -58,6 +65,8 @@ type Control struct {
 	Stats *Stats `json:"stats,omitempty"`
 	// Repair payload for KindRepair/KindRepairOK.
 	Repair *Repair `json:"repair,omitempty"`
+	// Nack payload for KindNack/KindNackOK.
+	Nack *Nack `json:"nack,omitempty"`
 	// RetryAfterNanos is the KindBusy retry hint; zero means the request
 	// was answered via a multicast re-send and the client should
 	// re-listen instead of re-pulling.
@@ -108,6 +117,17 @@ type Stats struct {
 	// absorbed.
 	StormResends      int64 `json:"stormResends,omitempty"`
 	SuppressedRepairs int64 `json:"suppressedRepairs,omitempty"`
+	// NacksServed counts gap-bitmap NACK messages answered; NackResends
+	// the multicast re-sends those NACKs triggered; NackSuppressed the
+	// NACKed chunks absorbed because a re-send within the storm window
+	// was already in flight (the client just re-listens).
+	NacksServed    int64 `json:"nacksServed,omitempty"`
+	NackResends    int64 `json:"nackResends,omitempty"`
+	NackSuppressed int64 `json:"nackSuppressed,omitempty"`
+	// RepairDatagrams counts multicast repair re-sends (storm- and
+	// NACK-triggered) put on the wire by the hub, so the egress ledger
+	// distinguishes repair traffic from schedule traffic.
+	RepairDatagrams int64 `json:"repairDatagrams,omitempty"`
 	// RepairTokens is the current level of the repair token bucket in
 	// bytes, -1 when the budget is unlimited.
 	RepairTokens int64 `json:"repairTokens,omitempty"`
@@ -155,6 +175,11 @@ type Welcome struct {
 	BytesPerUnit int `json:"bytesPerUnit"`
 	// ChunkBytes is the data-chunk payload size the server uses.
 	ChunkBytes int `json:"chunkBytes"`
+	// NackRepair advertises the cohort-aware repair plane: the server
+	// answers KindNack gap bitmaps with multicast re-sends. Clients only
+	// send NACKs when this is set, so old servers (and test fakes) keep
+	// seeing pure unicast KindRepair traffic.
+	NackRepair bool `json:"nackRepair,omitempty"`
 }
 
 // WriteControl writes one newline-delimited JSON control message.
@@ -188,6 +213,24 @@ func ReadControl(r *bufio.Reader) (*Control, error) {
 	}
 	if m.Kind == "" {
 		return nil, fmt.Errorf("%w: missing kind", ErrBadControl)
+	}
+	// Gap bitmaps are validated at decode so a malformed NACK surfaces as
+	// a typed error here, not as a panic deep in the storm table.
+	switch m.Kind {
+	case KindNack:
+		if m.Nack == nil {
+			return nil, fmt.Errorf("%w: nack without payload", ErrBadControl)
+		}
+		if err := validateNack(m.Nack, true); err != nil {
+			return nil, err
+		}
+	case KindNackOK:
+		if m.Nack == nil {
+			return nil, fmt.Errorf("%w: nackok without payload", ErrBadControl)
+		}
+		if err := validateNack(m.Nack, false); err != nil {
+			return nil, err
+		}
 	}
 	return &m, nil
 }

@@ -106,6 +106,9 @@ func FuzzControlDecode(f *testing.F) {
 		{Kind: KindRepairOK, Repair: &Repair{Video: 1, Channel: 2, Seq: 7, Offset: 1024, Length: 4, Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}}},
 		{Kind: KindBusy, RetryAfterNanos: 25e6},
 		{Kind: KindBusy}, // Busy(0): re-listen after a coalesced multicast re-send
+		{Kind: KindNack, Nack: NackFromChunks(1, 2, 7, []int{3, 4, 9})},
+		{Kind: KindNackOK, Nack: &Nack{Video: 1, Channel: 2, Seq: 7, BaseChunk: 3, Bitmap: []byte{0x43}}},
+		{Kind: KindNackOK, Nack: &Nack{Video: 1, Channel: 2, Seq: 7, BaseChunk: 3, Bitmap: []byte{0, 0}}}, // nothing accepted
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer
@@ -117,6 +120,14 @@ func FuzzControlDecode(f *testing.F) {
 	f.Add([]byte(`{"kind":"busy","retryAfterNanos":-1}` + "\n"))
 	f.Add([]byte(`{"kind":"repair"`)) // truncated mid-message
 	f.Add([]byte(`{"kind":"repair","repair":{"offset":-9223372036854775808,"length":-1}}` + "\n"))
+	// Malformed gap bitmaps: missing payload, empty, non-canonical
+	// trailing zero, negative base, oversized. All must be rejected with
+	// a typed error, never accepted or panicked on.
+	f.Add([]byte(`{"kind":"nack"}` + "\n"))
+	f.Add([]byte(`{"kind":"nack","nack":{"video":1,"channel":2,"bitmap":""}}` + "\n"))
+	f.Add([]byte(`{"kind":"nack","nack":{"video":1,"channel":2,"baseChunk":0,"bitmap":"AQA="}}` + "\n"))
+	f.Add([]byte(`{"kind":"nack","nack":{"baseChunk":-1,"bitmap":"AQ=="}}` + "\n"))
+	f.Add([]byte(`{"kind":"nackok","nack":{"baseChunk":3,"bitmap":"AAA="}}` + "\n"))
 	f.Add([]byte("garbage\n"))
 	f.Add([]byte("{}\n"))
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
@@ -149,6 +160,8 @@ func FuzzReadControl(f *testing.F) {
 	f.Add([]byte(`{"kind":"join","video":1,"channel":2,"port":3}` + "\n"))
 	f.Add([]byte(`{"kind":"repair","repair":{"video":1,"channel":2,"seq":7,"offset":1024,"length":512}}` + "\n"))
 	f.Add([]byte(`{"kind":"repairok","repair":{"video":1,"channel":2,"seq":7,"offset":1024,"length":4,"data":"3q2+7w=="}}` + "\n"))
+	f.Add([]byte(`{"kind":"nack","nack":{"video":1,"channel":2,"seq":7,"baseChunk":3,"bitmap":"Qw=="}}` + "\n"))
+	f.Add([]byte(`{"kind":"nack","nack":{"baseChunk":-1,"bitmap":"AQ=="}}` + "\n"))
 	f.Add([]byte(`{"kind":"repair","repair":{"offset":-9223372036854775808,"length":-1}}` + "\n"))
 	f.Add([]byte(`{"kind":"repair"`)) // truncated mid-message
 	f.Add([]byte("garbage\n"))
