@@ -5,7 +5,7 @@ GO ?= go
 # machine produced them.
 BENCHMETA = ./scripts/benchmeta.sh
 
-.PHONY: build test vet race chaos fuzz scale-smoke vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress bench-scale
+.PHONY: build test vet race chaos test-portable fuzz scale-smoke vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress bench-scale
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,19 @@ race:
 # reaping, graceful degradation, repair admission, storm coalescing,
 # supervised pacers, drain, member eviction, and the batched egress
 # engine (wheel/pacer golden equivalence, shard panic recovery,
-# vectorized/fallback identity) — under the race detector.
+# vectorized/fallback/GSO identity, io_uring submission + teardown,
+# catch-up run staging) — under the race detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux|Nack' \
+		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux|Nack|GSO|Uring|Catchup' \
 		./internal/faults ./internal/client ./internal/server ./internal/mcast ./internal/viewer
+
+# The portable-fallback pin: the whole egress ladder collapsed to plain
+# per-datagram writes (no sendmmsg, no GSO) must still pass the mcast
+# suite, proving the fast paths are accelerations of — not departures
+# from — the portable semantics every non-Linux build runs.
+test-portable:
+	SKYSCRAPER_NO_GSO=1 SKYSCRAPER_NO_SENDMMSG=1 $(GO) test -count=1 ./internal/mcast
 
 # Ten seconds of coverage-guided fuzzing per wire decoder (frame and
 # control planes): malformed input must error, never panic, and every
@@ -61,9 +69,9 @@ scale-smoke:
 		-out /tmp/BENCH_scale_smoke.json
 
 # The PR gate: tier-1 build+test, vet, race-checked concurrency, the
-# chaos suite, fuzzers, the cohort-repair smoke sweep, vulnerability
-# scan, and the data-path benchmark record.
-verify: build vet test race chaos fuzz scale-smoke vulncheck bench-datapath
+# chaos suite, the portable-fallback pin, fuzzers, the cohort-repair
+# smoke sweep, vulnerability scan, and the data-path benchmark record.
+verify: build vet test race chaos test-portable fuzz scale-smoke vulncheck bench-datapath
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -102,10 +110,11 @@ bench-scale:
 	$(BENCHMETA) bench-scale >> BENCH_scale.json
 
 # Record the batched egress benchmarks: vectorized vs fallback fan-out
-# at 1/8/64 members, the timer wheel's dispatch cycle at 2..2100
-# channels, and padded vs unpadded counter contention (see EXPERIMENTS.md
+# at 1/8/64 members, GSO super-frames and io_uring submission over the
+# same fan-out, the timer wheel's dispatch cycle at 2..2100 channels,
+# and padded vs unpadded counter contention (see EXPERIMENTS.md
 # "Egress engine").
 bench-egress:
-	$(GO) test -bench 'EgressFanout|WheelDispatch|CounterParallel' -benchmem -run '^$$' -json \
+	$(GO) test -bench 'EgressFanout|EgressSuperframe|EgressUring|WheelDispatch|CounterParallel' -benchmem -run '^$$' -json \
 		./internal/mcast ./internal/server ./internal/metrics > BENCH_egress.json
 	$(BENCHMETA) bench-egress >> BENCH_egress.json

@@ -41,6 +41,7 @@ import (
 	"skyscraper/internal/client"
 	"skyscraper/internal/core"
 	"skyscraper/internal/faults"
+	"skyscraper/internal/mcast"
 	"skyscraper/internal/server"
 	"skyscraper/internal/trace"
 	"skyscraper/internal/unicast"
@@ -81,8 +82,17 @@ func main() {
 			"comma-separated audience sizes for the faulted -scale sweep")
 		assertCohort = flag.Bool("assert-cohort-repair", false,
 			"fail -scale unless every faulted sweep ends undegraded with unicast repairs under half the per-viewer recovery baseline")
+		egressCaps = flag.Bool("egress-caps", false,
+			"probe this kernel's egress fast paths (sendmmsg, UDP GSO, io_uring), print one capability line, and exit")
 	)
 	flag.Parse()
+	if *egressCaps {
+		if err := printEgressCaps(); err != nil {
+			fmt.Fprintln(os.Stderr, "skychaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *emulateMode {
 		n, err := strconv.Atoi(strings.TrimSpace(*viewers))
 		if err != nil || n <= 0 {
@@ -265,6 +275,21 @@ func sweep(videos, channels int, width int64, unit time.Duration,
 		"%d syscalls (%.1f datagrams/syscall, vectorized=%v)\n",
 		srv.EgressEngine(), srv.EgressShards(), srv.EgressWakeups(),
 		hub.Batches(), hub.SendSyscalls(), perSyscall, hub.Vectorized())
+	// The super-frame and io_uring rows of the same ledger: how many of
+	// those datagrams left as kernel-split super-frames, and how deep the
+	// cross-shard submission ring ran.
+	segsPerSF := 0.0
+	if sf := hub.Superframes(); sf > 0 {
+		segsPerSF = float64(hub.GSOSegments()) / float64(sf)
+	}
+	sqeDepth := 0.0
+	if us := hub.UringSubmits(); us > 0 {
+		sqeDepth = float64(hub.UringSQEs()) / float64(us)
+	}
+	fmt.Printf("       superframes: gso=%v, %d superframes carrying %d segments "+
+		"(%.1f segments/superframe, %d fallbacks); uring: %d submits, %d sqes (%.1f sqe depth)\n",
+		hub.GSO(), hub.Superframes(), hub.GSOSegments(), segsPerSF,
+		hub.GSOFallbacks(), hub.UringSubmits(), hub.UringSQEs(), sqeDepth)
 
 	// Put the repair traffic in the paper's terms: the unicast burden of
 	// recovering this loss rate, versus one dedicated stream per viewer.
@@ -274,6 +299,23 @@ func sweep(videos, channels int, width int64, unit time.Duration,
 			"%.1f%% of a dedicated unicast stream (user-centered baseline: 100%%)\n",
 			load.RequestsPerSession, 100*load.StreamFrac)
 	}
+	return nil
+}
+
+// printEgressCaps probes the kernel's egress fast paths the same way the
+// hub does at creation — sendmmsg availability, the UDP_SEGMENT
+// setsockopt trial, and an io_uring setup with a sendmsg opcode probe —
+// and prints one machine-readable line. scripts/benchmeta.sh stamps it
+// into every BENCH_*.json so egress numbers from different kernels are
+// never compared silently.
+func printEgressCaps() error {
+	h, err := mcast.NewHub()
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	uring := h.EnableUring() == nil
+	fmt.Printf("vectorized=%v gso=%v uring=%v\n", h.Vectorized(), h.GSO(), uring)
 	return nil
 }
 

@@ -92,5 +92,20 @@ func queryStats(addr string) error {
 			m.Stats.EgressSyscalls,
 			float64(m.Stats.DatagramsSent)/float64(m.Stats.EgressSyscalls))
 	}
+	// Super-frame and io_uring rows — absent (zero) when the kernel lacks
+	// the fast path or the server predates it.
+	if m.Stats.Superframes > 0 {
+		fmt.Printf("superframes     %d carrying %d segments (%.1f segments/superframe)\n",
+			m.Stats.Superframes, m.Stats.GSOSegments,
+			float64(m.Stats.GSOSegments)/float64(m.Stats.Superframes))
+	}
+	if m.Stats.GSOFallbacks > 0 {
+		fmt.Printf("gso fallbacks   %d\n", m.Stats.GSOFallbacks)
+	}
+	if m.Stats.UringSubmits > 0 {
+		fmt.Printf("uring submits   %d carrying %d sqes (%.1f sqe depth)\n",
+			m.Stats.UringSubmits, m.Stats.UringSQEs,
+			float64(m.Stats.UringSQEs)/float64(m.Stats.UringSubmits))
+	}
 	return nil
 }

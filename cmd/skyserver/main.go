@@ -43,7 +43,7 @@ func main() {
 		rcvbuf = flag.Int("rcvbuf", 0,
 			"kernel receive-buffer bytes for the broadcast socket (SetReadBuffer); only error traffic lands there (0 = OS default)")
 		engine = flag.String("egress", server.EngineWheel,
-			"egress engine: 'wheel' (sharded timer wheel + batched fan-out) or 'pacer' (legacy goroutine per channel)")
+			"egress engine: 'wheel' (sharded timer wheel + batched fan-out), 'uring' (wheel + shared io_uring submission ring batching across shards; falls back to wheel with a logged notice where the kernel lacks io_uring), or 'pacer' (legacy goroutine per channel). UDP GSO super-frames are probed and used automatically on the wheel/uring engines; set SKYSCRAPER_NO_GSO=1 to disable them")
 	)
 	flag.Parse()
 	if err := run(*videos, *channels, *width, *unit, *bpu, *chunk, *status, *cacheB, *pprofOn, *repairBW, *drainTO, *sndbuf, *rcvbuf, *engine); err != nil {

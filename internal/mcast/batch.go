@@ -24,6 +24,13 @@ import (
 // fallback on linux; it has no effect on platforms without the fast path.
 const NoSendmmsgEnv = "SKYSCRAPER_NO_SENDMMSG"
 
+// NoGSOEnv, when set to any non-empty value before the hub is created,
+// disables the UDP_SEGMENT super-frame path so batches go out as
+// individual datagrams through sendmmsg (or the portable fallback). The
+// decline is logged once and counted in GSOFallbacks. It has no effect
+// on platforms without the fast path.
+const NoGSOEnv = "SKYSCRAPER_NO_GSO"
+
 // BatchEntry is one chunk to broadcast: the frame and the group whose
 // members should receive it.
 type BatchEntry struct {
@@ -53,10 +60,12 @@ type dest struct {
 
 // batchBuf is the pooled working state of one SendBatch call: the
 // expanded destination vector plus the platform's reusable syscall
-// arrays.
+// arrays (per-datagram sendmmsg staging in vec, super-frame staging in
+// gso).
 type batchBuf struct {
 	ds  []dest
 	vec *vecBuf
+	gso *gsoBuf
 }
 
 var batchPool = sync.Pool{New: func() any { return new(batchBuf) }}
@@ -88,6 +97,12 @@ func (h *Hub) SendBatch(entries []BatchEntry) (int, error) {
 	if h.closed.Load() {
 		return 0, fmt.Errorf("mcast: hub closed")
 	}
+	// The super-frame path does its own run-major expansion so same-group
+	// adjacent frames share one syscall slot; it is skipped under the
+	// io_uring engine, whose cross-shard ring carries per-datagram SQEs.
+	if h.gsoOn.Load() && h.vectorized.Load() && !h.uringOn.Load() {
+		return h.sendBatchGSO(entries)
+	}
 	m := *h.members.Load()
 	bb := batchPool.Get().(*batchBuf)
 	ds := bb.ds[:0]
@@ -105,13 +120,37 @@ func (h *Hub) SendBatch(entries []BatchEntry) (int, error) {
 	h.batches.Inc()
 
 	var first error
-	if h.vectorized.Load() {
+	switch {
+	case h.uringOn.Load():
+		var ok bool
+		if first, ok = h.writeDestsUring(ds); ok {
+			break
+		}
+		// The ring went down (teardown or submitter panic) before this
+		// batch was taken; retry through the direct path.
+		fallthrough
+	case h.vectorized.Load():
 		first = h.writeDestsVec(bb)
-	} else {
+	default:
 		first = h.writeDestsGeneric(ds)
 	}
 
-	n, nfail := 0, 0
+	n, nfail := h.settleDests(ds, first)
+	total := len(ds)
+	batchPool.Put(bb)
+	if nfail > 0 {
+		return n, fmt.Errorf("mcast: %d of %d batched sends failed: %w", nfail, total, first)
+	}
+	return n, nil
+}
+
+// settleDests is the single accounting tail every batched dispatch path
+// shares (SendBatch, sendOneVec, and the GSO expansion): per-destination
+// failure/eviction notes plus the sent/sentBytes/batchedBytes/failed
+// ledger counters. Keeping it in one place is what keeps the /status
+// batching-factor honest — single-chunk vectorized sends used to skip
+// the batch counters and skew it.
+func (h *Hub) settleDests(ds []dest, first error) (n, nfail int) {
 	var bytes int64
 	for i := range ds {
 		d := &ds[i]
@@ -126,8 +165,6 @@ func (h *Hub) SendBatch(entries []BatchEntry) (int, error) {
 			h.noteSuccess(d.group, d.ap)
 		}
 	}
-	total := len(ds)
-	batchPool.Put(bb)
 	if n > 0 {
 		h.sent.Add(int64(n))
 		h.sentBytes.Add(bytes)
@@ -135,14 +172,16 @@ func (h *Hub) SendBatch(entries []BatchEntry) (int, error) {
 	}
 	if nfail > 0 {
 		h.failed.Add(int64(nfail))
-		return n, fmt.Errorf("mcast: %d of %d batched sends failed: %w", nfail, total, first)
 	}
-	return n, nil
+	return n, nfail
 }
 
 // sendOneVec is Send's vectorized body: one frame to one group's members
-// through the same pooled machinery as SendBatch, so a lone chunk to a
-// large group still costs ceil(members/sendmmsgBatch) syscalls.
+// through the same pooled machinery and the same ledger accounting as
+// SendBatch, so a lone chunk to a large group still costs
+// ceil(members/sendmmsgBatch) syscalls and still shows up in the batch
+// counters (repair singles used to skip them, skewing the batching
+// factor in /status).
 func (h *Hub) sendOneVec(g Group, frame []byte) (int, error) {
 	members := (*h.members.Load())[g]
 	if len(members) == 0 {
@@ -154,28 +193,12 @@ func (h *Hub) sendOneVec(g Group, frame []byte) (int, error) {
 		ds = append(ds, dest{ap: ap, frame: frame, group: g})
 	}
 	bb.ds = ds
+	h.batches.Inc()
 	first := h.writeDestsVec(bb)
 
-	n, nfail := 0, 0
-	for i := range ds {
-		d := &ds[i]
-		if d.failed {
-			nfail++
-			h.noteFailure(g, d.ap)
-			continue
-		}
-		n++
-		if h.nfailing.Load() != 0 {
-			h.noteSuccess(g, d.ap)
-		}
-	}
+	n, nfail := h.settleDests(ds, first)
 	batchPool.Put(bb)
-	if n > 0 {
-		h.sent.Add(int64(n))
-		h.sentBytes.Add(int64(n) * int64(len(frame)))
-	}
 	if nfail > 0 {
-		h.failed.Add(int64(nfail))
 		return n, fmt.Errorf("mcast: %d of %d sends to %v failed: %w", nfail, len(members), g, first)
 	}
 	return n, nil

@@ -1,6 +1,7 @@
 package mcast
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"runtime"
@@ -162,62 +163,191 @@ func TestSendBatchBestEffort(t *testing.T) {
 	}
 }
 
+// goldenFrame builds a size-byte payload whose prefix names it, so frame
+// sets stay distinguishable after the sorted set comparison.
+func goldenFrame(tag string, size int) []byte {
+	b := bytes.Repeat([]byte{'.'}, size)
+	copy(b, tag)
+	return b
+}
+
+// batchGoldenCase is one golden-equivalence workload: a batch shape
+// chosen to exercise a specific edge of the GSO run builder, with the
+// super-frame ledger the GSO path must report for it (per member).
+type batchGoldenCase struct {
+	name      string
+	members   int
+	entries   func() []BatchEntry
+	perGroup  map[Group]int // frames each member of a group receives
+	wantSuper int           // GSO super-frames per member
+	wantSegs  int           // wire datagrams those super-frames carry, per member
+}
+
+var goldenG0 = Group{Video: 1, Channel: 0}
+var goldenG1 = Group{Video: 1, Channel: 1}
+
+func batchGoldenCases() []batchGoldenCase {
+	return []batchGoldenCase{
+		{
+			// The original window-handoff workload: more destinations than
+			// one sendmmsg window (2 groups × 40 members × 2 frames = 160
+			// datagrams). Groups alternate entry by entry, so every GSO run
+			// has length 1 and no super-frame may form.
+			name:    "interleaved",
+			members: 40,
+			entries: func() []BatchEntry {
+				var es []BatchEntry
+				for i := 0; i < 2; i++ {
+					es = append(es,
+						BatchEntry{Group: goldenG0, Frame: []byte(fmt.Sprintf("g0-frame%d", i))},
+						BatchEntry{Group: goldenG1, Frame: []byte(fmt.Sprintf("g1-frame%d", i))})
+				}
+				return es
+			},
+			perGroup: map[Group]int{goldenG0: 2, goldenG1: 2},
+		},
+		{
+			// One same-group run whose final frame is shorter than the
+			// segment size — the exact shape UDP GSO defines (equal segments,
+			// short tail), which the run builder must keep in ONE super-frame.
+			name:    "short-final-segment",
+			members: 8,
+			entries: func() []BatchEntry {
+				var es []BatchEntry
+				for i := 0; i < 4; i++ {
+					es = append(es, BatchEntry{Group: goldenG0, Frame: goldenFrame(fmt.Sprintf("sf%d", i), 1052)})
+				}
+				return append(es, BatchEntry{Group: goldenG0, Frame: goldenFrame("sf4", 100)})
+			},
+			perGroup:  map[Group]int{goldenG0: 5, goldenG1: 0},
+			wantSuper: 1,
+			wantSegs:  5,
+		},
+		{
+			// Mixed groups and a size regrow: a g0 run, a g1 run (group
+			// change breaks coalescing), then a short g0 frame followed by a
+			// longer one (a frame above the open run's segment size must
+			// start fresh — two plain sends, no super-frame).
+			name:    "mixed-groups",
+			members: 8,
+			entries: func() []BatchEntry {
+				return []BatchEntry{
+					{Group: goldenG0, Frame: goldenFrame("m0a", 1052)},
+					{Group: goldenG0, Frame: goldenFrame("m0b", 1052)},
+					{Group: goldenG0, Frame: goldenFrame("m0c", 1052)},
+					{Group: goldenG1, Frame: goldenFrame("m1a", 1052)},
+					{Group: goldenG1, Frame: goldenFrame("m1b", 1052)},
+					{Group: goldenG0, Frame: goldenFrame("t0", 100)},
+					{Group: goldenG0, Frame: goldenFrame("t1", 1052)},
+				}
+			},
+			perGroup:  map[Group]int{goldenG0: 5, goldenG1: 2},
+			wantSuper: 2,
+			wantSegs:  5,
+		},
+	}
+}
+
+// runBatchPath sends one golden case through the named egress path on a
+// fresh hub and returns what every member received. nil means the path is
+// unavailable on this platform/kernel.
+func runBatchPath(t *testing.T, mode string, tc batchGoldenCase) (int, map[Group][][]string) {
+	t.Helper()
+	groups := []Group{goldenG0, goldenG1}
+	hub, rcvs := newTestHub(t, groups, tc.members)
+	switch mode {
+	case "generic":
+		hub.SetGSO(false)
+		hub.SetVectorized(false)
+	case "sendmmsg":
+		if !hub.SetVectorized(true) {
+			return -1, nil
+		}
+		hub.SetGSO(false)
+	case "gso":
+		if !hub.SetVectorized(true) || !hub.SetGSO(true) {
+			return -1, nil
+		}
+	case "uring":
+		if err := hub.EnableUring(); err != nil {
+			t.Logf("io_uring unavailable: %v", err)
+			return -1, nil
+		}
+	}
+	n, err := hub.SendBatch(tc.entries())
+	if err != nil {
+		t.Fatalf("%s SendBatch: %v", mode, err)
+	}
+	wantN := 0
+	for _, c := range tc.perGroup {
+		wantN += c * tc.members
+	}
+	if n != wantN {
+		t.Fatalf("%s SendBatch wrote %d datagrams, want %d", mode, n, wantN)
+	}
+	switch mode {
+	case "gso":
+		if got, want := hub.Superframes(), int64(tc.wantSuper*tc.members); got != want {
+			t.Errorf("gso: Superframes = %d, want %d", got, want)
+		}
+		if got, want := hub.GSOSegments(), int64(tc.wantSegs*tc.members); got != want {
+			t.Errorf("gso: GSOSegments = %d, want %d", got, want)
+		}
+	case "uring":
+		if hub.UringSubmits() == 0 {
+			t.Error("uring: UringSubmits = 0, want > 0")
+		}
+		if got := hub.UringSQEs(); got != int64(n) {
+			t.Errorf("uring: UringSQEs = %d, want %d", got, n)
+		}
+		fallthrough
+	default:
+		if hub.Superframes() != 0 {
+			t.Errorf("%s: Superframes = %d, want 0", mode, hub.Superframes())
+		}
+	}
+	frames := make(map[Group][][]string)
+	for _, g := range groups {
+		for _, r := range rcvs[g] {
+			frames[g] = append(frames[g], drainFrames(t, r, tc.perGroup[g]))
+		}
+	}
+	return n, frames
+}
+
 // TestBatchPathsIdentical is the fan-out half of the golden equivalence
-// gate: the sendmmsg fast path and the portable fallback must deliver
-// exactly the same frame sets to the same members and report the same
-// counts. On platforms without the fast path both runs use the fallback
-// and the test still pins batch-vs-batch determinism.
+// gate, now three-way (plus io_uring where it compiles and the kernel
+// obliges): the portable fallback, the sendmmsg fast path, the GSO
+// super-frame path, and the shared submission ring must deliver exactly
+// the same frame sets to the same members. The cases cover the sendmmsg
+// window handoff, a short final segment, and group/size breaks that
+// force the run builder to split. Unavailable paths are logged and
+// skipped — the generic baseline always runs.
 func TestBatchPathsIdentical(t *testing.T) {
-	g0 := Group{Video: 1, Channel: 0}
-	g1 := Group{Video: 1, Channel: 1}
-
-	entries := func() []BatchEntry {
-		var es []BatchEntry
-		// More destinations than one sendmmsg window (2 groups × 40
-		// members × 2 frames = 160 datagrams) so window handoff is covered.
-		for i := 0; i < 2; i++ {
-			es = append(es,
-				BatchEntry{Group: g0, Frame: []byte(fmt.Sprintf("g0-frame%d", i))},
-				BatchEntry{Group: g1, Frame: []byte(fmt.Sprintf("g1-frame%d", i))})
-		}
-		return es
-	}
-
-	run := func(t *testing.T, vectorized bool) (int, map[Group][][]string) {
-		hub, rcvs := newTestHub(t, []Group{g0, g1}, 40)
-		if on := hub.SetVectorized(vectorized); on != vectorized && vectorized {
-			t.Skip("vectorized path unavailable on this platform")
-		}
-		if hub.Vectorized() != vectorized {
-			t.Fatalf("Vectorized = %v, want %v", hub.Vectorized(), vectorized)
-		}
-		n, err := hub.SendBatch(entries())
-		if err != nil {
-			t.Fatalf("SendBatch: %v", err)
-		}
-		frames := make(map[Group][][]string)
-		for _, g := range []Group{g0, g1} {
-			for _, r := range rcvs[g] {
-				frames[g] = append(frames[g], drainFrames(t, r, 2))
-			}
-		}
-		return n, frames
-	}
-
-	nVec, framesVec := run(t, true)
-	nGen, framesGen := run(t, false)
-	if nVec != nGen {
-		t.Fatalf("vectorized wrote %d datagrams, fallback %d", nVec, nGen)
-	}
-	for _, g := range []Group{g0, g1} {
-		for i := range framesVec[g] {
-			for j := range framesVec[g][i] {
-				if framesVec[g][i][j] != framesGen[g][i][j] {
-					t.Fatalf("%v member %d frame %d: vectorized %q, fallback %q",
-						g, i, j, framesVec[g][i][j], framesGen[g][i][j])
+	for _, tc := range batchGoldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			nGen, framesGen := runBatchPath(t, "generic", tc)
+			for _, mode := range []string{"sendmmsg", "gso", "uring"} {
+				n, frames := runBatchPath(t, mode, tc)
+				if frames == nil {
+					t.Logf("%s path unavailable on this platform; not compared", mode)
+					continue
+				}
+				if n != nGen {
+					t.Errorf("%s wrote %d datagrams, generic %d", mode, n, nGen)
+				}
+				for _, g := range []Group{goldenG0, goldenG1} {
+					for i := range framesGen[g] {
+						for j := range framesGen[g][i] {
+							if frames[g][i][j] != framesGen[g][i][j] {
+								t.Fatalf("%v member %d frame %d: %s %q, generic %q",
+									g, i, j, mode, frames[g][i][j], framesGen[g][i][j])
+							}
+						}
+					}
 				}
 			}
-		}
+		})
 	}
 }
 

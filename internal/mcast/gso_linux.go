@@ -1,0 +1,360 @@
+//go:build linux && (amd64 || arm64)
+
+// The UDP GSO (UDP_SEGMENT) super-frame path: the rung of the egress
+// ladder above sendmmsg. Where sendmmsg collapses syscalls (64 datagrams
+// per kernel crossing, but still one kernel traversal per datagram), GSO
+// collapses traversals: a run of same-group contiguous frames is handed
+// to the kernel as ONE datagram-sized super-frame plus a cmsg naming the
+// segment size, and the kernel splits it into MTU-sized wire datagrams
+// after traversing the stack once. A transmission group's chunks for a
+// tick are contiguous and repetition-invariant (the frame cache holds
+// them back to back), which is exactly the shape GSO wants.
+//
+// The super-frames themselves still ride the sendmmsg machinery — up to
+// sendmmsgBatch super-frames per syscall — so the two rungs stack: at 64
+// members and 8-chunk runs one syscall can carry 64*8 = 512 wire
+// datagrams. The path keeps the batch contract exactly: per-destination
+// failure attribution (a failed super-frame marks exactly its run's
+// entries to that member), pooled staging arrays, zero steady-state
+// allocations, and a clean fall-back (probe failure, SKYSCRAPER_NO_GSO,
+// or runtime demotion) to the per-datagram sendmmsg path.
+package mcast
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// gsoCompiled reports at compile time whether this build contains the
+// GSO fast path; tests use it to decide what the kill-switch can prove.
+const gsoCompiled = true
+
+const (
+	// solUDP/udpSegment are SOL_UDP and the UDP_SEGMENT socket option /
+	// cmsg type (linux >= 4.18). The stdlib syscall tables predate UDP
+	// GSO, so the numbers are hardcoded like sysSendmmsg is.
+	solUDP     = 17
+	udpSegment = 103
+
+	// maxGSOSegs is the kernel's UDP_MAX_SEGMENTS: the most wire
+	// datagrams one super-frame may split into.
+	maxGSOSegs = 64
+
+	// maxGSOBytes caps a super-frame's total payload. The kernel bounds
+	// a GSO send by the maximum UDP payload (65507 on IPv4); staying a
+	// little under leaves room for header accounting differences across
+	// kernel versions rather than tripping EMSGSIZE at the boundary.
+	maxGSOBytes = 65000
+)
+
+// gsoCmsg is the control message carrying the segment size, laid out
+// exactly as cmsg(3) requires on these 64-bit targets: an 8-byte-aligned
+// cmsghdr (Len counts header + 2 data bytes = 18) followed by the uint16
+// segment size, padded to CmsgSpace(2) = 24.
+type gsoCmsg struct {
+	len   uint64
+	level int32
+	typ   int32
+	size  uint16
+	_     [6]byte
+}
+
+// gsoMsg is one staged super-frame: the half-open run ds[lo:hi) it
+// gathers (every dest in the run shares one destination address), and
+// the segment size the kernel should split at. A run of one is sent as a
+// plain datagram — no cmsg, no splitting — so batches that never
+// coalesce (mixed groups, odd sizes) cost exactly what the sendmmsg path
+// charges.
+type gsoMsg struct {
+	lo, hi  int
+	segSize int
+}
+
+// gsoBuf is the reusable staging state of one GSO batch: the run
+// descriptors, the per-super-frame syscall arrays, and an iovec arena
+// indexed by destination (ds[k]'s iovec is iovs[k], so a run's gather
+// list is the contiguous iovs[lo:hi)). Pooled via batchBuf.
+type gsoBuf struct {
+	msgs  []gsoMsg
+	iovs  []syscall.Iovec
+	hdrs  [sendmmsgBatch]mmsghdr
+	sa4   [sendmmsgBatch]syscall.RawSockaddrInet4
+	sa6   [sendmmsgBatch]syscall.RawSockaddrInet6
+	cmsgs [sendmmsgBatch]gsoCmsg
+
+	h     *Hub
+	ds    []dest
+	idx   int
+	first error
+	fn    func(fd uintptr) bool
+}
+
+// initGSO arms the super-frame path at hub creation: declined by the
+// SKYSCRAPER_NO_GSO kill-switch, skipped when the sendmmsg machinery it
+// rides is unavailable, and probed against the kernel (a setsockopt
+// trial of UDP_SEGMENT; value 0 is valid-but-disabled on supporting
+// kernels and ENOPROTOOPT before 4.18). Each decline is logged once and
+// counted in GSOFallbacks.
+func (h *Hub) initGSO() {
+	if os.Getenv(NoGSOEnv) != "" {
+		h.gsoFallbacks.Inc()
+		h.logf("mcast: UDP GSO disabled via %s; batches fall back to per-datagram sends", NoGSOEnv)
+		return
+	}
+	if !h.vectorized.Load() {
+		// GSO super-frames ride the sendmmsg arrays; without the
+		// vectorized path there is nothing to attach the cmsg to.
+		return
+	}
+	if !h.probeGSO() {
+		h.gsoFallbacks.Inc()
+		h.logf("mcast: kernel rejected UDP_SEGMENT probe; batches fall back to per-datagram sendmmsg")
+		return
+	}
+	h.gsoCapable = true
+	h.gsoOn.Store(true)
+}
+
+// probeGSO asks the kernel whether the sending socket accepts
+// UDP_SEGMENT. Setting the option to 0 is a no-op on supporting kernels
+// (per-socket GSO stays disabled; the hub segments per message via
+// cmsg), so the probe has no side effect.
+func (h *Hub) probeGSO() bool {
+	ok := false
+	if err := h.rc.Control(func(fd uintptr) {
+		ok = syscall.SetsockoptInt(int(fd), solUDP, udpSegment, 0) == nil
+	}); err != nil {
+		return false
+	}
+	return ok
+}
+
+// SetGSO is a test hook that forces the super-frame path on or off,
+// returning whether it is now active. Enabling fails where the creation-
+// time probe did not pass or the sendmmsg machinery is off.
+func (h *Hub) SetGSO(on bool) bool {
+	if !on {
+		h.gsoOn.Store(false)
+		return false
+	}
+	if !h.gsoCapable || !h.vectorized.Load() {
+		return false
+	}
+	h.gsoOn.Store(true)
+	return true
+}
+
+// sendBatchGSO is SendBatch's super-frame body. It expands the batch
+// run-major instead of entry-major: entries are first coalesced into
+// maximal same-group runs that satisfy the kernel's GSO shape (every
+// segment the same size except a shorter final one, at most maxGSOSegs
+// segments and maxGSOBytes total; a group change, an oversized or empty
+// frame, or a short segment closes the run), then each (run, member)
+// pair becomes one staged message whose destinations are the contiguous
+// ds[lo:hi). Every member still receives exactly the frames the
+// entry-major paths would send — the golden equivalence gate holds —
+// and a failed super-frame marks exactly its run's entries to that
+// member, preserving per-destination attribution.
+func (h *Hub) sendBatchGSO(entries []BatchEntry) (int, error) {
+	m := *h.members.Load()
+	bb := batchPool.Get().(*batchBuf)
+	gb := bb.gso
+	if gb == nil {
+		gb = new(gsoBuf)
+		gb.fn = gb.step
+		bb.gso = gb
+	}
+	ds := bb.ds[:0]
+	msgs := gb.msgs[:0]
+
+	ei := 0
+	for ei < len(entries) {
+		g := entries[ei].Group
+		members := m[g]
+		if len(members) == 0 {
+			ei++
+			continue
+		}
+		// Grow the run [ei, hi): same group, GSO-legal segment shape.
+		segSize := len(entries[ei].Frame)
+		bytes := segSize
+		hi := ei + 1
+		if segSize > 0 {
+			for hi < len(entries) && hi-ei < maxGSOSegs {
+				f := entries[hi].Frame
+				if entries[hi].Group != g || len(f) == 0 || len(f) > segSize || bytes+len(f) > maxGSOBytes {
+					break
+				}
+				short := len(f) < segSize
+				bytes += len(f)
+				hi++
+				if short {
+					break // a short segment is only legal as the final one
+				}
+			}
+		}
+		for _, ap := range members {
+			lo := len(ds)
+			for k := ei; k < hi; k++ {
+				ds = append(ds, dest{ap: ap, frame: entries[k].Frame, group: g})
+			}
+			msgs = append(msgs, gsoMsg{lo: lo, hi: len(ds), segSize: segSize})
+		}
+		ei = hi
+	}
+	bb.ds = ds
+	gb.msgs = msgs
+	if len(ds) == 0 {
+		batchPool.Put(bb)
+		return 0, nil
+	}
+	h.batches.Inc()
+	if cap(gb.iovs) < len(ds) {
+		gb.iovs = make([]syscall.Iovec, len(ds))
+	}
+	gb.iovs = gb.iovs[:len(ds)]
+
+	gb.h = h
+	gb.ds = ds
+	gb.idx = 0
+	gb.first = nil
+	err := h.rc.Write(gb.fn)
+	if err != nil {
+		// The runtime refused the write (socket closed mid-batch):
+		// every message past the cursor never reached the kernel.
+		for i := gb.idx; i < len(gb.msgs); i++ {
+			for k := gb.msgs[i].lo; k < gb.msgs[i].hi; k++ {
+				ds[k].failed = true
+			}
+		}
+		if gb.first == nil {
+			gb.first = err
+		}
+	}
+	first := gb.first
+	gb.h = nil
+	gb.ds = nil
+	gb.first = nil
+
+	n, nfail := h.settleDests(ds, first)
+	total := len(ds)
+	batchPool.Put(bb)
+	if nfail > 0 {
+		return n, fmt.Errorf("mcast: %d of %d batched sends failed: %w", nfail, total, first)
+	}
+	return n, nil
+}
+
+// step is the RawConn.Write callback of the GSO path: it advances the
+// cursor through the staged messages one sendmmsg at a time, exactly
+// like vecBuf.step but with each message a whole run. An errno marks
+// exactly msgs[idx]'s run failed and resumes one past it. An EINVAL on a
+// genuine super-frame additionally demotes the hub to the per-datagram
+// path — the kernel accepted the probe but rejected the real shape, and
+// failing every future tick would be worse than losing the optimization.
+func (gb *gsoBuf) step(fd uintptr) bool {
+	for gb.idx < len(gb.msgs) {
+		n := gb.prepare()
+		r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&gb.hdrs[0])), uintptr(n), 0, 0, 0)
+		gb.h.syscalls.Inc()
+		gb.h.gsoSyscalls.Inc()
+		if errno != 0 {
+			switch errno {
+			case syscall.EAGAIN:
+				return false
+			case syscall.EINTR:
+				continue
+			default:
+				msg := &gb.msgs[gb.idx]
+				for k := msg.lo; k < msg.hi; k++ {
+					gb.ds[k].failed = true
+				}
+				if gb.first == nil {
+					gb.first = errno
+				}
+				if errno == syscall.EINVAL && msg.hi-msg.lo > 1 && gb.h.gsoOn.CompareAndSwap(true, false) {
+					gb.h.gsoFallbacks.Inc()
+					gb.h.logf("mcast: kernel rejected a UDP_SEGMENT super-frame (EINVAL); demoting to per-datagram sendmmsg")
+				}
+				gb.idx++
+			}
+			continue
+		}
+		for i := 0; i < int(r1); i++ {
+			msg := &gb.msgs[gb.idx+i]
+			if segs := msg.hi - msg.lo; segs > 1 {
+				gb.h.superframes.Inc()
+				gb.h.gsoSegments.Add(int64(segs))
+			}
+		}
+		gb.idx += int(r1)
+	}
+	return true
+}
+
+// prepare fills the syscall arrays from msgs[idx:] — up to sendmmsgBatch
+// headers, each one super-frame (gather list iovs[lo:hi)) to one
+// destination — and returns how many it staged. Runs of more than one
+// segment carry the UDP_SEGMENT cmsg; runs of one go out as plain
+// datagrams.
+func (gb *gsoBuf) prepare() int {
+	n := len(gb.msgs) - gb.idx
+	if n > sendmmsgBatch {
+		n = sendmmsgBatch
+	}
+	for i := 0; i < n; i++ {
+		msg := &gb.msgs[gb.idx+i]
+		for k := msg.lo; k < msg.hi; k++ {
+			iov := &gb.iovs[k]
+			f := gb.ds[k].frame
+			if len(f) > 0 {
+				iov.Base = &f[0]
+			} else {
+				iov.Base = nil
+			}
+			iov.SetLen(len(f))
+		}
+
+		hdr := &gb.hdrs[i].hdr
+		d := &gb.ds[msg.lo]
+		addr := d.ap.Addr()
+		p := d.ap.Port()
+		if addr.Is4() {
+			sa := &gb.sa4[i]
+			sa.Family = syscall.AF_INET
+			sa.Port = p<<8 | p>>8 // network byte order on these LE targets
+			sa.Addr = addr.As4()
+			hdr.Name = (*byte)(unsafe.Pointer(sa))
+			hdr.Namelen = syscall.SizeofSockaddrInet4
+		} else {
+			sa := &gb.sa6[i]
+			sa.Family = syscall.AF_INET6
+			sa.Port = p<<8 | p>>8
+			sa.Flowinfo = 0
+			sa.Addr = addr.As16()
+			sa.Scope_id = 0
+			hdr.Name = (*byte)(unsafe.Pointer(sa))
+			hdr.Namelen = syscall.SizeofSockaddrInet6
+		}
+		hdr.Iov = &gb.iovs[msg.lo]
+		hdr.Iovlen = uint64(msg.hi - msg.lo)
+		if msg.hi-msg.lo > 1 {
+			c := &gb.cmsgs[i]
+			c.len = uint64(syscall.CmsgLen(2))
+			c.level = solUDP
+			c.typ = udpSegment
+			c.size = uint16(msg.segSize)
+			hdr.Control = (*byte)(unsafe.Pointer(c))
+			hdr.Controllen = uint64(syscall.CmsgSpace(2))
+		} else {
+			hdr.Control = nil
+			hdr.Controllen = 0
+		}
+		hdr.Flags = 0
+		gb.hdrs[i].n = 0
+	}
+	return n
+}

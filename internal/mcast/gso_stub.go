@@ -1,0 +1,26 @@
+//go:build !linux || (!amd64 && !arm64)
+
+// Portable stubs for the UDP GSO super-frame path. On platforms without
+// the linux fast path the hub never arms gsoOn, so sendBatchGSO is
+// unreachable; the stubs exist so the shared batch code compiles
+// everywhere and behaves identically through the generic writer.
+package mcast
+
+// gsoCompiled reports at compile time whether this build contains the
+// GSO fast path; tests use it to decide what the kill-switch can prove.
+const gsoCompiled = false
+
+// gsoBuf has no state on platforms without the super-frame path.
+type gsoBuf struct{}
+
+// initGSO is a no-op: there is no super-frame path to arm, and the
+// SKYSCRAPER_NO_GSO kill-switch has nothing to switch off.
+func (h *Hub) initGSO() {}
+
+// SetGSO reports false: the super-frame path cannot be enabled here.
+func (h *Hub) SetGSO(on bool) bool { return false }
+
+// sendBatchGSO is unreachable on this platform — gsoOn is never set.
+func (h *Hub) sendBatchGSO([]BatchEntry) (int, error) {
+	panic("mcast: GSO path invoked without platform support")
+}

@@ -1,0 +1,267 @@
+package mcast
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestGSOKillSwitch pins graceful degradation: with SKYSCRAPER_NO_GSO
+// set, a fresh hub declines the super-frame path with exactly one logged
+// notice and one counted fallback, cannot be forced back on, and still
+// delivers batches through the rest of the egress ladder.
+func TestGSOKillSwitch(t *testing.T) {
+	t.Setenv(NoGSOEnv, "1")
+	var notices []string
+	hub, err := NewHubConfigured(HubConfig{Logf: func(f string, a ...any) {
+		notices = append(notices, fmt.Sprintf(f, a...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	if hub.GSO() {
+		t.Fatal("hub has GSO on despite the kill-switch")
+	}
+	if hub.SetGSO(true) {
+		t.Error("SetGSO(true) re-armed a kill-switched hub")
+	}
+	if gsoCompiled {
+		if got := hub.GSOFallbacks(); got != 1 {
+			t.Errorf("GSOFallbacks = %d, want 1", got)
+		}
+		count := 0
+		for _, n := range notices {
+			if strings.Contains(n, NoGSOEnv) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("got %d kill-switch notices, want exactly 1: %q", count, notices)
+		}
+	}
+
+	g := Group{Video: 5, Channel: 0}
+	r, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := hub.Join(g, r.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	entries := []BatchEntry{
+		{Group: g, Frame: []byte("after-kill-a")},
+		{Group: g, Frame: []byte("after-kill-b")},
+	}
+	if n, err := hub.SendBatch(entries); err != nil || n != 2 {
+		t.Fatalf("SendBatch after kill-switch = %d, %v; want 2, nil", n, err)
+	}
+	got := drainFrames(t, r, 2)
+	if got[0] != "after-kill-a" || got[1] != "after-kill-b" {
+		t.Errorf("member got %q, want [after-kill-a after-kill-b]", got)
+	}
+	if hub.Superframes() != 0 {
+		t.Errorf("Superframes = %d after kill-switch, want 0", hub.Superframes())
+	}
+}
+
+// TestGSOZeroAlloc extends the alloc gate to the super-frame path: a
+// coalescible same-group batch must reach the wire without allocating.
+func TestGSOZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; alloc count is meaningless")
+	}
+	g := Group{Video: 5, Channel: 1}
+	hub, _ := newTestHub(t, []Group{g}, 4)
+	if !hub.GSO() {
+		t.Skip("GSO path unavailable on this platform/kernel")
+	}
+	frame := make([]byte, 1052)
+	entries := make([]BatchEntry, 8)
+	for i := range entries {
+		entries[i] = BatchEntry{Group: g, Frame: frame}
+	}
+	// Warm the pools, then pin the steady state on one P so the pooled
+	// buffers are actually reused.
+	if _, err := hub.SendBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := hub.SendBatch(entries); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("GSO SendBatch allocates %v objects per call, want 0", allocs)
+	}
+	if hub.Superframes() == 0 {
+		t.Error("Superframes = 0; the alloc gate did not exercise the GSO path")
+	}
+}
+
+// TestUringSubmitAndTeardown pins the shared submission ring's lifecycle:
+// arming it routes batches through io_uring with the ledger counting
+// submits and SQEs (and GSO standing down), and Close tears the ring
+// down before the socket without stranding or panicking — twice.
+func TestUringSubmitAndTeardown(t *testing.T) {
+	g := Group{Video: 6, Channel: 0}
+	hub, rcvs := newTestHub(t, []Group{g}, 2)
+	if err := hub.EnableUring(); err != nil {
+		t.Skipf("io_uring unavailable: %v", err)
+	}
+	if !hub.UringActive() {
+		t.Fatal("UringActive = false after EnableUring")
+	}
+	if err := hub.EnableUring(); err != nil {
+		t.Fatalf("second EnableUring: %v", err)
+	}
+	entries := []BatchEntry{
+		{Group: g, Frame: []byte("ring-a")},
+		{Group: g, Frame: []byte("ring-b")},
+	}
+	n, err := hub.SendBatch(entries)
+	if err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("SendBatch wrote %d datagrams, want 4", n)
+	}
+	for _, r := range rcvs[g] {
+		got := drainFrames(t, r, 2)
+		if got[0] != "ring-a" || got[1] != "ring-b" {
+			t.Errorf("member got %q, want [ring-a ring-b]", got)
+		}
+	}
+	if hub.UringSubmits() == 0 {
+		t.Error("UringSubmits = 0, want > 0")
+	}
+	if got := hub.UringSQEs(); got != 4 {
+		t.Errorf("UringSQEs = %d, want 4", got)
+	}
+	if hub.Superframes() != 0 {
+		t.Errorf("Superframes = %d under the submission ring, want 0", hub.Superframes())
+	}
+	hub.Close()
+	if hub.UringActive() {
+		t.Error("UringActive = true after Close")
+	}
+	if _, err := hub.SendBatch(entries); err == nil {
+		t.Error("SendBatch on closed hub succeeded, want error")
+	}
+	hub.Close() // second Close must be safe with the ring gone
+}
+
+// benchSuperframe measures a coalescible batch — runLen same-group chunks
+// per SendBatch — with the super-frame path on or off, so the GSO rows in
+// BENCH_egress.json read against a sendmmsg baseline over the identical
+// workload.
+func benchSuperframe(b *testing.B, members, runLen int, gso bool) {
+	g := Group{Video: 0, Channel: 0}
+	hub, rcvs := newTestHub(b, []Group{g}, members)
+	if !hub.SetVectorized(true) {
+		b.Skip("vectorized path unavailable on this platform")
+	}
+	if on := hub.SetGSO(gso); on != gso && gso {
+		b.Skip("GSO path unavailable on this platform/kernel")
+	}
+	for _, rs := range rcvs {
+		for _, r := range rs {
+			go func(r *Receiver) {
+				buf := make([]byte, 2048)
+				for {
+					if _, _, err := r.Conn.ReadFromUDPAddrPort(buf); err != nil {
+						return
+					}
+				}
+			}(r)
+		}
+	}
+	frame := make([]byte, 1052)
+	entries := make([]BatchEntry, runLen)
+	for i := range entries {
+		entries[i] = BatchEntry{Group: g, Frame: frame}
+	}
+	b.SetBytes(int64(members * runLen * len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hub.SendBatch(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hub.Sent())/b.Elapsed().Seconds(), "datagrams/s")
+	if s := hub.SendSyscalls(); s > 0 {
+		b.ReportMetric(float64(hub.Sent())/float64(s), "datagrams/syscall")
+	}
+	if sf := hub.Superframes(); sf > 0 {
+		b.ReportMetric(float64(hub.GSOSegments())/float64(sf), "segments/superframe")
+	}
+}
+
+// BenchmarkEgressSuperframe is the GSO acceptance benchmark: an 8-chunk
+// same-group batch (a typical catch-up run) fanned out to 1/8/64 members,
+// with the super-frame path on (path=gso) against the plain sendmmsg
+// baseline (path=sendmmsg) over the identical workload — the
+// datagrams/syscall delta is the point.
+func BenchmarkEgressSuperframe(b *testing.B) {
+	for _, members := range []int{1, 8, 64} {
+		for _, gso := range []bool{true, false} {
+			path := "sendmmsg"
+			if gso {
+				path = "gso"
+			}
+			b.Run(fmt.Sprintf("members=%d/path=%s", members, path), func(b *testing.B) {
+				benchSuperframe(b, members, 8, gso)
+			})
+		}
+	}
+}
+
+// BenchmarkEgressUring runs the same 8-chunk batch through the shared
+// io_uring submission ring, reporting the achieved SQE depth next to the
+// datagram rate.
+func BenchmarkEgressUring(b *testing.B) {
+	for _, members := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			g := Group{Video: 0, Channel: 0}
+			hub, rcvs := newTestHub(b, []Group{g}, members)
+			if err := hub.EnableUring(); err != nil {
+				b.Skipf("io_uring unavailable: %v", err)
+			}
+			for _, rs := range rcvs {
+				for _, r := range rs {
+					go func(r *Receiver) {
+						buf := make([]byte, 2048)
+						for {
+							if _, _, err := r.Conn.ReadFromUDPAddrPort(buf); err != nil {
+								return
+							}
+						}
+					}(r)
+				}
+			}
+			frame := make([]byte, 1052)
+			entries := make([]BatchEntry, 8)
+			for i := range entries {
+				entries[i] = BatchEntry{Group: g, Frame: frame}
+			}
+			b.SetBytes(int64(members * 8 * len(frame)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := hub.SendBatch(entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(hub.Sent())/b.Elapsed().Seconds(), "datagrams/s")
+			if s := hub.UringSubmits(); s > 0 {
+				b.ReportMetric(float64(hub.UringSQEs())/float64(s), "sqes/submit")
+			}
+		})
+	}
+}

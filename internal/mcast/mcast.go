@@ -68,6 +68,7 @@ type Hub struct {
 	conn    *net.UDPConn
 	members atomic.Pointer[membership]
 	closed  atomic.Bool
+	logf    func(format string, args ...any)
 
 	// rc is the sending socket's raw handle, used by the vectorized
 	// (sendmmsg) fan-out; vectorized reports whether that fast path is
@@ -76,6 +77,21 @@ type Hub struct {
 	// goes through WriteToUDPAddrPort.
 	rc         syscall.RawConn
 	vectorized atomic.Bool
+
+	// The GSO rung of the egress ladder: gsoOn routes batches through the
+	// UDP_SEGMENT super-frame path (gso_linux.go); gsoCapable records the
+	// creation-time capability probe, so the test hook SetGSO can re-arm
+	// the path only where the kernel accepted it.
+	gsoOn      atomic.Bool
+	gsoCapable bool
+
+	// The io_uring rung: when armed (EnableUring), batch destination
+	// vectors from every egress shard are enqueued to one shared
+	// submission ring whose submitter coalesces them into single
+	// io_uring_enter calls — batching across shards, not just within one
+	// flush. uring is nil until armed and after teardown.
+	uringOn atomic.Bool
+	uring   *uRing
 
 	// The egress ledger. sent and sentBytes count datagrams and payload
 	// bytes actually written; failed counts members a send could not
@@ -95,6 +111,23 @@ type Hub struct {
 	// (storm- or NACK-triggered), so ledgers can tell repair traffic
 	// from schedule traffic sharing the same batch path.
 	repairSent metrics.PaddedCounter
+	// The super-frame ledger. superframes counts GSO super-datagrams put
+	// on the wire (each one syscall-slot carrying several wire frames the
+	// kernel split into MTU-sized segments); gsoSegments the frames they
+	// carried; gsoSyscalls the sendmmsg invocations the GSO path made, so
+	// gsoSegments/gsoSyscalls is the segmentation factor; gsoFallbacks
+	// how many times the GSO path was declined or abandoned (probe
+	// failure, kill-switch, or a runtime EINVAL demotion).
+	superframes  metrics.PaddedCounter
+	gsoSegments  metrics.PaddedCounter
+	gsoSyscalls  metrics.PaddedCounter
+	gsoFallbacks metrics.PaddedCounter
+	// The io_uring ledger. uringSubmits counts io_uring_enter calls;
+	// uringSQEs the send SQEs they carried, so uringSQEs/uringSubmits is
+	// the achieved SQE depth — cross-shard coalescing pushes it above
+	// what any single shard's batch would reach.
+	uringSubmits metrics.PaddedCounter
+	uringSQEs    metrics.PaddedCounter
 
 	// failing tracks consecutive send failures per (group, member) edge,
 	// under mu; a member reaching EvictAfterFailures is removed from its
@@ -114,32 +147,55 @@ var (
 func NewHub() (*Hub, error) { return NewHubBuffered(0, 0) }
 
 // NewHubBuffered opens the hub's sending socket and sizes its kernel
-// buffers: sndBuf > 0 calls SetWriteBuffer (the knob that matters — a
-// batched egress engine can hand the kernel bursts of up to 64 datagrams
-// per syscall, and a default-sized send buffer drops the tail of a burst
-// under load), rcvBuf > 0 calls SetReadBuffer (only error/ICMP traffic
-// lands there; sized for symmetry). Zero leaves the OS default.
+// buffers; see HubConfig for the semantics of the two sizes.
 func NewHubBuffered(sndBuf, rcvBuf int) (*Hub, error) {
+	return NewHubConfigured(HubConfig{SendBufBytes: sndBuf, RecvBufBytes: rcvBuf})
+}
+
+// HubConfig parameterizes NewHubConfigured.
+type HubConfig struct {
+	// SendBufBytes > 0 calls SetWriteBuffer on the sending socket (the
+	// knob that matters — a batched egress engine can hand the kernel
+	// bursts of dozens of datagrams per syscall, and a default-sized send
+	// buffer drops the tail of a burst under load). Zero leaves the OS
+	// default.
+	SendBufBytes int
+	// RecvBufBytes > 0 calls SetReadBuffer (only error/ICMP traffic lands
+	// there; sized for symmetry). Zero leaves the OS default.
+	RecvBufBytes int
+	// Logf, when non-nil, receives the hub's diagnostic notices — the
+	// single fall-back lines the fast-path probes (GSO, io_uring) emit
+	// when a kernel capability is missing or kill-switched.
+	Logf func(format string, args ...any)
+}
+
+// NewHubConfigured opens the hub's sending socket, sizes its kernel
+// buffers, and probes the platform fast paths (sendmmsg, UDP GSO).
+func NewHubConfigured(cfg HubConfig) (*Hub, error) {
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, fmt.Errorf("mcast: opening sender socket: %w", err)
 	}
-	if sndBuf > 0 {
-		if err := conn.SetWriteBuffer(sndBuf); err != nil {
+	if cfg.SendBufBytes > 0 {
+		if err := conn.SetWriteBuffer(cfg.SendBufBytes); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("mcast: sizing send buffer: %w", err)
 		}
 	}
-	if rcvBuf > 0 {
-		if err := conn.SetReadBuffer(rcvBuf); err != nil {
+	if cfg.RecvBufBytes > 0 {
+		if err := conn.SetReadBuffer(cfg.RecvBufBytes); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("mcast: sizing receive buffer: %w", err)
 		}
 	}
-	h := &Hub{conn: conn}
+	h := &Hub{conn: conn, logf: cfg.Logf}
+	if h.logf == nil {
+		h.logf = func(string, ...any) {}
+	}
 	m := make(membership)
 	h.members.Store(&m)
 	h.initVectorized()
+	h.initGSO()
 	return h, nil
 }
 
@@ -338,6 +394,33 @@ func (h *Hub) SendSyscalls() int64 { return h.syscalls.Value() }
 // Vectorized reports whether the sendmmsg fast path is active.
 func (h *Hub) Vectorized() bool { return h.vectorized.Load() }
 
+// GSO reports whether the UDP_SEGMENT super-frame path is active.
+func (h *Hub) GSO() bool { return h.gsoOn.Load() }
+
+// Superframes returns how many GSO super-datagrams have been put on the
+// wire; GSOSegments the wire frames those superframes carried (each one
+// an MTU-sized datagram after the kernel split); GSOSyscalls the
+// sendmmsg invocations the GSO path made, so GSOSegments/GSOSyscalls is
+// the achieved segmentation factor.
+func (h *Hub) Superframes() int64 { return h.superframes.Value() }
+func (h *Hub) GSOSegments() int64 { return h.gsoSegments.Value() }
+func (h *Hub) GSOSyscalls() int64 { return h.gsoSyscalls.Value() }
+
+// GSOFallbacks returns how many times the GSO path was declined or
+// abandoned: the creation-time probe failing (old kernel), the
+// SKYSCRAPER_NO_GSO kill-switch, or a runtime demotion after the kernel
+// rejected a super-frame.
+func (h *Hub) GSOFallbacks() int64 { return h.gsoFallbacks.Value() }
+
+// UringActive reports whether the shared io_uring submission path is
+// armed; UringSubmits counts its io_uring_enter invocations and
+// UringSQEs the send SQEs they carried, so UringSQEs/UringSubmits is the
+// achieved SQE depth (cross-shard coalescing raises it above any single
+// shard's batch size).
+func (h *Hub) UringActive() bool   { return h.uringOn.Load() }
+func (h *Hub) UringSubmits() int64 { return h.uringSubmits.Value() }
+func (h *Hub) UringSQEs() int64    { return h.uringSQEs.Value() }
+
 // Evictions returns how many members have been removed after
 // EvictAfterFailures consecutive send failures.
 func (h *Hub) Evictions() int64 { return h.evicted.Value() }
@@ -346,13 +429,17 @@ func (h *Hub) Evictions() int64 { return h.evicted.Value() }
 // re-sends dispatched via SendRepairBatch.
 func (h *Hub) RepairDatagrams() int64 { return h.repairSent.Value() }
 
-// Close shuts the sending socket; subsequent Joins and Sends fail.
+// Close shuts the sending socket; subsequent Joins and Sends fail. When
+// the io_uring path is armed its submitter is stopped first — completing
+// or failing every in-flight batch — so no SQE can reference the socket
+// after it closes.
 func (h *Hub) Close() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed.Swap(true) {
 		return nil
 	}
+	h.closeUring()
 	return h.conn.Close()
 }
 

@@ -1,0 +1,542 @@
+//go:build linux && (amd64 || arm64)
+
+// The io_uring cross-shard submission path: the opt-in top rung of the
+// egress ladder. Under the wheel engine every shard flushes its own
+// SendBatch, so even with sendmmsg each shard pays its own kernel
+// crossings. With the ring armed (Hub.EnableUring), shards instead
+// enqueue their expanded destination vectors to ONE shared submission
+// queue; a single submitter goroutine drains every vector that is
+// pending — across shards — stages one IORING_OP_SENDMSG SQE per
+// datagram, and pushes the whole cycle through single io_uring_enter
+// calls. Egress therefore batches across shards, not just within one
+// flush: the achieved SQE depth (UringSQEs/UringSubmits) rises above
+// what any single shard's batch could reach whenever shards tick close
+// together.
+//
+// The ring is set up raw — io_uring_setup/enter/register by syscall
+// number, no liburing, no new dependencies — with SQPOLL off (plain
+// enter; no kernel-side polling thread to manage or account for).
+// Teardown is panic-safe and ordered: a submitter panic or a fatal
+// enter error aborts the in-flight cycle, and aborted callers retry
+// their vectors through the sendmmsg path (at worst re-sending a few
+// datagrams the kernel already accepted — benign for best-effort UDP
+// broadcast); Hub.Close stops the submitter before closing the socket
+// so no SQE can reference a dead fd.
+package mcast
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// uringCompiled reports at compile time whether this build contains the
+// io_uring path.
+const uringCompiled = true
+
+// io_uring syscall numbers — identical on amd64 and arm64.
+const (
+	sysIoUringSetup    = 425
+	sysIoUringEnter    = 426
+	sysIoUringRegister = 427
+)
+
+const (
+	// uringEntries is the submission-queue size. 256 comfortably covers a
+	// full wheel tick (members * channels rarely exceeds it per cycle
+	// window) while keeping the three ring mmaps under 64 KiB total.
+	uringEntries = 256
+
+	opSendmsg       = 9 // IORING_OP_SENDMSG
+	enterGetevents  = 1 // IORING_ENTER_GETEVENTS
+	registerProbe   = 8 // IORING_REGISTER_PROBE
+	featSingleMmap  = 1 // IORING_FEAT_SINGLE_MMAP
+	opFlagSupported = 1 // IO_URING_OP_SUPPORTED
+
+	offSqRing = 0x0
+	offCqRing = 0x8000000
+	offSqes   = 0x10000000
+)
+
+// ioSqringOffsets / ioCqringOffsets / ioUringParams mirror the kernel
+// ABI structs of io_uring_setup(2) (120 bytes total).
+type ioSqringOffsets struct {
+	head, tail, ringMask, ringEntries uint32
+	flags, dropped, array, resv1      uint32
+	userAddr                          uint64
+}
+
+type ioCqringOffsets struct {
+	head, tail, ringMask, ringEntries uint32
+	overflow, cqes, flags, resv1      uint32
+	userAddr                          uint64
+}
+
+type ioUringParams struct {
+	sqEntries    uint32
+	cqEntries    uint32
+	flags        uint32
+	sqThreadCPU  uint32
+	sqThreadIdle uint32
+	features     uint32
+	wqFd         uint32
+	resv         [3]uint32
+	sqOff        ioSqringOffsets
+	cqOff        ioCqringOffsets
+}
+
+// ioUringSQE is one 64-byte submission-queue entry.
+type ioUringSQE struct {
+	opcode      uint8
+	flags       uint8
+	ioprio      uint16
+	fd          int32
+	off         uint64
+	addr        uint64
+	len         uint32
+	msgFlags    uint32
+	userData    uint64
+	bufIndex    uint16
+	personality uint16
+	spliceFdIn  int32
+	_           [2]uint64
+}
+
+// ioUringCQE is one 16-byte completion-queue entry.
+type ioUringCQE struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// ioUringProbeOp / ioUringProbe mirror IORING_REGISTER_PROBE's result:
+// which opcodes this kernel supports.
+type ioUringProbeOp struct {
+	op    uint8
+	resv  uint8
+	flags uint16
+	resv2 uint32
+}
+
+type ioUringProbe struct {
+	lastOp uint8
+	opsLen uint8
+	resv   uint16
+	resv2  [3]uint32
+	ops    [256]ioUringProbeOp
+}
+
+// uringMsgState is the per-datagram syscall state one SQE points at:
+// msghdr → iovec → frame bytes, plus the raw sockaddr. It must stay
+// resident (and unmoved — Go's heap does not move) from submission to
+// completion; items keep their states alive until the cycle signals.
+type uringMsgState struct {
+	hdr syscall.Msghdr
+	iov syscall.Iovec
+	sa4 syscall.RawSockaddrInet4
+	sa6 syscall.RawSockaddrInet6
+}
+
+// uringItem is one shard's enqueued destination vector. The enqueuing
+// goroutine blocks on done until the submitter has completed (or
+// aborted) every datagram; first carries the item's first send error and
+// aborted tells the caller to retry through the direct path.
+type uringItem struct {
+	ds      []dest
+	states  []uringMsgState
+	first   error
+	aborted bool
+	done    chan struct{}
+}
+
+// destRef names one datagram of the current submission cycle: an item
+// and an index into its vector. A CQE's userData indexes the cycle's
+// flat ref slice.
+type destRef struct {
+	it  *uringItem
+	idx int
+}
+
+// uRing is the shared ring plus its submitter. One per hub, created by
+// EnableUring, torn down by closeUring.
+type uRing struct {
+	h      *Hub
+	fd     int
+	sockFd int32
+
+	sqHead    *uint32
+	sqTail    *uint32
+	sqMask    uint32
+	sqEntries uint32
+	sqArray   []uint32
+	sqes      []ioUringSQE
+
+	cqHead    *uint32
+	cqTail    *uint32
+	cqMask    uint32
+	cqEntries uint32
+	cqes      []ioUringCQE
+
+	mmaps [][]byte // live mmap regions, unmapped at teardown
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*uringItem
+	stopped bool
+	wg      sync.WaitGroup
+
+	itemPool sync.Pool
+	cycle    []*uringItem
+	refs     []destRef
+}
+
+// EnableUring arms the shared io_uring submission path: sets up the
+// ring, probes that this kernel supports IORING_OP_SENDMSG, and starts
+// the submitter. On any failure the hub is left exactly as it was —
+// batches keep flowing through sendmmsg — and the error tells the
+// caller what to log.
+func (h *Hub) EnableUring() error {
+	if h.uring != nil {
+		return nil
+	}
+	if !h.vectorized.Load() {
+		return fmt.Errorf("mcast: io_uring path needs the raw socket handle (vectorized path is off)")
+	}
+	var sockFd int32 = -1
+	if err := h.rc.Control(func(fd uintptr) { sockFd = int32(fd) }); err != nil {
+		return fmt.Errorf("mcast: io_uring: raw socket handle: %w", err)
+	}
+	r, err := newURing(h, sockFd)
+	if err != nil {
+		return err
+	}
+	h.uring = r
+	r.wg.Add(1)
+	go r.run()
+	h.uringOn.Store(true)
+	return nil
+}
+
+// newURing performs io_uring_setup, maps the three ring regions, and
+// verifies sendmsg opcode support via IORING_REGISTER_PROBE.
+func newURing(h *Hub, sockFd int32) (*uRing, error) {
+	var p ioUringParams
+	fd, _, errno := syscall.Syscall(sysIoUringSetup, uringEntries, uintptr(unsafe.Pointer(&p)), 0)
+	if errno != 0 {
+		return nil, fmt.Errorf("mcast: io_uring_setup: %w", errno)
+	}
+	r := &uRing{h: h, fd: int(fd), sockFd: sockFd}
+	r.cond = sync.NewCond(&r.mu)
+	r.itemPool.New = func() any { return &uringItem{done: make(chan struct{}, 1)} }
+
+	fail := func(err error) (*uRing, error) {
+		r.unmapAll()
+		syscall.Close(r.fd)
+		return nil, err
+	}
+
+	sqSize := uintptr(p.sqOff.array) + uintptr(p.sqEntries)*4
+	cqSize := uintptr(p.cqOff.cqes) + uintptr(p.cqEntries)*unsafe.Sizeof(ioUringCQE{})
+	if p.features&featSingleMmap != 0 && cqSize > sqSize {
+		sqSize = cqSize
+	}
+	sqRing, err := syscall.Mmap(r.fd, offSqRing, int(sqSize),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		return fail(fmt.Errorf("mcast: io_uring sq ring mmap: %w", err))
+	}
+	r.mmaps = append(r.mmaps, sqRing)
+	cqRing := sqRing
+	if p.features&featSingleMmap == 0 {
+		cqRing, err = syscall.Mmap(r.fd, offCqRing, int(cqSize),
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+		if err != nil {
+			return fail(fmt.Errorf("mcast: io_uring cq ring mmap: %w", err))
+		}
+		r.mmaps = append(r.mmaps, cqRing)
+	}
+	sqesBytes, err := syscall.Mmap(r.fd, offSqes, int(uintptr(p.sqEntries)*unsafe.Sizeof(ioUringSQE{})),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		return fail(fmt.Errorf("mcast: io_uring sqes mmap: %w", err))
+	}
+	r.mmaps = append(r.mmaps, sqesBytes)
+
+	sqBase := unsafe.Pointer(&sqRing[0])
+	r.sqHead = (*uint32)(unsafe.Add(sqBase, p.sqOff.head))
+	r.sqTail = (*uint32)(unsafe.Add(sqBase, p.sqOff.tail))
+	r.sqMask = *(*uint32)(unsafe.Add(sqBase, p.sqOff.ringMask))
+	r.sqEntries = p.sqEntries
+	r.sqArray = unsafe.Slice((*uint32)(unsafe.Add(sqBase, p.sqOff.array)), p.sqEntries)
+	r.sqes = unsafe.Slice((*ioUringSQE)(unsafe.Pointer(&sqesBytes[0])), p.sqEntries)
+
+	cqBase := unsafe.Pointer(&cqRing[0])
+	r.cqHead = (*uint32)(unsafe.Add(cqBase, p.cqOff.head))
+	r.cqTail = (*uint32)(unsafe.Add(cqBase, p.cqOff.tail))
+	r.cqMask = *(*uint32)(unsafe.Add(cqBase, p.cqOff.ringMask))
+	r.cqEntries = p.cqEntries
+	r.cqes = unsafe.Slice((*ioUringCQE)(unsafe.Add(cqBase, p.cqOff.cqes)), p.cqEntries)
+
+	probe := new(ioUringProbe)
+	if _, _, errno := syscall.Syscall6(sysIoUringRegister, uintptr(r.fd), registerProbe,
+		uintptr(unsafe.Pointer(probe)), uintptr(len(probe.ops)), 0, 0); errno != 0 {
+		return fail(fmt.Errorf("mcast: io_uring probe: %w", errno))
+	}
+	if int(probe.lastOp) < opSendmsg || probe.ops[opSendmsg].flags&opFlagSupported == 0 {
+		return fail(fmt.Errorf("mcast: io_uring on this kernel lacks IORING_OP_SENDMSG"))
+	}
+	return r, nil
+}
+
+// writeDestsUring hands ds to the shared submitter and blocks until
+// every datagram completed, marking failed destinations in place like
+// the other writers. ok=false means the ring did not take the vector
+// (teardown or submitter death raced the enqueue) and the caller must
+// retry through the direct path.
+func (h *Hub) writeDestsUring(ds []dest) (error, bool) {
+	r := h.uring
+	if r == nil {
+		return nil, false
+	}
+	it := r.itemPool.Get().(*uringItem)
+	it.ds = ds
+	it.first = nil
+	it.aborted = false
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		it.ds = nil
+		r.itemPool.Put(it)
+		return nil, false
+	}
+	r.queue = append(r.queue, it)
+	r.cond.Signal()
+	r.mu.Unlock()
+	<-it.done
+	first, aborted := it.first, it.aborted
+	it.ds = nil
+	it.first = nil
+	r.itemPool.Put(it)
+	if aborted {
+		return nil, false
+	}
+	return first, true
+}
+
+// run is the submitter: it sleeps until work is queued, then drains
+// EVERYTHING pending — every shard's vectors — into one submission
+// cycle. On stop it aborts whatever is still queued so no enqueuer
+// strands.
+func (r *uRing) run() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.stopped {
+			r.cond.Wait()
+		}
+		if r.stopped {
+			q := r.queue
+			r.queue = nil
+			r.mu.Unlock()
+			for _, it := range q {
+				it.aborted = true
+				it.done <- struct{}{}
+			}
+			return
+		}
+		r.cycle = append(r.cycle[:0], r.queue...)
+		r.queue = r.queue[:0]
+		r.mu.Unlock()
+		r.submitCycle(r.cycle)
+	}
+}
+
+// submitCycle pushes one coalesced cycle — every datagram of every item
+// taken from the queue — through the ring with windowed enter/reap, then
+// signals the items. A panic (including a deliberate one on a fatal
+// enter error) stops the ring: unsignaled items are aborted so their
+// shards retry via sendmmsg, and the hub's uring flag drops so new
+// batches route directly.
+func (r *uRing) submitCycle(items []*uringItem) {
+	signaled := 0
+	defer func() {
+		if p := recover(); p != nil {
+			r.h.uringOn.Store(false)
+			r.mu.Lock()
+			r.stopped = true
+			r.mu.Unlock()
+			r.h.logf("mcast: io_uring submitter failed (%v); egress falls back to sendmmsg", p)
+			for _, it := range items[signaled:] {
+				it.aborted = true
+				it.done <- struct{}{}
+			}
+		}
+	}()
+
+	refs := r.refs[:0]
+	for _, it := range items {
+		if cap(it.states) < len(it.ds) {
+			it.states = make([]uringMsgState, len(it.ds))
+		}
+		it.states = it.states[:len(it.ds)]
+		for i := range it.ds {
+			it.prep(i)
+			refs = append(refs, destRef{it: it, idx: i})
+		}
+	}
+	r.refs = refs
+
+	staged, consumed, completed := 0, 0, 0
+	for completed < len(refs) {
+		canStage := len(refs) - staged
+		if m := int(r.sqEntries) - (staged - consumed); canStage > m {
+			canStage = m
+		}
+		if m := int(r.cqEntries) - (consumed - completed); canStage > m {
+			canStage = m
+		}
+		for i := 0; i < canStage; i++ {
+			r.pushSQE(&refs[staged+i], uint64(staged+i))
+		}
+		staged += canStage
+
+		n, errno := r.enter(uint32(staged-consumed), 1)
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			panic(fmt.Sprintf("io_uring_enter: %v", errno))
+		}
+		consumed += n
+		r.h.uringSubmits.Inc()
+		r.h.uringSQEs.Add(int64(n))
+		completed += r.reap(refs)
+	}
+
+	for _, it := range items {
+		signaled++
+		it.done <- struct{}{}
+	}
+}
+
+// prep fills item datagram i's msghdr/iovec/sockaddr, the memory its
+// SQE will point at.
+func (it *uringItem) prep(i int) {
+	d := &it.ds[i]
+	st := &it.states[i]
+	if len(d.frame) > 0 {
+		st.iov.Base = &d.frame[0]
+	} else {
+		st.iov.Base = nil
+	}
+	st.iov.SetLen(len(d.frame))
+
+	hdr := &st.hdr
+	addr := d.ap.Addr()
+	p := d.ap.Port()
+	if addr.Is4() {
+		sa := &st.sa4
+		sa.Family = syscall.AF_INET
+		sa.Port = p<<8 | p>>8 // network byte order on these LE targets
+		sa.Addr = addr.As4()
+		hdr.Name = (*byte)(unsafe.Pointer(sa))
+		hdr.Namelen = syscall.SizeofSockaddrInet4
+	} else {
+		sa := &st.sa6
+		sa.Family = syscall.AF_INET6
+		sa.Port = p<<8 | p>>8
+		sa.Flowinfo = 0
+		sa.Addr = addr.As16()
+		sa.Scope_id = 0
+		hdr.Name = (*byte)(unsafe.Pointer(sa))
+		hdr.Namelen = syscall.SizeofSockaddrInet6
+	}
+	hdr.Iov = &st.iov
+	hdr.Iovlen = 1
+	hdr.Control = nil
+	hdr.Controllen = 0
+	hdr.Flags = 0
+}
+
+// pushSQE writes one IORING_OP_SENDMSG entry and publishes the new SQ
+// tail. The submitter is the only producer, so a plain read of the tail
+// shadowed by an atomic publish is the full protocol.
+func (r *uRing) pushSQE(ref *destRef, userData uint64) {
+	tail := atomic.LoadUint32(r.sqTail)
+	slot := tail & r.sqMask
+	sqe := &r.sqes[slot]
+	*sqe = ioUringSQE{}
+	sqe.opcode = opSendmsg
+	sqe.fd = r.sockFd
+	sqe.addr = uint64(uintptr(unsafe.Pointer(&ref.it.states[ref.idx].hdr)))
+	sqe.len = 1
+	sqe.userData = userData
+	r.sqArray[slot] = slot
+	atomic.StoreUint32(r.sqTail, tail+1)
+}
+
+// enter submits the ring's pending SQEs and waits for at least minWait
+// completions, returning how many SQEs the kernel consumed.
+func (r *uRing) enter(toSubmit, minWait uint32) (int, syscall.Errno) {
+	n, _, errno := syscall.Syscall6(sysIoUringEnter, uintptr(r.fd),
+		uintptr(toSubmit), uintptr(minWait), enterGetevents, 0, 0)
+	if errno != 0 {
+		return 0, errno
+	}
+	return int(n), 0
+}
+
+// reap drains every available CQE, attributing failures (res < 0) to the
+// exact datagram the CQE's userData names.
+func (r *uRing) reap(refs []destRef) int {
+	n := 0
+	head := atomic.LoadUint32(r.cqHead)
+	tail := atomic.LoadUint32(r.cqTail)
+	for head != tail {
+		cqe := &r.cqes[head&r.cqMask]
+		ref := &refs[cqe.userData]
+		if cqe.res < 0 {
+			ref.it.ds[ref.idx].failed = true
+			if ref.it.first == nil {
+				ref.it.first = syscall.Errno(-cqe.res)
+			}
+		}
+		head++
+		n++
+	}
+	atomic.StoreUint32(r.cqHead, head)
+	return n
+}
+
+// closeUring stops the submitter (completing or aborting every in-flight
+// item), unmaps the rings, and closes the ring fd. Called under Hub.mu
+// from Close, before the socket closes, so no SQE can outlive the fd it
+// names.
+func (h *Hub) closeUring() {
+	r := h.uring
+	if r == nil {
+		return
+	}
+	h.uringOn.Store(false)
+	r.mu.Lock()
+	r.stopped = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+	r.unmapAll()
+	syscall.Close(r.fd)
+	h.uring = nil
+}
+
+// unmapAll releases the ring's mmap regions and the unsafe slices that
+// alias them.
+func (r *uRing) unmapAll() {
+	r.sqArray, r.sqes, r.cqes = nil, nil, nil
+	r.sqHead, r.sqTail, r.cqHead, r.cqTail = nil, nil, nil, nil
+	for _, m := range r.mmaps {
+		syscall.Munmap(m)
+	}
+	r.mmaps = nil
+}

@@ -1,0 +1,29 @@
+//go:build !linux || (!amd64 && !arm64)
+
+// Portable stubs for the io_uring cross-shard submission path. On
+// platforms without it EnableUring reports unsupported, so uringOn is
+// never set and the batch path routes straight to the platform writer.
+package mcast
+
+import "fmt"
+
+// uringCompiled reports at compile time whether this build contains the
+// io_uring path.
+const uringCompiled = false
+
+// uRing has no state on platforms without the io_uring path.
+type uRing struct{}
+
+// EnableUring reports that the io_uring path is not available here; the
+// caller logs one notice and keeps the direct egress path.
+func (h *Hub) EnableUring() error {
+	return fmt.Errorf("mcast: io_uring egress is not supported on this platform")
+}
+
+// writeDestsUring is unreachable on this platform — uringOn is never
+// set — and reports not-taken so a misrouted batch would still go out
+// through the direct path.
+func (h *Hub) writeDestsUring([]dest) (error, bool) { return nil, false }
+
+// closeUring is a no-op: there is no ring to tear down.
+func (h *Hub) closeUring() {}

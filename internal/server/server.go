@@ -89,9 +89,12 @@ type Config struct {
 
 	// EgressEngine selects how channel schedules are driven: EngineWheel
 	// (the default when empty) runs all M·K channels from a small pool of
-	// sharded timer-wheel goroutines with batched fan-out; EnginePacer is
+	// sharded timer-wheel goroutines with batched fan-out; EngineUring is
+	// the wheel plus the hub's shared io_uring submission ring, batching
+	// egress across shards (opt-in; falls back to the wheel with one
+	// logged notice where the kernel lacks io_uring); EnginePacer is
 	// the legacy goroutine-per-channel engine, kept for A/B comparison
-	// and the golden equivalence test. Both emit the identical broadcast
+	// and the golden equivalence test. All emit the identical broadcast
 	// sequence on the identical absolute grid.
 	EgressEngine string
 	// SendBufBytes sizes the multicast hub's kernel send buffer
@@ -141,8 +144,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("server: StormThreshold = %d must be non-negative", c.StormThreshold)
 	case c.StormWindow < 0:
 		return fmt.Errorf("server: StormWindow = %v must be non-negative", c.StormWindow)
-	case c.EgressEngine != "" && c.EgressEngine != EngineWheel && c.EgressEngine != EnginePacer:
-		return fmt.Errorf("server: EgressEngine = %q, want %q or %q", c.EgressEngine, EngineWheel, EnginePacer)
+	case c.EgressEngine != "" && c.EgressEngine != EngineWheel && c.EgressEngine != EnginePacer && c.EgressEngine != EngineUring:
+		return fmt.Errorf("server: EgressEngine = %q, want %q, %q or %q", c.EgressEngine, EngineWheel, EnginePacer, EngineUring)
 	case c.SendBufBytes < 0:
 		return fmt.Errorf("server: SendBufBytes = %d must be non-negative", c.SendBufBytes)
 	case c.RecvBufBytes < 0:
@@ -266,9 +269,18 @@ func New(cfg Config) (*Server, error) {
 // Start opens the control listener and launches every channel pacer. The
 // broadcast epoch is the moment Start returns.
 func (s *Server) Start() error {
-	hub, err := mcast.NewHubBuffered(s.cfg.SendBufBytes, s.cfg.RecvBufBytes)
+	hub, err := mcast.NewHubConfigured(mcast.HubConfig{
+		SendBufBytes: s.cfg.SendBufBytes,
+		RecvBufBytes: s.cfg.RecvBufBytes,
+		Logf:         s.cfg.Logf,
+	})
 	if err != nil {
 		return err
+	}
+	if s.cfg.EgressEngine == EngineUring {
+		if err := hub.EnableUring(); err != nil {
+			s.cfg.Logf("server: io_uring egress unavailable (%v); using the wheel engine", err)
+		}
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -304,8 +316,8 @@ func (s *Server) Start() error {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	s.cfg.Logf("server: broadcasting %d videos x %d channels on %s (unit %v, engine %s, %d shards, vectorized=%v)",
-		sch.Config().Videos, sch.K(), ln.Addr(), s.cfg.Unit, s.EgressEngine(), s.shards, hub.Vectorized())
+	s.cfg.Logf("server: broadcasting %d videos x %d channels on %s (unit %v, engine %s, %d shards, vectorized=%v, gso=%v)",
+		sch.Config().Videos, sch.K(), ln.Addr(), s.cfg.Unit, s.EgressEngine(), s.shards, hub.Vectorized(), hub.GSO())
 	return nil
 }
 
@@ -361,10 +373,15 @@ func (s *Server) PacerRestarts() int64    { return s.pacerRestarts.Value() }
 func (s *Server) PacerDriftEvents() int64 { return s.driftEvents.Value() }
 
 // EgressEngine returns the resolved engine name driving the broadcast
-// schedules.
+// schedules. EngineUring is reported only while the hub's ring is
+// actually armed — a failed EnableUring (old kernel) or a runtime
+// teardown resolves honestly to the wheel.
 func (s *Server) EgressEngine() string {
 	if s.cfg.EgressEngine == EnginePacer {
 		return EnginePacer
+	}
+	if s.hub != nil && s.hub.UringActive() {
+		return EngineUring
 	}
 	return EngineWheel
 }
@@ -795,6 +812,11 @@ func (s *Server) serveControl(conn net.Conn) {
 				EgressBatches:     s.hub.Batches(),
 				BatchedBytes:      s.hub.BatchedBytes(),
 				EgressSyscalls:    s.hub.SendSyscalls(),
+				Superframes:       s.hub.Superframes(),
+				GSOSegments:       s.hub.GSOSegments(),
+				GSOFallbacks:      s.hub.GSOFallbacks(),
+				UringSubmits:      s.hub.UringSubmits(),
+				UringSQEs:         s.hub.UringSQEs(),
 				Draining:          s.draining.Load(),
 			}
 			if err := write(&wire.Control{Kind: wire.KindStatsOK, Stats: st}); err != nil {

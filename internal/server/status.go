@@ -63,10 +63,11 @@ type StatusSnapshot struct {
 	// PacerDriftEvents broadcasts more than one unit behind schedule.
 	PacerRestarts    int64 `json:"pacerRestarts"`
 	PacerDriftEvents int64 `json:"pacerDriftEvents"`
-	// EgressEngine names the engine driving the channel schedules
-	// ("wheel" or "pacer"); EgressShards how many shard goroutines the
-	// wheel runs (0 under the per-pacer engine); EgressWakeups their
-	// timer wakeups, each dispatching every chunk due in its tick.
+	// EgressEngine names the resolved engine driving the channel
+	// schedules ("wheel", "pacer", or "uring" while the shared io_uring
+	// ring is armed); EgressShards how many shard goroutines the wheel
+	// runs (0 under the per-pacer engine); EgressWakeups their timer
+	// wakeups, each dispatching every chunk due in its tick.
 	EgressEngine  string `json:"egressEngine"`
 	EgressShards  int    `json:"egressShards"`
 	EgressWakeups int64  `json:"egressWakeups"`
@@ -80,6 +81,29 @@ type StatusSnapshot struct {
 	BatchedBytes   int64 `json:"batchedBytes"`
 	EgressSyscalls int64 `json:"egressSyscalls"`
 	Vectorized     bool  `json:"vectorized"`
+	// The super-frame (UDP GSO) ledger. GSO reports whether the
+	// UDP_SEGMENT path is active; Superframes counts super-datagrams put
+	// on the wire (one syscall slot each, split by the kernel);
+	// GSOSegments the wire datagrams they carried;
+	// SegmentsPerSuperframe the achieved coalescing factor
+	// (GSOSegments/Superframes); SegmentsPerSyscall the wire datagrams
+	// per GSO-path sendmmsg call; GSOFallbacks how many times the path
+	// was declined or abandoned (probe failure, SKYSCRAPER_NO_GSO,
+	// runtime demotion).
+	GSO                   bool    `json:"gso"`
+	Superframes           int64   `json:"superframes"`
+	GSOSegments           int64   `json:"gsoSegments"`
+	SegmentsPerSuperframe float64 `json:"segmentsPerSuperframe"`
+	SegmentsPerSyscall    float64 `json:"segmentsPerSyscall"`
+	GSOFallbacks          int64   `json:"gsoFallbacks"`
+	// The io_uring ledger. UringSubmits counts io_uring_enter calls of
+	// the shared cross-shard submission ring; UringSQEs the send SQEs
+	// they carried; SQEDepth the achieved depth per submit
+	// (UringSQEs/UringSubmits) — cross-shard coalescing pushes it above
+	// any single shard's batch size.
+	UringSubmits int64   `json:"uringSubmits"`
+	UringSQEs    int64   `json:"uringSqes"`
+	SQEDepth     float64 `json:"sqeDepth"`
 	// MembersEvicted counts group members removed after consecutive send
 	// failures.
 	MembersEvicted int64 `json:"membersEvicted"`
@@ -103,43 +127,60 @@ func (s *Server) snapshot() StatusSnapshot {
 		c := s.inj.Counts()
 		injected = &c
 	}
+	ratio := func(num, den int64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	superframes, gsoSegments := s.hub.Superframes(), s.hub.GSOSegments()
+	uringSubmits, uringSQEs := s.hub.UringSubmits(), s.hub.UringSQEs()
 	return StatusSnapshot{
-		RepairsServed:       s.repairs.Value(),
-		RepairBytes:         s.repairBytes.Value(),
-		BusyReplies:         s.busyReplies.Value(),
-		StormResends:        s.stormResends.Value(),
-		SuppressedRepairs:   s.suppressed.Value(),
-		NacksServed:         s.nacksServed.Value(),
-		NackResends:         s.nackResends.Value(),
-		NackSuppressed:      s.nackSuppressed.Value(),
-		RepairDatagrams:     s.hub.RepairDatagrams(),
-		RepairTokens:        s.RepairTokens(),
-		PacerRestarts:       s.pacerRestarts.Value(),
-		PacerDriftEvents:    s.driftEvents.Value(),
-		EgressEngine:        s.EgressEngine(),
-		EgressShards:        s.shards,
-		EgressWakeups:       s.wheelWakeups.Value(),
-		EgressBatches:       s.hub.Batches(),
-		BatchedBytes:        s.hub.BatchedBytes(),
-		EgressSyscalls:      s.hub.SendSyscalls(),
-		Vectorized:          s.hub.Vectorized(),
-		MembersEvicted:      s.hub.Evictions(),
-		Draining:            s.draining.Load(),
-		FaultsInjected:      injected,
-		Videos:              sch.Config().Videos,
-		ChannelsPerVideo:    sch.K(),
-		Width:               sch.Width(),
-		SizeUnits:           append([]int64(nil), sch.Sizes()...),
-		UnitMillis:          float64(s.cfg.Unit) / float64(time.Millisecond),
-		UptimeMillis:        float64(time.Since(s.epoch)) / float64(time.Millisecond),
-		DatagramsSent:       s.hub.Sent(),
-		DatagramBytes:       s.hub.SentBytes(),
-		SendFailures:        s.hub.SendFailures(),
-		Memberships:         s.hub.TotalMembers(),
-		ControlSessions:     s.controlSessions.Value(),
-		ControlSessionsPeak: s.controlSessions.High(),
-		FrameCache:          s.cache.stats(),
-		ControlAddr:         s.Addr(),
+		RepairsServed:         s.repairs.Value(),
+		RepairBytes:           s.repairBytes.Value(),
+		BusyReplies:           s.busyReplies.Value(),
+		StormResends:          s.stormResends.Value(),
+		SuppressedRepairs:     s.suppressed.Value(),
+		NacksServed:           s.nacksServed.Value(),
+		NackResends:           s.nackResends.Value(),
+		NackSuppressed:        s.nackSuppressed.Value(),
+		RepairDatagrams:       s.hub.RepairDatagrams(),
+		RepairTokens:          s.RepairTokens(),
+		PacerRestarts:         s.pacerRestarts.Value(),
+		PacerDriftEvents:      s.driftEvents.Value(),
+		EgressEngine:          s.EgressEngine(),
+		EgressShards:          s.shards,
+		EgressWakeups:         s.wheelWakeups.Value(),
+		EgressBatches:         s.hub.Batches(),
+		BatchedBytes:          s.hub.BatchedBytes(),
+		EgressSyscalls:        s.hub.SendSyscalls(),
+		Vectorized:            s.hub.Vectorized(),
+		GSO:                   s.hub.GSO(),
+		Superframes:           superframes,
+		GSOSegments:           gsoSegments,
+		SegmentsPerSuperframe: ratio(gsoSegments, superframes),
+		SegmentsPerSyscall:    ratio(gsoSegments, s.hub.GSOSyscalls()),
+		GSOFallbacks:          s.hub.GSOFallbacks(),
+		UringSubmits:          uringSubmits,
+		UringSQEs:             uringSQEs,
+		SQEDepth:              ratio(uringSQEs, uringSubmits),
+		MembersEvicted:        s.hub.Evictions(),
+		Draining:              s.draining.Load(),
+		FaultsInjected:        injected,
+		Videos:                sch.Config().Videos,
+		ChannelsPerVideo:      sch.K(),
+		Width:                 sch.Width(),
+		SizeUnits:             append([]int64(nil), sch.Sizes()...),
+		UnitMillis:            float64(s.cfg.Unit) / float64(time.Millisecond),
+		UptimeMillis:          float64(time.Since(s.epoch)) / float64(time.Millisecond),
+		DatagramsSent:         s.hub.Sent(),
+		DatagramBytes:         s.hub.SentBytes(),
+		SendFailures:          s.hub.SendFailures(),
+		Memberships:           s.hub.TotalMembers(),
+		ControlSessions:       s.controlSessions.Value(),
+		ControlSessionsPeak:   s.controlSessions.High(),
+		FrameCache:            s.cache.stats(),
+		ControlAddr:           s.Addr(),
 	}
 }
 

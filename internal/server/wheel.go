@@ -48,7 +48,20 @@ const (
 	// EnginePacer is the legacy goroutine-per-channel engine, kept
 	// selectable for A/B comparison and the golden equivalence test.
 	EnginePacer = "pacer"
+	// EngineUring is the wheel engine with the hub's shared io_uring
+	// submission path armed: shards enqueue their expanded destination
+	// vectors to one ring whose submitter coalesces them into single
+	// io_uring_enter calls, batching egress across shards. Opt-in;
+	// where the kernel lacks io_uring the server logs one notice and
+	// resolves to the wheel engine.
+	EngineUring = "uring"
 )
+
+// wheelMaxRun caps how many chunks one entry may stage into a single
+// dispatch when catching up. 64 matches the kernel's UDP GSO segment cap
+// (UDP_MAX_SEGMENTS), so a maximal catch-up run coalesces into exactly
+// one super-frame on the GSO path.
+const wheelMaxRun = 64
 
 // wheelSlots is the fan-out of each wheel level: 256 level-0 slots of one
 // quantum each, 256 level-1 slots of wheelSlots quanta each, and an
@@ -84,6 +97,10 @@ type wheelEntry struct {
 	n   uint32
 	c   int
 	due time.Duration // offset of the next send from the epoch
+	// firstDue remembers the due offset of the first chunk staged in the
+	// current dispatch — the most-late one — for the post-send drift
+	// check, since catch-up staging advances due before the batch leaves.
+	firstDue time.Duration
 	// dead marks a channel whose frames can no longer be patched (the
 	// same condition that makes pace return); it is dropped from the
 	// rotation.
@@ -253,6 +270,25 @@ type wheelShard struct {
 	wheel   timerWheel
 	due     []*wheelEntry
 	batch   []mcast.BatchEntry
+	// spares back the frames of catch-up runs: cache.acquire encodes a
+	// non-resident chunk into the scratch it is handed, so every chunk
+	// staged into one batch needs distinct backing memory. The first
+	// chunk of an entry uses the entry's own scratch; further chunks of
+	// the same dispatch draw from this lazily-grown shard pool (steady
+	// state stages one chunk per entry and never touches it).
+	spares   []*frameScratch
+	spareIdx int
+}
+
+// nextSpare hands out the next spare scratch of the current dispatch,
+// growing the pool only when a dispatch stages deeper than any before.
+func (sh *wheelShard) nextSpare() *frameScratch {
+	if sh.spareIdx == len(sh.spares) {
+		sh.spares = append(sh.spares, newFrameScratch(sh.s.cfg.ChunkBytes))
+	}
+	sp := sh.spares[sh.spareIdx]
+	sh.spareIdx++
+	return sp
 }
 
 // newWheelEntry builds the schedule state for (video v, channel i) — the
@@ -402,29 +438,59 @@ func (sh *wheelShard) run() {
 // prepared frames leave as one hub batch when the sender supports it
 // (it does not when a fault injector is interposed, which must keep
 // deciding chunk by chunk; those go through per-chunk Send unchanged).
+//
+// Catch-up shaping: when an entry has fallen behind — a stalled shard,
+// a restart, a dense schedule — every chunk already due is staged in
+// the same dispatch as one same-group contiguous run (capped at
+// wheelMaxRun and at the repetition boundary), instead of one chunk per
+// wakeup. The run order is the
+// schedule order, so per-channel (rep, chunk) sequences stay exactly
+// what the pacer engine produces, and the contiguous same-group shape
+// is precisely what the hub's GSO path coalesces into super-frames.
 func (sh *wheelShard) dispatch() {
 	s := sh.s
 	hook := s.cfg.PacerHook
 	bs, batching := s.send.(mcast.BatchSender)
 	sh.batch = sh.batch[:0]
+	sh.spareIdx = 0
+	elapsed := time.Since(s.epoch)
 	for _, e := range sh.due {
-		if hook != nil {
-			hook(e.video, e.channel, e.n, e.c)
-		}
-		frame := s.cache.acquire(e.cc, e.c, e.scratch)
-		if err := wire.PatchSeq(frame, e.n); err != nil {
-			// The channel cannot broadcast coherent frames; retire it, as
-			// pace does by returning.
-			s.cfg.Logf("server: patching %v seq %d: %v", e.group, e.n, err)
-			e.dead = true
-			continue
-		}
-		if batching {
-			sh.batch = append(sh.batch, mcast.BatchEntry{Group: e.group, Frame: frame})
-			continue
-		}
-		if _, err := s.send.Send(e.group, frame); err != nil {
-			sh.logSendErr(e, err)
+		e.firstDue = e.due
+		staged := 0
+		for {
+			if hook != nil {
+				hook(e.video, e.channel, e.n, e.c)
+			}
+			scratch := e.scratch
+			if staged > 0 {
+				scratch = sh.nextSpare()
+			}
+			frame := s.cache.acquire(e.cc, e.c, scratch)
+			if err := wire.PatchSeq(frame, e.n); err != nil {
+				// The channel cannot broadcast coherent frames; retire it,
+				// as pace does by returning.
+				s.cfg.Logf("server: patching %v seq %d: %v", e.group, e.n, err)
+				e.dead = true
+				break
+			}
+			staged++
+			if batching {
+				sh.batch = append(sh.batch, mcast.BatchEntry{Group: e.group, Frame: frame})
+			} else if _, err := s.send.Send(e.group, frame); err != nil {
+				sh.logSendErr(e, err)
+			}
+			e.advance()
+			// A run ends when the entry is caught up, at the wheelMaxRun
+			// cap, or at a repetition boundary. The boundary stop is an
+			// aliasing guard: chunk indices within one repetition are
+			// distinct, but across the wrap the same chunk recurs, and a
+			// cache-resident frame is one shared buffer whose Seq patch
+			// would retroactively corrupt the earlier staged entry. A
+			// still-behind entry re-files at the current tick and the next
+			// wakeup continues the catch-up.
+			if !batching || e.due > elapsed || staged >= wheelMaxRun || e.c == 0 {
+				break
+			}
 		}
 	}
 	if batching && len(sh.batch) > 0 {
@@ -436,13 +502,15 @@ func (sh *wheelShard) dispatch() {
 		if e.dead {
 			continue
 		}
-		if late := time.Since(s.epoch.Add(e.due)); late > s.cfg.Unit {
+		// One drift sample per entry per dispatch, taken against the
+		// first (most-late) chunk staged — the chunk the old
+		// one-chunk-per-wakeup engine would have sampled.
+		if late := time.Since(s.epoch.Add(e.firstDue)); late > s.cfg.Unit {
 			if d := s.driftEvents.Add(1); d == 1 || d%256 == 0 {
 				s.cfg.Logf("server: pacing drift: %v seq %d chunk %d sent %v late (%d drift events)",
 					e.group, e.n, e.c, late, d)
 			}
 		}
-		e.advance()
 		sh.wheel.insert(e)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"skyscraper/internal/core"
+	"skyscraper/internal/mcast"
 	"skyscraper/internal/vod"
 )
 
@@ -344,6 +345,150 @@ func TestWheelEntryResyncMatchesPace(t *testing.T) {
 			t.Errorf("resync(%v) due = %v, want %v", tc.elapsed, e.due, want)
 		}
 	}
+}
+
+// recordingBatchSender captures every batch a shard dispatches, for
+// direct dispatch() tests that bypass the hub.
+type recordingBatchSender struct {
+	batches [][]mcast.BatchEntry
+}
+
+func (r *recordingBatchSender) Send(g mcast.Group, frame []byte) (int, error) { return 1, nil }
+
+func (r *recordingBatchSender) SendBatch(entries []mcast.BatchEntry) (int, error) {
+	r.batches = append(r.batches, append([]mcast.BatchEntry(nil), entries...))
+	return len(entries), nil
+}
+
+// catchupDispatch builds a two-channel shard whose epoch sits behind the
+// wall clock by the given offset, runs one dispatch, and returns what it
+// staged: the recorded batches, the hook's per-channel (rep, chunk)
+// events, the shard's entries, and the drift-event count.
+func catchupDispatch(t *testing.T, chunkBytes int, behind time.Duration) (*recordingBatchSender, map[chanKey][]event, []*wheelEntry, int64) {
+	t.Helper()
+	sch := wheelScheme(t, 1, 3)
+	events := make(map[chanKey][]event)
+	srv, err := New(Config{
+		Scheme:       sch,
+		Unit:         250 * time.Millisecond,
+		BytesPerUnit: 4096,
+		ChunkBytes:   chunkBytes,
+		PacerHook: func(v, i int, n uint32, c int) {
+			events[chanKey{v, i}] = append(events[chanKey{v, i}], event{n, c})
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingBatchSender{}
+	srv.send = rec
+	srv.epoch = time.Now().Add(-behind)
+	sh := &wheelShard{s: srv, id: 0}
+	sh.wheel.reset(time.Millisecond, 0)
+	for _, ch := range []int{1, 2} {
+		e := srv.newWheelEntry(0, ch)
+		e.resync(0)
+		sh.entries = append(sh.entries, e)
+		sh.due = append(sh.due, e)
+	}
+	sh.dispatch()
+	return rec, events, sh.entries, srv.driftEvents.Value()
+}
+
+// TestWheelCatchupStagesRuns pins the catch-up shaping dispatch feeds
+// the GSO path: a behind-schedule entry stages every due chunk as ONE
+// contiguous same-group run in a single batch, in schedule order, with
+// each staged frame backed by distinct memory; runs stop at the
+// repetition boundary (the resident-frame aliasing guard) and at
+// wheelMaxRun; a healthy entry stages exactly one chunk.
+func TestWheelCatchupStagesRuns(t *testing.T) {
+	k1, k2 := chanKey{0, 1}, chanKey{0, 2}
+
+	t.Run("steady", func(t *testing.T) {
+		rec, events, _, drift := catchupDispatch(t, 1024, 0)
+		if len(rec.batches) != 1 || len(rec.batches[0]) != 2 {
+			t.Fatalf("staged %d batches (first %d entries), want 1 batch of 2", len(rec.batches), len(rec.batches[0]))
+		}
+		for _, k := range []chanKey{k1, k2} {
+			if evs := events[k]; len(evs) != 1 || evs[0] != (event{0, 0}) {
+				t.Errorf("video%d/ch%d staged %v, want [(0, 0)]", k.video, k.channel, evs)
+			}
+		}
+		if drift != 0 {
+			t.Errorf("driftEvents = %d on a healthy dispatch, want 0", drift)
+		}
+	})
+
+	t.Run("behind", func(t *testing.T) {
+		// 375 ms behind at 62.5 ms spacing: channel 1 (4 chunks per
+		// repetition) must stop its run at the repetition boundary with
+		// chunks 0-3 of rep 0; channel 2 (8 chunks) stages all 7 due.
+		rec, events, entries, drift := catchupDispatch(t, 1024, 375*time.Millisecond)
+		if len(rec.batches) != 1 {
+			t.Fatalf("staged %d batches, want 1", len(rec.batches))
+		}
+		batch := rec.batches[0]
+		if len(batch) != 11 {
+			t.Fatalf("staged %d entries, want 11 (4 + 7)", len(batch))
+		}
+		switches := 0
+		for i := 1; i < len(batch); i++ {
+			if batch[i].Group != batch[i-1].Group {
+				switches++
+			}
+		}
+		if switches != 1 {
+			t.Errorf("batch switches groups %d times, want 1 (one contiguous run per channel)", switches)
+		}
+		if evs := events[k1]; len(evs) != 4 || evs[0] != (event{0, 0}) || evs[3] != (event{0, 3}) {
+			t.Errorf("video0/ch1 staged %v, want rep 0 chunks 0-3", evs)
+		}
+		checkContiguous(t, k1, events[k1], 4)
+		if evs := events[k2]; len(evs) != 7 || evs[0] != (event{0, 0}) {
+			t.Errorf("video0/ch2 staged %v, want rep 0 chunks 0-6", evs)
+		}
+		checkContiguous(t, k2, events[k2], 8)
+		// Distinct backing memory per staged frame: the boundary stop and
+		// the spare-scratch pool together guarantee no two entries of one
+		// batch share a buffer (a shared resident frame patched twice
+		// would corrupt the earlier entry's Seq).
+		seen := make(map[*byte]bool)
+		for _, be := range batch {
+			p := &be.Frame[0]
+			if seen[p] {
+				t.Fatal("two staged frames share one backing buffer")
+			}
+			seen[p] = true
+		}
+		// The boundary-stopped entry re-enters the rotation still behind,
+		// poised at the next repetition's first chunk.
+		if e1 := entries[0]; e1.n != 1 || e1.c != 0 {
+			t.Errorf("channel 1 cursor at (rep %d, chunk %d) after boundary stop, want (1, 0)", e1.n, e1.c)
+		}
+		if drift != 2 {
+			t.Errorf("driftEvents = %d, want 2 (one per late entry per dispatch)", drift)
+		}
+	})
+
+	t.Run("capped", func(t *testing.T) {
+		// 64-byte chunks give the channels 64 and 128 chunks per
+		// repetition; 450 ms behind is over 64 spacings for both, so each
+		// run stops at exactly wheelMaxRun — the GSO segment cap.
+		rec, events, _, _ := catchupDispatch(t, 64, 450*time.Millisecond)
+		if len(rec.batches) != 1 {
+			t.Fatalf("staged %d batches, want 1", len(rec.batches))
+		}
+		if len(rec.batches[0]) != 2*wheelMaxRun {
+			t.Fatalf("staged %d entries, want %d", len(rec.batches[0]), 2*wheelMaxRun)
+		}
+		for _, k := range []chanKey{k1, k2} {
+			if got := len(events[k]); got != wheelMaxRun {
+				t.Errorf("video%d/ch%d staged %d chunks, want the %d cap", k.video, k.channel, got, wheelMaxRun)
+			}
+			checkContiguous(t, k, events[k], 64*64) // chunks ≥ cap; contiguity is what matters
+		}
+	})
 }
 
 // BenchmarkWheelDispatch measures the scheduling machinery alone: one

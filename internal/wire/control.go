@@ -149,6 +149,20 @@ type Stats struct {
 	EgressBatches  int64 `json:"egressBatches,omitempty"`
 	BatchedBytes   int64 `json:"batchedBytes,omitempty"`
 	EgressSyscalls int64 `json:"egressSyscalls,omitempty"`
+	// The super-frame (UDP GSO) ledger. Superframes counts GSO
+	// super-datagrams put on the wire — each one syscall slot the kernel
+	// split into several wire datagrams; GSOSegments the wire datagrams
+	// they carried, so GSOSegments/Superframes is the coalescing factor;
+	// GSOFallbacks how many times the GSO path was declined or abandoned
+	// (probe failure, kill-switch, runtime demotion).
+	Superframes  int64 `json:"superframes,omitempty"`
+	GSOSegments  int64 `json:"gsoSegments,omitempty"`
+	GSOFallbacks int64 `json:"gsoFallbacks,omitempty"`
+	// The io_uring ledger. UringSubmits counts io_uring_enter calls of
+	// the shared cross-shard submission ring; UringSQEs the send SQEs
+	// they carried, so UringSQEs/UringSubmits is the achieved SQE depth.
+	UringSubmits int64 `json:"uringSubmits,omitempty"`
+	UringSQEs    int64 `json:"uringSqes,omitempty"`
 	// Draining reports a server in graceful shutdown: no new
 	// connections, in-flight repairs finishing.
 	Draining bool `json:"draining,omitempty"`

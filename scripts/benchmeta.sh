@@ -27,5 +27,14 @@ procs=${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 goversion=$(go version 2>/dev/null | awk '{print $3}' || echo unknown)
 
-printf '{"benchmeta":{"target":"%s","commit":"%s","cpu":"%s","gomaxprocs":"%s","go":"%s","date":"%s"}}\n' \
-	"$target" "$sha" "$cpu" "$procs" "$goversion" "$date"
+# Kernel version and egress fast-path capabilities: syscalls-per-datagram
+# numbers depend on whether this kernel offers sendmmsg, UDP GSO
+# (UDP_SEGMENT, >= 4.18) and io_uring sendmsg, so the stamp keeps records
+# from different kernels from being compared silently. The probe is the
+# same one the hub runs at creation (skychaos -egress-caps); if the probe
+# binary cannot run, the caps are recorded as unknown rather than guessed.
+kernel=$(uname -sr 2>/dev/null || echo unknown)
+caps=$(cd "$(dirname "$0")/.." && go run ./cmd/skychaos -egress-caps 2>/dev/null || echo unknown)
+
+printf '{"benchmeta":{"target":"%s","commit":"%s","cpu":"%s","gomaxprocs":"%s","go":"%s","kernel":"%s","egresscaps":"%s","date":"%s"}}\n' \
+	"$target" "$sha" "$cpu" "$procs" "$goversion" "$kernel" "$caps" "$date"
