@@ -17,22 +17,25 @@ vet:
 	$(GO) vet ./...
 
 # The parallel sweep engine, the bench scheme cache, the fault injector,
-# and the lock-free hub/frame-cache data path are concurrent; every PR
-# must pass the race detector over them.
+# the lock-free hub/frame-cache data path, and the wire codecs (shared by
+# every concurrent sender) are concurrent; every PR must pass the race
+# detector over them.
 race:
 	$(GO) test -race ./internal/des ./internal/metrics ./internal/sim ./internal/bench \
-		./internal/faults ./internal/mcast ./internal/viewer
+		./internal/faults ./internal/mcast ./internal/viewer ./internal/wire
 
 # The chaos gate: the fault-injection, loss-recovery, and overload suites
 # — seeded drop/duplicate/reorder plans, unicast repair, reconnects, idle
 # reaping, graceful degradation, repair admission, storm coalescing,
-# supervised pacers, drain, member eviction, and the batched egress
+# supervised pacers, drain, member eviction, the batched egress
 # engine (wheel/pacer golden equivalence, shard panic recovery,
 # vectorized/fallback/GSO identity, io_uring submission + teardown,
-# catch-up run staging) — under the race detector.
+# catch-up run staging), and the proactive FEC stripe (parity encode,
+# stripe reassembly, defeat escalation, burst loss) — under the race
+# detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux|Nack|GSO|Uring|Catchup' \
+		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux|Nack|GSO|Uring|Catchup|Fec|Parity|Stripe' \
 		./internal/faults ./internal/client ./internal/server ./internal/mcast ./internal/viewer
 
 # The portable-fallback pin: the whole egress ladder collapsed to plain
@@ -101,12 +104,15 @@ bench-overload:
 # quantiles, repair load, busy rate, degraded sessions, server CPU};
 # the faulted contrast sweep replays 500/2k/8k viewers under 2% drop on
 # its own server and records the cohort repair plane's ledger (NACKs,
-# suppressed windows, multicast heals) next to the unicast round trips
-# it replaced (see EXPERIMENTS.md "Audience capacity").
+# suppressed windows, multicast heals, FEC stripe heals) next to the
+# unicast round trips it replaced. The G=4 parity stripe is on, so the
+# record shows the proactive rung absorbing scattered loss before the
+# reactive ladder spends any control traffic (see EXPERIMENTS.md
+# "Audience capacity").
 bench-scale:
 	$(GO) run ./cmd/skychaos -scale -viewers 1000,10000,100000 -procs 2 \
 		-fault-drop 0.02 -fault-viewers 500,2000,8000 \
-		-unit 200ms -assert-cohort-repair -out BENCH_scale.json
+		-fec-group 4 -unit 200ms -assert-cohort-repair -out BENCH_scale.json
 	$(BENCHMETA) bench-scale >> BENCH_scale.json
 
 # Record the batched egress benchmarks: vectorized vs fallback fan-out

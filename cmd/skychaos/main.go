@@ -46,6 +46,7 @@ import (
 	"skyscraper/internal/trace"
 	"skyscraper/internal/unicast"
 	"skyscraper/internal/vod"
+	"skyscraper/internal/wire"
 )
 
 func main() {
@@ -60,6 +61,12 @@ func main() {
 		reorder  = flag.Float64("reorder", 0.02, "chunk reorder rate")
 		delay    = flag.Float64("delay", 0, "chunk delay rate")
 		maxDelay = flag.Duration("max-delay", 5*time.Millisecond, "delay upper bound when -delay > 0")
+		fecGroup = flag.Int("fec-group", 0,
+			"proactive parity stripe group size G: one parity frame per G data chunks (0 = off)")
+		fecMode = flag.String("fec-mode", "",
+			"parity stripe code when -fec-group > 0: xor (one erasure per group, the default) or rs (two)")
+		faultBurst = flag.String("fault-burst", "",
+			"Gilbert–Elliott burst loss as enter,exit,drop (e.g. 0.05,0.35,1); empty disables")
 		noRepair = flag.Bool("no-repair", false, "disable the repair path; losses degrade the session instead")
 		verbose  = flag.Bool("v", false, "log protocol details")
 		overload = flag.Bool("overload", false,
@@ -86,6 +93,11 @@ func main() {
 			"probe this kernel's egress fast paths (sendmmsg, UDP GSO, io_uring), print one capability line, and exit")
 	)
 	flag.Parse()
+	burst, err := parseBurst(*faultBurst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skychaos:", err)
+		os.Exit(2)
+	}
 	if *egressCaps {
 		if err := printEgressCaps(); err != nil {
 			fmt.Fprintln(os.Stderr, "skychaos:", err)
@@ -132,7 +144,8 @@ func main() {
 			sweeps = append(sweeps, sweepSpec{drop: *faultDrop, counts: fcounts})
 		}
 		if err := scaleSweep(*videos, *channels, *width, *unit, *seed, sweeps,
-			*procs, *muxWorkers, *spread, *noRepair, *verbose, *assertCohort, scaleOut); err != nil {
+			*procs, *muxWorkers, *spread, *fecGroup, *fecMode, burst,
+			*noRepair, *verbose, *assertCohort, scaleOut); err != nil {
 			fmt.Fprintln(os.Stderr, "skychaos:", err)
 			os.Exit(1)
 		}
@@ -155,11 +168,11 @@ func main() {
 		os.Exit(2)
 	}
 	failed := false
-	fmt.Printf("%-6s %9s %9s %9s %9s %6s %6s %9s %s\n",
-		"drop", "injected", "repaired", "requests", "dups", "lost", "late", "bytes", "verdict")
+	fmt.Printf("%-6s %9s %9s %9s %9s %9s %8s %6s %6s %9s %s\n",
+		"drop", "injected", "fec-heals", "repaired", "requests", "dups", "defeats", "lost", "late", "bytes", "verdict")
 	for _, rate := range rates {
 		if err := sweep(*videos, *channels, *width, *unit, rate, *dup, *reorder, *delay, *maxDelay,
-			*seed, *noRepair, *verbose); err != nil {
+			*seed, *fecGroup, *fecMode, burst, *noRepair, *verbose); err != nil {
 			fmt.Fprintf(os.Stderr, "skychaos: drop %v: %v\n", rate, err)
 			failed = true
 		}
@@ -167,6 +180,46 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// burstSpec is a parsed -fault-burst triple: the Gilbert–Elliott chain's
+// good→bad entry probability, bad→good exit probability, and the drop
+// rate while the chain is bad.
+type burstSpec struct {
+	set               bool
+	enter, exit, drop float64
+}
+
+// parseBurst parses "enter,exit,drop"; the empty string disables burst
+// loss.
+func parseBurst(s string) (burstSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return burstSpec{}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return burstSpec{}, fmt.Errorf("bad -fault-burst %q: want enter,exit,drop", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return burstSpec{}, fmt.Errorf("bad -fault-burst %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	return burstSpec{set: true, enter: vals[0], exit: vals[1], drop: vals[2]}, nil
+}
+
+// applyBurst folds a -fault-burst spec into a fault plan. The injector
+// maps frame offsets to chunk positions through ChunkBytes, so the plan
+// must carry the chunk geometry the server broadcasts with.
+func (b burstSpec) applyBurst(p *faults.Plan, chunkBytes int) {
+	if !b.set {
+		return
+	}
+	p.BurstEnter, p.BurstExit, p.BurstDrop = b.enter, b.exit, b.drop
+	p.ChunkBytes = chunkBytes
 }
 
 // parseRates splits "0.01,0.03" into probabilities.
@@ -194,7 +247,8 @@ func parseRates(s string) ([]float64, error) {
 // error.
 func sweep(videos, channels int, width int64, unit time.Duration,
 	drop, dup, reorder, delay float64, maxDelay time.Duration,
-	seed uint64, noRepair, verbose bool) error {
+	seed uint64, fecGroup int, fecMode string, burst burstSpec,
+	noRepair, verbose bool) error {
 	cfg := vod.Config{
 		ServerMbps: 1.5 * float64(videos*channels),
 		Videos:     videos,
@@ -206,15 +260,19 @@ func sweep(videos, channels int, width int64, unit time.Duration,
 		return err
 	}
 	tb := trace.New(1024)
+	plan := &faults.Plan{
+		Seed: seed, Drop: drop, Duplicate: dup, Reorder: reorder,
+		Delay: delay, MaxDelay: maxDelay, Trace: tb,
+	}
+	burst.applyBurst(plan, 1024)
 	srv, err := server.New(server.Config{
 		Scheme:       sch,
 		Unit:         unit,
 		BytesPerUnit: 4096,
 		ChunkBytes:   1024,
-		Faults: &faults.Plan{
-			Seed: seed, Drop: drop, Duplicate: dup, Reorder: reorder,
-			Delay: delay, MaxDelay: maxDelay, Trace: tb,
-		},
+		FecGroup:     fecGroup,
+		FecMode:      fecMode,
+		Faults:       plan,
 	})
 	if err != nil {
 		return err
@@ -248,9 +306,20 @@ func sweep(videos, channels int, width int64, unit time.Duration,
 	if noRepair {
 		verdict = "degraded"
 	}
-	fmt.Printf("%-6v %9d %9d %9d %9d %6d %6d %9d %s\n",
-		drop, injected.Dropped, stats.RepairedChunks, stats.RepairRequests,
-		stats.DuplicateChunks, stats.LostChunks, stats.LateChunks, stats.Bytes, verdict)
+	fmt.Printf("%-6v %9d %9d %9d %9d %9d %8d %6d %6d %9d %s\n",
+		drop, injected.Dropped+injected.BurstDropped, stats.FecHeals, stats.RepairedChunks,
+		stats.RepairRequests, stats.DuplicateChunks, stats.StripeDefeats,
+		stats.LostChunks, stats.LateChunks, stats.Bytes, verdict)
+	if fecGroup > 0 {
+		mode := fecMode
+		if mode == "" {
+			mode = wire.FecModeXOR
+		}
+		fmt.Printf("       parity stripe: G=%d mode=%s, %d parity frames (%d bytes) broadcast; "+
+			"%d heals with zero control round trips, %d stripe defeats escalated\n",
+			fecGroup, mode, srv.ParityFramesSent(), srv.ParityBytesSent(),
+			stats.FecHeals, stats.StripeDefeats)
+	}
 
 	// The data-path ledger: what the hub actually put on the wire and how
 	// much of it the frame cache served without re-encoding.

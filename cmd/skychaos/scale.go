@@ -54,6 +54,15 @@ type scaleRow struct {
 	NacksSent        int64 `json:"nacks_sent"`
 	NacksSuppressed  int64 `json:"nack_suppressed"`
 	MulticastRepairs int64 `json:"multicast_repairs"`
+	// The proactive repair rung below the ladder: chunks reconstructed
+	// locally from the parity stripe (summed over viewers, zero control
+	// round trips each) and cohort-level stripe defeats that escalated.
+	FecHeals      int64 `json:"fec_heals"`
+	StripeDefeats int64 `json:"stripe_defeats"`
+	// Server-side parity overhead over the window: frames and bytes the
+	// stripe added to the broadcast (bounded by 1/G of the data frames).
+	ServerParityFrames int64 `json:"server_parity_frames"`
+	ServerParityBytes  int64 `json:"server_parity_bytes"`
 	// BusyRate is BusyReplies / RepairRequests (0 when no requests).
 	BusyRate float64 `json:"busy_rate"`
 	// Datagrams / RecvDropped are shared-receiver deliveries and ring
@@ -88,13 +97,19 @@ type scaleSweepResult struct {
 
 // scaleReport is the BENCH_scale.json document.
 type scaleReport struct {
-	Videos      int                `json:"videos"`
-	Channels    int                `json:"channels"`
-	Width       int64              `json:"width"`
-	UnitNanos   int64              `json:"unit_nanos"`
-	Seed        uint64             `json:"seed"`
-	SpreadUnits float64            `json:"spread_units"`
-	Sweeps      []scaleSweepResult `json:"sweeps"`
+	Videos      int     `json:"videos"`
+	Channels    int     `json:"channels"`
+	Width       int64   `json:"width"`
+	UnitNanos   int64   `json:"unit_nanos"`
+	Seed        uint64  `json:"seed"`
+	SpreadUnits float64 `json:"spread_units"`
+	// FecGroup/FecMode record the parity stripe the server broadcast with
+	// (0/"" when off), and Burst the Gilbert–Elliott loss triple, so rows
+	// from different repair configurations are never compared silently.
+	FecGroup int                `json:"fec_group"`
+	FecMode  string             `json:"fec_mode,omitempty"`
+	Burst    string             `json:"burst,omitempty"`
+	Sweeps   []scaleSweepResult `json:"sweeps"`
 }
 
 // emulate is the child-process mode: run one virtual-viewer mux against
@@ -162,7 +177,8 @@ func parseCounts(s string) ([]int, error) {
 // the O(cohorts)-not-O(viewers) property, enforced.
 func scaleSweep(videos, channels int, width int64, unit time.Duration,
 	seed uint64, sweeps []sweepSpec, procs, muxWorkers int,
-	spread float64, noRepair, verbose, assertCohort bool, out string) error {
+	spread float64, fecGroup int, fecMode string, burst burstSpec,
+	noRepair, verbose, assertCohort bool, out string) error {
 	if procs <= 0 {
 		procs = 1
 	}
@@ -179,9 +195,13 @@ func scaleSweep(videos, channels int, width int64, unit time.Duration,
 	report := scaleReport{
 		Videos: videos, Channels: channels, Width: width,
 		UnitNanos: int64(unit), Seed: seed, SpreadUnits: spread,
+		FecGroup: fecGroup, FecMode: fecMode,
+	}
+	if burst.set {
+		report.Burst = fmt.Sprintf("%g,%g,%g", burst.enter, burst.exit, burst.drop)
 	}
 	for _, sw := range sweeps {
-		res, err := runScaleSweep(sch, unit, seed, sw, procs, videos, muxWorkers, spread, noRepair, verbose)
+		res, err := runScaleSweep(sch, unit, seed, sw, procs, videos, muxWorkers, spread, fecGroup, fecMode, burst, noRepair, verbose)
 		if err != nil {
 			return err
 		}
@@ -208,15 +228,20 @@ func scaleSweep(videos, channels int, width int64, unit time.Duration,
 // runScaleSweep runs one sweep against its own server, so each drop rate
 // gets a clean fault plan and cost ledger.
 func runScaleSweep(sch *core.Scheme, unit time.Duration, seed uint64, sw sweepSpec,
-	procs, videos, muxWorkers int, spread float64, noRepair, verbose bool) (*scaleSweepResult, error) {
+	procs, videos, muxWorkers int, spread float64, fecGroup int, fecMode string,
+	burst burstSpec, noRepair, verbose bool) (*scaleSweepResult, error) {
 	scfg := server.Config{
 		Scheme:       sch,
 		Unit:         unit,
 		BytesPerUnit: 4096,
 		ChunkBytes:   1024,
+		FecGroup:     fecGroup,
+		FecMode:      fecMode,
 	}
-	if sw.drop > 0 {
-		scfg.Faults = &faults.Plan{Seed: seed, Drop: sw.drop}
+	if sw.drop > 0 || burst.set {
+		plan := &faults.Plan{Seed: seed, Drop: sw.drop}
+		burst.applyBurst(plan, 1024)
+		scfg.Faults = plan
 	}
 	if verbose {
 		scfg.Logf = log.Printf
@@ -236,17 +261,18 @@ func runScaleSweep(sch *core.Scheme, unit time.Duration, seed uint64, sw sweepSp
 
 	res := &scaleSweepResult{DropRate: sw.drop}
 	fmt.Printf("sweep: drop=%v\n", sw.drop)
-	fmt.Printf("%-9s %5s %7s %9s %9s %9s %7s %8s %7s %8s %9s %9s %8s %9s\n",
-		"viewers", "procs", "cohorts", "p50-wait", "p99-wait", "repairs", "busy%", "degraded",
+	fmt.Printf("%-9s %5s %7s %9s %9s %9s %9s %8s %7s %8s %7s %8s %9s %9s %8s %9s\n",
+		"viewers", "procs", "cohorts", "p50-wait", "p99-wait", "fec-heals", "repairs", "defeats", "busy%", "degraded",
 		"nacks", "mc-heals", "datagrams", "srv-cpu-s", "srv-dgs", "sessions")
 	for _, n := range sw.counts {
 		row, err := scalePoint(srv, statusURL, n, procs, videos, spread, seed, muxWorkers, noRepair, verbose)
 		if err != nil {
 			return nil, fmt.Errorf("drop %v viewers %d: %w", sw.drop, n, err)
 		}
-		fmt.Printf("%-9d %5d %7d %9.3f %9.3f %9d %7.2f %8d %7d %8d %9d %9.2f %8d %9d\n",
+		fmt.Printf("%-9d %5d %7d %9.3f %9.3f %9d %9d %8d %7.2f %8d %7d %8d %9d %9.2f %8d %9d\n",
 			row.Viewers, row.Procs, row.Cohorts, row.P50WaitUnits, row.P99WaitUnits,
-			row.RepairRequests, 100*row.BusyRate, row.DegradedSessions,
+			row.FecHeals, row.RepairRequests, row.StripeDefeats,
+			100*row.BusyRate, row.DegradedSessions,
 			row.NacksSent, row.MulticastRepairs,
 			row.Datagrams, row.ServerCPUSec, row.ServerDatagrams, row.ControlSessionsPeak)
 		res.Rows = append(res.Rows, *row)
@@ -304,6 +330,7 @@ func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
 	dg0 := srv.Hub().Sent()
 	rp0 := srv.RepairsServed()
 	nr0 := srv.NackResends() + srv.StormResends()
+	pf0, pb0 := srv.ParityFramesSent(), srv.ParityBytesSent()
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -370,6 +397,8 @@ func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
 		row.NacksSent += res.NacksSent
 		row.NacksSuppressed += res.NacksSuppressed
 		row.MulticastRepairs += res.MulticastRepairs
+		row.FecHeals += res.FecHeals
+		row.StripeDefeats += res.StripeDefeats
 		row.Datagrams += res.Datagrams
 		row.RecvDropped += res.RecvDropped
 		hists = append(hists, res.WaitHist)
@@ -383,6 +412,8 @@ func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
 	row.ServerDatagrams = srv.Hub().Sent() - dg0
 	row.ServerRepairs = srv.RepairsServed() - rp0
 	row.ServerNackResends = srv.NackResends() + srv.StormResends() - nr0
+	row.ServerParityFrames = srv.ParityFramesSent() - pf0
+	row.ServerParityBytes = srv.ParityBytesSent() - pb0
 
 	resp, err := http.Get(statusURL + "/status")
 	if err != nil {

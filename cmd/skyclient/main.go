@@ -58,6 +58,11 @@ func main() {
 	fmt.Printf("  max buffer      %d bytes\n", stats.MaxBufferBytes)
 	fmt.Printf("  late chunks     %d\n", stats.LateChunks)
 	fmt.Printf("  duplicates      %d\n", stats.DuplicateChunks)
+	// Stripe ledger — absent when the server broadcasts no parity.
+	if stats.FecHeals > 0 || stats.StripeDefeats > 0 {
+		fmt.Printf("  fec heals       %d (zero control round trips)\n", stats.FecHeals)
+		fmt.Printf("  stripe defeats  %d (escalated to the repair ladder)\n", stats.StripeDefeats)
+	}
 }
 
 // queryStats asks the server for its operational snapshot.
@@ -106,6 +111,12 @@ func queryStats(addr string) error {
 		fmt.Printf("uring submits   %d carrying %d sqes (%.1f sqe depth)\n",
 			m.Stats.UringSubmits, m.Stats.UringSQEs,
 			float64(m.Stats.UringSQEs)/float64(m.Stats.UringSubmits))
+	}
+	// Parity stripe row — absent (zero) when FEC is off or the server
+	// predates it.
+	if m.Stats.ParityFrames > 0 {
+		fmt.Printf("parity frames   %d (%d bytes) broadcast proactively\n",
+			m.Stats.ParityFrames, m.Stats.ParityBytes)
 	}
 	return nil
 }

@@ -145,6 +145,12 @@ type Stats struct {
 	NacksSent        int64
 	NacksSuppressed  int64
 	MulticastRepairs int64
+	// FecHeals counts chunks reconstructed locally from the proactive
+	// parity stripe — zero control round trips; StripeDefeats gaps the
+	// stripe could not cover (burst loss) that escalated to the NACK
+	// ladder.
+	FecHeals      int64
+	StripeDefeats int64
 	// BusyReplies counts repair requests the server pushed back with Busy
 	// (admission control or storm suppression).
 	BusyReplies int64
@@ -195,6 +201,10 @@ func Watch(cfg Config) (*Stats, error) {
 	if len(w.SizeUnits) != w.ChannelsPerVideo || w.ChannelsPerVideo == 0 {
 		conn.Close()
 		return nil, fmt.Errorf("client: malformed welcome: %d sizes for %d channels", len(w.SizeUnits), w.ChannelsPerVideo)
+	}
+	if w.FecGroup < 0 || w.FecGroup > wire.MaxFecGroup {
+		conn.Close()
+		return nil, fmt.Errorf("client: malformed welcome: FEC group %d outside [0, %d]", w.FecGroup, wire.MaxFecGroup)
 	}
 
 	sess := &session{
@@ -248,6 +258,7 @@ type session struct {
 	downloaded, bytes, byteErrors, lateChunks, dupChunks, maxBuffer atomic.Int64
 	lost, repaired, repairReqs, reconnects, busyReplies             atomic.Int64
 	nacks, nackSuppressed, nackRepaired                             atomic.Int64
+	fecHeals, stripeDefeats                                         atomic.Int64
 
 	// serverBye latches a server-initiated bye (graceful drain): no
 	// further repairs are attempted; pending chunks ride the broadcast.
@@ -522,6 +533,8 @@ func (s *session) run() (*Stats, error) {
 		NacksSent:        s.nacks.Load(),
 		NacksSuppressed:  s.nackSuppressed.Load(),
 		MulticastRepairs: s.nackRepaired.Load(),
+		FecHeals:         s.fecHeals.Load(),
+		StripeDefeats:    s.stripeDefeats.Load(),
 		BusyReplies:      s.busyReplies.Load(),
 		Reconnects:       s.reconnects.Load(),
 		MaxBufferBytes:   s.maxBuffer.Load(),
@@ -560,12 +573,13 @@ type tuneEntry struct {
 }
 
 // handoffChunk is one successor-fragment datagram read by the
-// predecessor's loop: payload copied out of the shared read buffer,
-// stamped with its read time so booking is faithful to arrival.
+// predecessor's loop — data or parity, copied raw out of the shared read
+// buffer and stamped with its read time so booking is faithful to
+// arrival. The successor decodes it itself, exactly as if it had read it
+// off the socket.
 type handoffChunk struct {
-	payload []byte
-	offset  int64
-	at      time.Time
+	frame []byte
+	at    time.Time
 }
 
 // loader receives this loader's transmission groups in order on one tuner.
@@ -666,6 +680,7 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 		DisableRepair:  s.cfg.DisableRepair,
 		RepairsEnabled: func() bool { return !s.serverBye.Load() },
 		NackEnabled:    s.w.NackRepair && !s.cfg.DisableNack,
+		FecGroup:       s.w.FecGroup,
 		Jitter:         s.jitterIn,
 		OnLost: func(idx, attempts int) {
 			s.tracef("chunk-lost", "ch %d seq %d chunk %d lost (%d repair attempts)", channel, wantSeq, idx, attempts)
@@ -673,6 +688,27 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 		},
 	})
 	buf := make([]byte, wire.EncodedSize(wire.MaxPayload))
+
+	// The stripe reassembly buffer (nil when the server broadcasts no
+	// parity): every accepted data chunk and every parity frame folds in,
+	// and a completed group with one hole (two, under RS) hands the
+	// missing payload back with zero control round trips.
+	stripe := viewer.NewStripe(s.w.FecGroup, s.w.FecMode, s.w.ChunkBytes, totalBytes/s.w.ChunkBytes)
+	var heals []viewer.Heal
+	bookHeals := func(now time.Time) error {
+		for _, h := range heals {
+			if m.FecHealed(h.Idx, now) == viewer.Duplicate {
+				continue
+			}
+			s.tracef("fec-heal", "ch %d seq %d chunk %d reconstructed from parity", channel, wantSeq, h.Idx)
+			off := int64(h.Idx) * int64(s.w.ChunkBytes)
+			if err := s.accountPayload(h.Payload[:m.ChunkLen(h.Idx)], videoBase+off, now); err != nil {
+				return err
+			}
+		}
+		heals = heals[:0]
+		return nil
+	}
 
 	// Join ahead of the broadcast start — unless the previous fragment's
 	// receive loop already fired this join during its handoff overlap.
@@ -692,13 +728,37 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 	// a boundary chunk that already arrived can never be mistaken for a
 	// gap, however late this loop starts.
 	for _, h := range e.handoff {
-		if int(h.offset)%s.w.ChunkBytes != 0 || int(h.offset) >= totalBytes {
-			return fmt.Errorf("inconsistent handoff chunk: offset %d", h.offset)
-		}
-		if m.Chunk(int(h.offset)/s.w.ChunkBytes, h.at) == viewer.Duplicate {
+		if stripe != nil && wire.IsParity(h.frame) {
+			p, err := wire.DecodeParity(h.frame)
+			if err != nil || int(p.Video) != s.cfg.Video || int(p.Channel) != channel || p.Seq != wantSeq {
+				continue
+			}
+			heals = stripe.Parity(&p, heals)
+			if err := bookHeals(h.at); err != nil {
+				return err
+			}
 			continue
 		}
-		if err := s.accountPayload(h.payload, videoBase+h.offset, h.at); err != nil {
+		c, err := wire.Decode(h.frame)
+		if err != nil {
+			if errors.Is(err, wire.ErrBadCRC) {
+				s.byteErrors.Add(1)
+				continue
+			}
+			return err
+		}
+		if int(c.Total) != totalBytes || int(c.Offset)%s.w.ChunkBytes != 0 || int(c.Offset) >= totalBytes {
+			return fmt.Errorf("inconsistent handoff chunk: offset %d", c.Offset)
+		}
+		idx := int(c.Offset) / s.w.ChunkBytes
+		if m.Chunk(idx, h.at) == viewer.Duplicate {
+			continue
+		}
+		if err := s.accountPayload(c.Payload, videoBase+int64(c.Offset), h.at); err != nil {
+			return err
+		}
+		heals = stripe.Data(idx, c.Payload, heals)
+		if err := bookHeals(h.at); err != nil {
 			return err
 		}
 	}
@@ -785,6 +845,31 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 			return fmt.Errorf("receiving (%d chunks outstanding): %w", outstanding(m), err)
 		}
 		now = time.Now()
+		if stripe != nil && wire.IsParity(buf[:n]) {
+			// A parity frame: fold it into its group's accumulator and book
+			// whatever it completes. Damaged or stray parity is dropped —
+			// it is redundancy, never worth failing a session over — except
+			// a successor parity frame read during the handoff overlap,
+			// which is queued raw for the successor's loop just like its
+			// data: the successor's first group must not lose its stripe to
+			// tuner-handoff timing.
+			p, err := wire.DecodeParity(buf[:n])
+			if err != nil || int(p.Video) != s.cfg.Video || int(p.Channel) != channel || p.Seq != wantSeq {
+				if err == nil && next != nil && next.joined && int(p.Video) == s.cfg.Video &&
+					int(p.Channel) == next.channel && p.Seq == next.wantSeq {
+					next.handoff = append(next.handoff, handoffChunk{
+						frame: append([]byte(nil), buf[:n]...),
+						at:    now,
+					})
+				}
+				continue
+			}
+			heals = stripe.Parity(&p, heals)
+			if err := bookHeals(now); err != nil {
+				return err
+			}
+			continue
+		}
 		c, err := wire.Decode(buf[:n])
 		if err != nil {
 			if errors.Is(err, wire.ErrBadCRC) {
@@ -801,9 +886,8 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 			if next != nil && next.joined && int(c.Video) == s.cfg.Video &&
 				int(c.Channel) == next.channel && c.Seq == next.wantSeq {
 				next.handoff = append(next.handoff, handoffChunk{
-					payload: append([]byte(nil), c.Payload...),
-					offset:  int64(c.Offset),
-					at:      now,
+					frame: append([]byte(nil), buf[:n]...),
+					at:    now,
 				})
 			}
 			continue
@@ -818,6 +902,10 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 		if err := s.accountPayload(c.Payload, videoBase+int64(c.Offset), now); err != nil {
 			return err
 		}
+		heals = stripe.Data(idx, c.Payload, heals)
+		if err := bookHeals(now); err != nil {
+			return err
+		}
 	}
 
 	// Fold the machine's recovery ledger into the session counters.
@@ -828,6 +916,8 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 	s.repaired.Add(st.Repaired)
 	s.nackSuppressed.Add(st.NacksSuppressed)
 	s.nackRepaired.Add(st.NackRepaired)
+	s.fecHeals.Add(st.FecHeals)
+	s.stripeDefeats.Add(st.StripeDefeats)
 	return nil
 }
 

@@ -48,6 +48,26 @@ type Plan struct {
 	Delay float64
 	// MaxDelay bounds injected delays; required positive when Delay > 0.
 	MaxDelay time.Duration
+
+	// BurstEnter enables Gilbert–Elliott burst loss: the channel walks a
+	// seeded two-state chain per chunk position — good → bad with
+	// probability BurstEnter, bad → good with BurstExit — and while bad,
+	// each chunk drops with probability BurstDrop. The chain is walked
+	// from chunk 0 over positions, never repetitions, so the injured
+	// bursts sit at the same chunk indices in every repetition and every
+	// run with the same seed (the package's reproducibility contract).
+	// The expected burst length is 1/BurstExit chunks — size it against
+	// the FEC stripe width to exercise stripe defeat.
+	BurstEnter float64
+	// BurstExit is the chain's bad → good transition probability;
+	// required positive when BurstEnter > 0.
+	BurstExit float64
+	// BurstDrop is the per-chunk drop probability while the chain is in
+	// the bad state.
+	BurstDrop float64
+	// ChunkBytes maps frame offsets to the chunk positions the burst
+	// chain is walked over; required positive when BurstEnter > 0.
+	ChunkBytes int
 	// Trace, when non-nil, receives one event per injected fault so a
 	// failing chaos run is diagnosable from the ring buffer dump.
 	Trace *trace.Buffer
@@ -58,13 +78,22 @@ func (p Plan) Validate() error {
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"Drop", p.Drop}, {"Duplicate", p.Duplicate}, {"Reorder", p.Reorder}, {"Delay", p.Delay}} {
+	}{{"Drop", p.Drop}, {"Duplicate", p.Duplicate}, {"Reorder", p.Reorder}, {"Delay", p.Delay},
+		{"BurstEnter", p.BurstEnter}, {"BurstExit", p.BurstExit}, {"BurstDrop", p.BurstDrop}} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("faults: %s = %v outside [0, 1]", r.name, r.v)
 		}
 	}
 	if p.Delay > 0 && p.MaxDelay <= 0 {
 		return fmt.Errorf("faults: Delay = %v needs a positive MaxDelay", p.Delay)
+	}
+	if p.BurstEnter > 0 {
+		if p.BurstExit <= 0 {
+			return fmt.Errorf("faults: BurstEnter = %v needs a positive BurstExit", p.BurstEnter)
+		}
+		if p.ChunkBytes <= 0 {
+			return fmt.Errorf("faults: BurstEnter = %v needs a positive ChunkBytes", p.BurstEnter)
+		}
 	}
 	return nil
 }
@@ -77,7 +106,19 @@ const (
 	rollReorder
 	rollDelay
 	rollDelayDur
+	rollBurstEnter
+	rollBurstExit
+	rollBurstDrop
 )
+
+// parityRollStride shifts the decision substreams for parity frames. A
+// parity frame carries its group's base offset — the same header offset
+// as the group's first data chunk — and an unshifted roll would injure
+// both with one decision: correlated loss that defeats the stripe
+// exactly when it is supposed to help, and (worse for the golden gates)
+// a data-chunk fault schedule that shifts when FEC turns on. The shift
+// is scaled by 1+parity index so P and Q fail independently too.
+const parityRollStride = 8
 
 // roll maps one (chunk position, decision kind) to a uniform value in
 // [0, 1). Seq is deliberately absent from the key — see the package
@@ -94,6 +135,11 @@ type Counts struct {
 	Duplicated int64 `json:"duplicated"`
 	Reordered  int64 `json:"reordered"`
 	Delayed    int64 `json:"delayed"`
+	// BurstDropped counts drops decided by the Gilbert–Elliott chain,
+	// separate from the iid Dropped so a chaos run can tell burst
+	// casualties (which defeat an FEC stripe) from scattered ones
+	// (which it heals).
+	BurstDropped int64 `json:"burstDropped"`
 }
 
 // framePool recycles the frame copies the injector makes for delayed and
@@ -126,7 +172,24 @@ type Injector struct {
 	mu   sync.Mutex
 	held map[mcast.Group]*[]byte
 
-	dropped, duplicated, reordered, delayed atomic.Int64
+	// chains memoizes each channel's Gilbert–Elliott walk (nil when the
+	// burst mode is off). Guarded by bmu, separate from mu so burst
+	// decisions never contend with reorder holds.
+	bmu    sync.Mutex
+	chains map[mcast.Group]*burstChain
+
+	dropped, duplicated, reordered, delayed, burstDropped atomic.Int64
+}
+
+// burstChain is one channel's memoized Gilbert–Elliott walk: bad[c/64]
+// bit c%64 records the chain state at chunk position c for every
+// position below next; state is the chain state entering position next.
+// The walk is extended lazily and monotonically, so a decision for any
+// chunk — in or out of order — reads the same bit forever.
+type burstChain struct {
+	bad   []uint64
+	next  int
+	state bool
 }
 
 // New validates the plan and wraps next with it.
@@ -137,16 +200,21 @@ func New(next mcast.Sender, plan Plan) (*Injector, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	return &Injector{plan: plan, next: next, epoch: time.Now(), held: make(map[mcast.Group]*[]byte)}, nil
+	in := &Injector{plan: plan, next: next, epoch: time.Now(), held: make(map[mcast.Group]*[]byte)}
+	if plan.BurstEnter > 0 {
+		in.chains = make(map[mcast.Group]*burstChain)
+	}
+	return in, nil
 }
 
 // Counts reports the faults injected so far.
 func (in *Injector) Counts() Counts {
 	return Counts{
-		Dropped:    in.dropped.Load(),
-		Duplicated: in.duplicated.Load(),
-		Reordered:  in.reordered.Load(),
-		Delayed:    in.delayed.Load(),
+		Dropped:      in.dropped.Load(),
+		Duplicated:   in.duplicated.Load(),
+		Reordered:    in.reordered.Load(),
+		Delayed:      in.delayed.Load(),
+		BurstDropped: in.burstDropped.Load(),
 	}
 }
 
@@ -156,12 +224,18 @@ func (in *Injector) tracef(kind string, g mcast.Group, seq, offset uint32, forma
 }
 
 // Send applies the plan to one datagram. Frames that do not parse as data
-// chunks (control traffic never passes through here, but be safe) are
-// forwarded untouched.
+// chunks or parity frames (control traffic never passes through here,
+// but be safe) are forwarded untouched. Parity frames draw every
+// decision from shifted substreams (parityRollStride), so turning the
+// stripe on never moves a data chunk's fault schedule.
 func (in *Injector) Send(g mcast.Group, frame []byte) (int, error) {
 	video, channel, seq, offset, ok := wire.PeekID(frame)
 	if !ok {
 		return in.next.Send(g, frame)
+	}
+	shift := 0
+	if wire.IsParity(frame) {
+		shift = parityRollStride * (1 + wire.ParityIndexOf(frame))
 	}
 
 	// A frame held from the group's previous send is released after this
@@ -172,7 +246,7 @@ func (in *Injector) Send(g mcast.Group, frame []byte) (int, error) {
 	delete(in.held, g)
 	in.mu.Unlock()
 
-	n, err := in.apply(g, frame, video, channel, seq, offset)
+	n, err := in.apply(g, frame, video, channel, seq, offset, shift)
 	if prev != nil {
 		pn, perr := in.next.Send(g, *prev)
 		framePool.Put(prev)
@@ -184,17 +258,24 @@ func (in *Injector) Send(g mcast.Group, frame []byte) (int, error) {
 	return n, err
 }
 
-// apply executes the plan's decision for one chunk.
-func (in *Injector) apply(g mcast.Group, frame []byte, video, channel uint16, seq, offset uint32) (int, error) {
+// apply executes the plan's decision for one chunk (or parity frame,
+// whose substream shift keeps its rolls independent of the data chunk
+// sharing its header offset).
+func (in *Injector) apply(g mcast.Group, frame []byte, video, channel uint16, seq, offset uint32, shift int) (int, error) {
 	p := in.plan
 	switch {
-	case p.Drop > 0 && p.roll(rollDrop, video, channel, offset) < p.Drop:
+	case p.Drop > 0 && p.roll(shift+rollDrop, video, channel, offset) < p.Drop:
 		in.dropped.Add(1)
 		in.tracef("fault-drop", g, seq, offset, "")
 		return 0, nil
 
-	case p.Delay > 0 && p.roll(rollDelay, video, channel, offset) < p.Delay:
-		d := time.Duration(p.roll(rollDelayDur, video, channel, offset) * float64(p.MaxDelay))
+	case in.burstDrop(frame, video, channel, offset, shift):
+		in.burstDropped.Add(1)
+		in.tracef("fault-burst", g, seq, offset, "")
+		return 0, nil
+
+	case p.Delay > 0 && p.roll(shift+rollDelay, video, channel, offset) < p.Delay:
+		d := time.Duration(p.roll(shift+rollDelayDur, video, channel, offset) * float64(p.MaxDelay))
 		in.delayed.Add(1)
 		in.tracef("fault-delay", g, seq, offset, " by %v", d)
 		// The pacer reuses its frame buffer, so the deferred send must
@@ -207,7 +288,7 @@ func (in *Injector) apply(g mcast.Group, frame []byte, video, channel uint16, se
 		})
 		return 0, nil
 
-	case p.Reorder > 0 && p.roll(rollReorder, video, channel, offset) < p.Reorder:
+	case p.Reorder > 0 && p.roll(shift+rollReorder, video, channel, offset) < p.Reorder:
 		in.reordered.Add(1)
 		in.tracef("fault-reorder", g, seq, offset, " held for next send")
 		in.mu.Lock()
@@ -224,7 +305,7 @@ func (in *Injector) apply(g mcast.Group, frame []byte, video, channel uint16, se
 
 	default:
 		n, err := in.next.Send(g, frame)
-		if err == nil && p.Duplicate > 0 && p.roll(rollDup, video, channel, offset) < p.Duplicate {
+		if err == nil && p.Duplicate > 0 && p.roll(shift+rollDup, video, channel, offset) < p.Duplicate {
 			in.duplicated.Add(1)
 			in.tracef("fault-dup", g, seq, offset, "")
 			if dn, derr := in.next.Send(g, frame); derr == nil {
@@ -233,6 +314,64 @@ func (in *Injector) apply(g mcast.Group, frame []byte, video, channel uint16, se
 		}
 		return n, err
 	}
+}
+
+// burstDrop decides whether the Gilbert–Elliott chain kills this frame.
+// A data chunk consults the chain state at its own position; a parity
+// frame (shift > 0) at the last position it covers, because that is the
+// chunk it rides immediately behind on the wire — a burst that swallows
+// the end of a group swallows its parity too, which is exactly the
+// correlated failure mode the stripe must escalate past.
+func (in *Injector) burstDrop(frame []byte, video, channel uint16, offset uint32, shift int) bool {
+	p := in.plan
+	if p.BurstEnter <= 0 || p.BurstDrop <= 0 {
+		return false
+	}
+	chunk := int(offset) / p.ChunkBytes
+	if shift > 0 {
+		if count := wire.ParityCountOf(frame); count > 0 {
+			chunk += count - 1
+		}
+	}
+	if !in.burstBad(video, channel, chunk) {
+		return false
+	}
+	return p.roll(shift+rollBurstDrop, video, channel, uint32(chunk)) < p.BurstDrop
+}
+
+// burstBad reports the chain state at chunk position `chunk` of the
+// channel, extending the memoized walk as needed. The transition roll
+// at position c decides the state FOR c given the state after c-1, so a
+// freshly-entered burst injures the chunk that triggered it and the
+// expected burst length is 1/BurstExit.
+func (in *Injector) burstBad(video, channel uint16, chunk int) bool {
+	p := in.plan
+	g := mcast.Group{Video: int(video), Channel: int(channel)}
+	in.bmu.Lock()
+	defer in.bmu.Unlock()
+	ch := in.chains[g]
+	if ch == nil {
+		ch = &burstChain{}
+		in.chains[g] = ch
+	}
+	for ch.next <= chunk {
+		c := ch.next
+		if ch.state {
+			if p.roll(rollBurstExit, video, channel, uint32(c)) < p.BurstExit {
+				ch.state = false
+			}
+		} else if p.roll(rollBurstEnter, video, channel, uint32(c)) < p.BurstEnter {
+			ch.state = true
+		}
+		for len(ch.bad) <= c/64 {
+			ch.bad = append(ch.bad, 0)
+		}
+		if ch.state {
+			ch.bad[c/64] |= 1 << (c % 64)
+		}
+		ch.next++
+	}
+	return ch.bad[chunk/64]&(1<<(chunk%64)) != 0
 }
 
 // Flush releases every frame currently held for reordering. The server

@@ -233,6 +233,229 @@ func TestFaultDelayDefers(t *testing.T) {
 	}
 }
 
+// parityFrame encodes one parity frame covering count chunks from base
+// (chunk index), with 64-byte chunks to match sendStream.
+func parityFrame(t *testing.T, video, channel uint16, base, count, total int, index uint8) []byte {
+	t.Helper()
+	payload := wire.AppendParityPayload(nil, count, make([]byte, 64))
+	frame, err := wire.EncodeParityFrame(nil, video, channel, 1,
+		uint32(base*64), uint32(total*64), index, payload, wire.PayloadCRC(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// dataOffsets is recorder.offsets restricted to data chunks.
+func (r *recorder) dataOffsets(g mcast.Group) []uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []uint32
+	for _, f := range r.frames[g] {
+		if wire.IsParity(f) {
+			continue
+		}
+		if _, _, _, off, ok := wire.PeekID(f); ok {
+			out = append(out, off)
+		}
+	}
+	return out
+}
+
+func TestFaultBurstValidate(t *testing.T) {
+	bad := []Plan{
+		{BurstEnter: -0.1, BurstExit: 0.5, BurstDrop: 1, ChunkBytes: 64},
+		{BurstEnter: 0.1}, // no exit rate
+		{BurstEnter: 0.1, BurstExit: 0.5, BurstDrop: 1}, // no chunk size
+		{BurstEnter: 0.1, BurstExit: 1.5, BurstDrop: 1, ChunkBytes: 64},
+		{BurstEnter: 0.1, BurstExit: 0.5, BurstDrop: 2, ChunkBytes: 64},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("burst plan %d (%+v) accepted", i, p)
+		}
+	}
+	good := Plan{BurstEnter: 0.05, BurstExit: 0.5, BurstDrop: 1, ChunkBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid burst plan rejected: %v", err)
+	}
+}
+
+// TestFaultBurstDeterministic: the Gilbert–Elliott chain is part of the
+// plan's reproducibility contract — same plan, same injured positions.
+func TestFaultBurstDeterministic(t *testing.T) {
+	g := mcast.Group{}
+	plan := Plan{Seed: 21, BurstEnter: 0.05, BurstExit: 0.4, BurstDrop: 1, ChunkBytes: 64}
+	var offs [2][]uint32
+	var counts [2]Counts
+	for run := 0; run < 2; run++ {
+		rec := newRecorder()
+		in, err := New(rec, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendStream(t, in, g, 1, 2, 500)
+		offs[run] = rec.offsets(g)
+		counts[run] = in.Counts()
+	}
+	if counts[0] != counts[1] || counts[0].BurstDropped == 0 {
+		t.Errorf("burst counts not reproducible (or zero): %+v vs %+v", counts[0], counts[1])
+	}
+	if len(offs[0]) != len(offs[1]) {
+		t.Fatalf("output lengths differ: %d vs %d", len(offs[0]), len(offs[1]))
+	}
+	for i := range offs[0] {
+		if offs[0][i] != offs[1][i] {
+			t.Fatalf("burst pattern diverges at %d", i)
+		}
+	}
+}
+
+// TestFaultBurstShape: losses cluster — the stationary loss rate tracks
+// enter/(enter+exit), and runs of consecutive drops (the whole point of
+// the two-state chain) actually occur.
+func TestFaultBurstShape(t *testing.T) {
+	const n = 4000
+	g := mcast.Group{}
+	rec := newRecorder()
+	in, err := New(rec, Plan{Seed: 13, BurstEnter: 0.05, BurstExit: 0.5, BurstDrop: 1, ChunkBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendStream(t, in, g, 1, 1, n)
+	dropped := in.Counts().BurstDropped
+	// Stationary bad fraction = enter/(enter+exit) ≈ 9.1%.
+	if rate := float64(dropped) / n; rate < 0.04 || rate > 0.16 {
+		t.Errorf("burst drop rate %v far from stationary 0.091", rate)
+	}
+	// Reconstruct the drop pattern and check for a multi-chunk burst: with
+	// mean burst length 1/exit = 2, a run of >= 2 is effectively certain.
+	sent := make(map[uint32]bool)
+	for _, o := range rec.offsets(g) {
+		sent[o] = true
+	}
+	longest, run := 0, 0
+	for c := 0; c < n; c++ {
+		if !sent[uint32(c*64)] {
+			run++
+		} else {
+			run = 0
+		}
+		if run > longest {
+			longest = run
+		}
+	}
+	if longest < 2 {
+		t.Errorf("longest loss run = %d, want >= 2 (iid-like pattern defeats the burst mode)", longest)
+	}
+}
+
+// TestFaultBurstSeqIndependence: like the iid faults, the chain is keyed
+// on chunk position, never the repetition number, so every repetition
+// sees the same injured positions.
+func TestFaultBurstSeqIndependence(t *testing.T) {
+	plan := Plan{Seed: 17, BurstEnter: 0.1, BurstExit: 0.5, BurstDrop: 1, ChunkBytes: 64}
+	g := mcast.Group{}
+	var perSeq [2]Counts
+	for i, seq := range []uint32{1, 900} {
+		rec := newRecorder()
+		in, err := New(rec, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 200; c++ {
+			frame, err := (&wire.Chunk{
+				Video: 2, Channel: 1, Seq: seq,
+				Offset: uint32(c * 64), Total: 200 * 64, Payload: make([]byte, 64),
+			}).Encode(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := in.Send(g, frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perSeq[i] = in.Counts()
+	}
+	if perSeq[0] != perSeq[1] {
+		t.Errorf("burst pattern depends on repetition number: %+v vs %+v", perSeq[0], perSeq[1])
+	}
+}
+
+// TestFaultParityDoesNotShiftData is the FEC-off golden gate at the
+// injector level: interleaving parity frames into the stream must not
+// change which data chunks are injured — parity rolls live on shifted
+// substreams, so turning the stripe on cannot reshuffle the loss pattern
+// a seeded run was recorded under.
+func TestFaultParityDoesNotShiftData(t *testing.T) {
+	const n, group = 240, 8
+	plan := Plan{Seed: 29, Drop: 0.2, BurstEnter: 0.05, BurstExit: 0.5, BurstDrop: 1, ChunkBytes: 64}
+	g := mcast.Group{}
+
+	dataOnly := newRecorder()
+	in, err := New(dataOnly, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendStream(t, in, g, 1, 2, n)
+
+	interleaved := newRecorder()
+	in2, err := New(interleaved, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for c := 0; c < n; c++ {
+		frame, err := (&wire.Chunk{
+			Video: 1, Channel: 2, Seq: 1,
+			Offset: uint32(c * 64), Total: uint32(n * 64), Payload: make([]byte, 64),
+		}).Encode(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = frame
+		if _, err := in2.Send(g, frame); err != nil {
+			t.Fatal(err)
+		}
+		if (c+1)%group == 0 {
+			if _, err := in2.Send(g, parityFrame(t, 1, 2, c+1-group, group, n, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	a, b := dataOnly.dataOffsets(g), interleaved.dataOffsets(g)
+	if len(a) != len(b) {
+		t.Fatalf("surviving data count changed with parity interleaved: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("data loss pattern shifted at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFaultParityFaulted: parity frames are subject to the plan like any
+// chunk — a Drop=1 plan eats them (they are not control passthrough),
+// on their own roll substream.
+func TestFaultParityFaulted(t *testing.T) {
+	g := mcast.Group{}
+	rec := newRecorder()
+	in, err := New(rec, Plan{Seed: 31, Drop: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Send(g, parityFrame(t, 1, 2, 0, 8, 64, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.frames[g]) != 0 {
+		t.Error("Drop=1 plan passed a parity frame through")
+	}
+	if c := in.Counts(); c.Dropped != 1 {
+		t.Errorf("counts = %+v, want the parity frame counted dropped", c)
+	}
+}
+
 // TestFaultNonChunkPassthrough: frames that are not data chunks go through
 // untouched.
 func TestFaultNonChunkPassthrough(t *testing.T) {

@@ -41,6 +41,15 @@ type frameCache struct {
 	// chans is indexed [video*K + (channel-1)]; built once, read-only.
 	chans []*channelCache
 	k     int
+
+	// fecGroup is the parity stripe width G (0 = no stripe); nparity how
+	// many parity frames each group carries (1 = XOR, 2 = RS P+Q). A
+	// parity frame is as repetition-invariant as the chunks it covers —
+	// a pure function of (video, channel, group) — so it gets the same
+	// treatment: CRC always cached, encoded frame resident while the
+	// budget lasts, Seq patched per send.
+	fecGroup int
+	nparity  int
 }
 
 // channelCache is one channel's slice of the cache.
@@ -56,24 +65,33 @@ type channelCache struct {
 	crcs []atomic.Uint64
 	// frames[c] holds chunk c's encoded frame once resident.
 	frames []atomic.Pointer[[]byte]
+	// Parity slots, indexed [group*nparity + parityIndex]; empty when the
+	// stripe is off.
+	pcrcs   []atomic.Uint64
+	pframes []atomic.Pointer[[]byte]
 }
 
 // crcSet marks a crcs slot as populated (a CRC of zero is legitimate).
 const crcSet = 1 << 32
 
 // newFrameCache lays out the cache for a scheme: one channelCache per
-// (video, channel), chunk slots sized from the fragment geometry.
-func newFrameCache(sch *core.Scheme, bytesPerUnit, chunkBytes int, budget int64) *frameCache {
+// (video, channel), chunk slots sized from the fragment geometry, plus
+// nparity parity slots per stripe group when fecGroup > 0.
+func newFrameCache(sch *core.Scheme, bytesPerUnit, chunkBytes int, budget int64, fecGroup, nparity int) *frameCache {
 	k := sch.K()
 	videos := sch.Config().Videos
-	fc := &frameCache{chunkBytes: chunkBytes, budget: budget, k: k, chans: make([]*channelCache, videos*k)}
+	if fecGroup <= 0 {
+		fecGroup, nparity = 0, 0
+	}
+	fc := &frameCache{chunkBytes: chunkBytes, budget: budget, k: k,
+		chans: make([]*channelCache, videos*k), fecGroup: fecGroup, nparity: nparity}
 	sizes := sch.Sizes()
 	for v := 0; v < videos; v++ {
 		var base int64
 		for i := 1; i <= k; i++ {
 			total := int(sizes[i-1]) * bytesPerUnit
 			chunks := total / chunkBytes
-			fc.chans[v*k+i-1] = &channelCache{
+			cc := &channelCache{
 				video:   uint16(v),
 				channel: uint16(i),
 				base:    base,
@@ -81,6 +99,12 @@ func newFrameCache(sch *core.Scheme, bytesPerUnit, chunkBytes int, budget int64)
 				crcs:    make([]atomic.Uint64, chunks),
 				frames:  make([]atomic.Pointer[[]byte], chunks),
 			}
+			if fecGroup > 0 {
+				groups := (chunks + fecGroup - 1) / fecGroup
+				cc.pcrcs = make([]atomic.Uint64, groups*nparity)
+				cc.pframes = make([]atomic.Pointer[[]byte], groups*nparity)
+			}
+			fc.chans[v*k+i-1] = cc
 			base += int64(total)
 		}
 	}
@@ -172,6 +196,84 @@ func (fc *frameCache) acquire(cc *channelCache, c int, scratch *frameScratch) []
 	return scratch.frame
 }
 
+// groupCount is how many data chunks stripe group g of this channel
+// covers (the tail group may be short).
+func (cc *channelCache) groupCount(fc *frameCache, g int) int {
+	count := len(cc.frames) - g*fc.fecGroup
+	if count > fc.fecGroup {
+		count = fc.fecGroup
+	}
+	return count
+}
+
+// encodeParity regenerates the parity frame (group g, index pi) into
+// dst, folding the group's chunk payloads — read straight out of
+// resident data frames where the cache holds them, regenerated into
+// scratch.tmp where it does not — so the common steady-state encode is
+// cache-resident and allocation-free. Seq is left zero; callers patch
+// it, exactly as for data frames.
+func (cc *channelCache) encodeParity(fc *frameCache, g, pi int, dst []byte, scratch *parityScratch) []byte {
+	count := cc.groupCount(fc, g)
+	payload := wire.AppendParityPayload(scratch.payload[:0], count, nil)
+	payload = payload[:len(payload)+fc.chunkBytes]
+	block := payload[len(payload)-fc.chunkBytes:]
+	clear(block)
+	first := g * fc.fecGroup
+	off := first * fc.chunkBytes
+	for j := 0; j < count; j++ {
+		src := scratch.tmp
+		if p := cc.frames[first+j].Load(); p != nil {
+			src = (*p)[wire.HeaderSize:]
+		} else {
+			content.Fill(scratch.tmp, int(cc.video), cc.base+int64((first+j)*fc.chunkBytes))
+		}
+		if pi == 0 {
+			wire.XorAccum(block, src)
+		} else {
+			wire.GfMulAccum(block, src, wire.GfExpPow(j))
+		}
+	}
+	slot := g*fc.nparity + pi
+	crc64 := cc.pcrcs[slot].Load()
+	crc := uint32(crc64)
+	if crc64&crcSet == 0 {
+		crc = wire.PayloadCRC(payload)
+		cc.pcrcs[slot].Store(crcSet | uint64(crc))
+	}
+	// The payload is bounded by ParityOverhead(MaxFecGroup, chunkBytes)
+	// and chunkBytes <= wire.MaxPayload is validated at construction, so
+	// the encoder cannot fail.
+	frame, _ := wire.EncodeParityFrame(dst[:0], cc.video, cc.channel, 0, uint32(off), cc.total, uint8(pi), payload, crc)
+	return frame
+}
+
+// acquireParity returns the encoded parity frame for (group g, index
+// pi), mirroring acquire: resident hit, budget-bounded install on miss,
+// caller scratch when the budget is spent. The returned frame's Seq is
+// unspecified; broadcast callers wire.PatchSeq it.
+func (fc *frameCache) acquireParity(cc *channelCache, g, pi int, scratch *parityScratch) []byte {
+	slot := &cc.pframes[g*fc.nparity+pi]
+	if p := slot.Load(); p != nil {
+		fc.hits.Inc()
+		return *p
+	}
+	fc.misses.Inc()
+	if fc.budget > 0 {
+		size := int64(wire.EncodedSize(wire.ParityOverhead(cc.groupCount(fc, g), fc.chunkBytes)))
+		if fc.used.Add(size) <= fc.budget {
+			frame := cc.encodeParity(fc, g, pi, make([]byte, 0, size), scratch)
+			if slot.CompareAndSwap(nil, &frame) {
+				return frame
+			}
+			fc.used.Add(-size)
+			return *slot.Load()
+		}
+		fc.used.Add(-size)
+	}
+	scratch.frame = cc.encodeParity(fc, g, pi, scratch.frame, scratch)
+	return scratch.frame
+}
+
 // frameScratch is a caller's reusable build space for non-resident
 // chunks: a payload buffer for the content function and a frame buffer
 // for the encoder. Each pacer and each control connection owns one, so
@@ -185,5 +287,23 @@ func newFrameScratch(chunkBytes int) *frameScratch {
 	return &frameScratch{
 		payload: make([]byte, chunkBytes),
 		frame:   make([]byte, 0, wire.EncodedSize(chunkBytes)),
+	}
+}
+
+// parityScratch is the parity encoder's reusable build space: the
+// assembled stripe payload, a regeneration buffer for non-resident
+// chunk payloads, and a frame buffer for budget-spent encodes.
+type parityScratch struct {
+	payload []byte
+	tmp     []byte
+	frame   []byte
+}
+
+func newParityScratch(chunkBytes int) *parityScratch {
+	size := wire.ParityOverhead(wire.MaxFecGroup, chunkBytes)
+	return &parityScratch{
+		payload: make([]byte, 0, size),
+		tmp:     make([]byte, chunkBytes),
+		frame:   make([]byte, 0, wire.EncodedSize(size)),
 	}
 }

@@ -64,7 +64,7 @@ func TestFrameCacheGoldenEquivalence(t *testing.T) {
 		{"fallback", -1}, // no frame residency; CRCs still cached
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, tc.budget)
+			fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, tc.budget, 0, 0)
 			scratch := newFrameScratch(testChunkBytes)
 			payload := make([]byte, testChunkBytes)
 			var golden []byte
@@ -105,7 +105,7 @@ func TestFrameCacheGoldenEquivalence(t *testing.T) {
 func TestFrameCacheBudget(t *testing.T) {
 	sch := cacheScheme(t, 1, 3, 2)
 	size := int64(wire.EncodedSize(testChunkBytes))
-	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 2*size)
+	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 2*size, 0, 0)
 	scratch := newFrameScratch(testChunkBytes)
 	cc := fc.channel(0, 3) // largest fragment: 2 units = 8 chunks
 	chunks := int(cc.total) / testChunkBytes
@@ -133,7 +133,7 @@ func TestFrameCacheBudget(t *testing.T) {
 // must allocate nothing.
 func TestPatchedResendZeroAlloc(t *testing.T) {
 	sch := cacheScheme(t, 1, 3, 2)
-	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 64<<20)
+	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 64<<20, 0, 0)
 	scratch := newFrameScratch(testChunkBytes)
 	cc := fc.channel(0, 1)
 	fc.acquire(cc, 0, scratch) // warm
@@ -181,12 +181,120 @@ func TestPatchedResendZeroAlloc(t *testing.T) {
 	<-done
 }
 
+// TestParityGoldenEncode pins the parity encoder against an independent
+// reference: for every group of every channel, the cached parity frame
+// must decode to exactly the XOR (index 0) and GF(256)-weighted sum
+// (index 1) of the group's content-function chunks — whether the data
+// frames are cache-resident (payloads folded straight out of the cache)
+// or regenerated into scratch (budget -1), and the tail group's short
+// coverage must be declared exactly.
+func TestParityGoldenEncode(t *testing.T) {
+	sch := cacheScheme(t, 1, 3, 2)
+	const fecGroup = 3 // channel 3 has 8 chunks: groups of 3, 3, 2
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"resident", 64 << 20},
+		{"fallback", -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, tc.budget, fecGroup, 2)
+			fs := newFrameScratch(testChunkBytes)
+			ps := newParityScratch(testChunkBytes)
+			payload := make([]byte, testChunkBytes)
+			for i := 1; i <= sch.K(); i++ {
+				cc := fc.channel(0, i)
+				chunks := int(cc.total) / testChunkBytes
+				if tc.budget > 0 {
+					for c := 0; c < chunks; c++ {
+						fc.acquire(cc, c, fs) // make the data frames resident
+					}
+				}
+				for g := 0; g*fecGroup < chunks; g++ {
+					count := chunks - g*fecGroup
+					if count > fecGroup {
+						count = fecGroup
+					}
+					for pi := 0; pi < 2; pi++ {
+						want := make([]byte, testChunkBytes)
+						for j := 0; j < count; j++ {
+							content.Fill(payload, 0, cc.base+int64((g*fecGroup+j)*testChunkBytes))
+							if pi == 0 {
+								wire.XorAccum(want, payload)
+							} else {
+								wire.GfMulAccum(want, payload, wire.GfExpPow(j))
+							}
+						}
+						frame := fc.acquireParity(cc, g, pi, ps)
+						if !wire.IsParity(frame) {
+							t.Fatalf("ch %d group %d index %d: frame not recognized as parity", i, g, pi)
+						}
+						if err := wire.PatchSeq(frame, 7); err != nil {
+							t.Fatal(err)
+						}
+						p, err := wire.DecodeParity(frame)
+						if err != nil {
+							t.Fatalf("ch %d group %d index %d: %v", i, g, pi, err)
+						}
+						if p.Seq != 7 || int(p.Base) != g*fecGroup*testChunkBytes || p.Count != count || int(p.Index) != pi {
+							t.Fatalf("ch %d group %d index %d: decoded header %+v", i, g, pi, p)
+						}
+						if !bytes.Equal(p.Block[:testChunkBytes], want) {
+							t.Fatalf("%s: ch %d group %d index %d: parity block differs from reference fold",
+								tc.name, i, g, pi)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParityEncodeZeroAlloc is the acceptance gate for the stripe's
+// broadcast cost: once the parity frame is resident, acquire + PatchSeq
+// allocates nothing — parity rides the pacer's steady state exactly
+// like a cached data frame.
+func TestParityEncodeZeroAlloc(t *testing.T) {
+	sch := cacheScheme(t, 1, 3, 2)
+	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 64<<20, 4, 1)
+	ps := newParityScratch(testChunkBytes)
+	cc := fc.channel(0, 3)
+	fc.acquireParity(cc, 0, 0, ps) // warm
+	seq := uint32(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		frame := fc.acquireParity(cc, 0, 0, ps)
+		if err := wire.PatchSeq(frame, seq); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	})
+	if allocs != 0 {
+		t.Fatalf("parity encode allocates %v times per group, want 0", allocs)
+	}
+	// The scratch fallback (budget spent) must also be allocation-free in
+	// steady state: the fold reuses the caller's buffers.
+	fcNoBudget := newFrameCache(sch, testBytesPerUnit, testChunkBytes, -1, 4, 1)
+	cc = fcNoBudget.channel(0, 3)
+	fcNoBudget.acquireParity(cc, 0, 0, ps) // size scratch buffers
+	allocs = testing.AllocsPerRun(100, func() {
+		frame := fcNoBudget.acquireParity(cc, 0, 0, ps)
+		if err := wire.PatchSeq(frame, seq); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	})
+	if allocs != 0 {
+		t.Fatalf("scratch parity encode allocates %v times per group, want 0", allocs)
+	}
+}
+
 // BenchmarkPaceEncode measures the per-chunk broadcast encoding cost:
 // "seed" is the original path (content fill + full encode per send),
 // "cached" the zero-recompute path (cache acquire + 4-byte Seq patch).
 func BenchmarkPaceEncode(b *testing.B) {
 	sch := cacheScheme(b, 1, 3, 2)
-	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 64<<20)
+	fc := newFrameCache(sch, testBytesPerUnit, testChunkBytes, 64<<20, 0, 0)
 	scratch := newFrameScratch(testChunkBytes)
 	cc := fc.channel(0, 3)
 	chunks := int(cc.total) / testChunkBytes

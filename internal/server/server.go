@@ -107,6 +107,20 @@ type Config struct {
 	// default.
 	RecvBufBytes int
 
+	// FecGroup enables the proactive parity stripe: every transmission
+	// group of FecGroup data chunks is followed by parity frames
+	// (wire.KindParity) built from the same repetition-invariant cache the
+	// chunks live in, so a receiver heals single-datagram loss locally
+	// with zero control round trips. 0 (the default) disables the stripe;
+	// otherwise it must lie in [2, wire.MaxFecGroup]. Receivers learn the
+	// stripe geometry from the Welcome banner.
+	FecGroup int
+	// FecMode selects the stripe's code when FecGroup > 0:
+	// wire.FecModeXOR (the default when empty) emits one XOR parity frame
+	// per group and heals one erasure; wire.FecModeRS adds a second
+	// GF(256) Reed-Solomon parity (RAID-6 P+Q) and heals two.
+	FecMode string
+
 	// PacerHook, when non-nil, is called for each chunk after the
 	// engine's timer fires and before the chunk is sent — test
 	// instrumentation; a hook that panics exercises the pacer/shard
@@ -150,6 +164,12 @@ func (c Config) validate() error {
 		return fmt.Errorf("server: SendBufBytes = %d must be non-negative", c.SendBufBytes)
 	case c.RecvBufBytes < 0:
 		return fmt.Errorf("server: RecvBufBytes = %d must be non-negative", c.RecvBufBytes)
+	case c.FecGroup != 0 && (c.FecGroup < 2 || c.FecGroup > wire.MaxFecGroup):
+		return fmt.Errorf("server: FecGroup = %d outside {0} ∪ [2, %d]", c.FecGroup, wire.MaxFecGroup)
+	case c.FecMode != "" && c.FecMode != wire.FecModeXOR && c.FecMode != wire.FecModeRS:
+		return fmt.Errorf("server: FecMode = %q, want %q or %q", c.FecMode, wire.FecModeXOR, wire.FecModeRS)
+	case c.FecMode != "" && c.FecGroup == 0:
+		return fmt.Errorf("server: FecMode = %q requires FecGroup > 0", c.FecMode)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -157,6 +177,19 @@ func (c Config) validate() error {
 		}
 	}
 	return nil
+}
+
+// nparity is how many parity frames each stripe group carries under the
+// configured mode: 0 with the stripe off, 1 for XOR, 2 for RS P+Q.
+func (c Config) nparity() int {
+	switch {
+	case c.FecGroup <= 0:
+		return 0
+	case c.FecMode == wire.FecModeRS:
+		return 2
+	default:
+		return 1
+	}
 }
 
 // Server is a running broadcast server. Create with New, start with Start,
@@ -203,6 +236,12 @@ type Server struct {
 	nacksServed    metrics.PaddedCounter
 	nackResends    metrics.PaddedCounter
 	nackSuppressed metrics.PaddedCounter
+
+	// parityFrames counts stripe parity frames put on the wire;
+	// parityBytes their encoded bytes — the stripe's bandwidth overhead,
+	// bounded by nparity/FecGroup of the broadcast by construction.
+	parityFrames metrics.PaddedCounter
+	parityBytes  metrics.PaddedCounter
 
 	// pacerRestarts counts supervisor restarts after pacer (or egress
 	// shard) panics; driftEvents broadcasts that missed their schedule by
@@ -257,8 +296,11 @@ func New(cfg Config) (*Server, error) {
 			cfg.RepairBurstBytes = min
 		}
 	}
+	if cfg.FecGroup > 0 && cfg.FecMode == "" {
+		cfg.FecMode = wire.FecModeXOR
+	}
 	s := &Server{cfg: cfg, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
-	s.cache = newFrameCache(cfg.Scheme, cfg.BytesPerUnit, cfg.ChunkBytes, cfg.FrameCacheBytes)
+	s.cache = newFrameCache(cfg.Scheme, cfg.BytesPerUnit, cfg.ChunkBytes, cfg.FrameCacheBytes, cfg.FecGroup, cfg.nparity())
 	if cfg.RepairBandwidth > 0 {
 		s.repairBudget = metrics.NewTokenBucket(float64(cfg.RepairBandwidth), float64(cfg.RepairBurstBytes))
 	}
@@ -336,6 +378,12 @@ func (s *Server) Injector() *faults.Injector { return s.inj }
 
 // RepairsServed returns how many unicast chunk repairs have been answered.
 func (s *Server) RepairsServed() int64 { return s.repairs.Value() }
+
+// ParityFramesSent returns how many proactive parity frames have been
+// broadcast; ParityBytesSent the wire bytes they cost (the stripe's
+// overhead, bounded by ~1/G of the broadcast).
+func (s *Server) ParityFramesSent() int64 { return s.parityFrames.Value() }
+func (s *Server) ParityBytesSent() int64  { return s.parityBytes.Value() }
 
 // RepairBytesServed returns the payload bytes those repairs carried.
 func (s *Server) RepairBytesServed() int64 { return s.repairBytes.Value() }
@@ -473,6 +521,10 @@ func (s *Server) pace(v, i int) {
 		scratch = newFrameScratch(s.cfg.ChunkBytes)
 		timer   = time.NewTimer(0)
 	)
+	var pscratch *parityScratch
+	if s.cfg.FecGroup > 0 {
+		pscratch = newParityScratch(s.cfg.ChunkBytes)
+	}
 	defer timer.Stop()
 	if !timer.Stop() {
 		<-timer.C
@@ -513,6 +565,12 @@ func (s *Server) pace(v, i int) {
 				}
 				s.cfg.Logf("server: sending %v seq %d: %v", group, n, err)
 			}
+			// The stripe: one (or two, in RS mode) parity frames follow the
+			// last data chunk of every transmission group, Seq-patched to
+			// the same repetition.
+			if g := s.cfg.FecGroup; g > 0 && ((c+1)%g == 0 || c == chunks-1) {
+				s.sendParity(group, cc, c/g, n, pscratch)
+			}
 			if late := time.Since(at); late > s.cfg.Unit {
 				if d := s.driftEvents.Add(1); d == 1 || d%256 == 0 {
 					s.cfg.Logf("server: pacing drift: %v seq %d chunk %d sent %v late (%d drift events)",
@@ -521,6 +579,31 @@ func (s *Server) pace(v, i int) {
 			}
 		}
 		c = 0
+	}
+}
+
+// sendParity broadcasts stripe group pg's parity frame(s) for repetition
+// n, immediately behind the group's last data chunk. Parity frames are
+// as repetition-invariant as the chunks they cover, so the steady state
+// is the same acquire + 4-byte Seq patch the data path pays.
+func (s *Server) sendParity(g mcast.Group, cc *channelCache, pg int, n uint32, scratch *parityScratch) {
+	for pi := 0; pi < s.cache.nparity; pi++ {
+		frame := s.cache.acquireParity(cc, pg, pi, scratch)
+		if err := wire.PatchSeq(frame, n); err != nil {
+			s.cfg.Logf("server: patching %v parity seq %d: %v", g, n, err)
+			return
+		}
+		if _, err := s.send.Send(g, frame); err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			s.cfg.Logf("server: sending %v parity seq %d: %v", g, n, err)
+			continue
+		}
+		s.parityFrames.Inc()
+		s.parityBytes.Add(int64(len(frame)))
 	}
 }
 
@@ -637,6 +720,8 @@ func (s *Server) serveControl(conn net.Conn) {
 				BytesPerUnit:     s.cfg.BytesPerUnit,
 				ChunkBytes:       s.cfg.ChunkBytes,
 				NackRepair:       true,
+				FecGroup:         s.cfg.FecGroup,
+				FecMode:          s.cfg.FecMode,
 			}
 			if err := write(&wire.Control{Kind: wire.KindWelcome, Welcome: w}); err != nil {
 				return
@@ -817,6 +902,8 @@ func (s *Server) serveControl(conn net.Conn) {
 				GSOFallbacks:      s.hub.GSOFallbacks(),
 				UringSubmits:      s.hub.UringSubmits(),
 				UringSQEs:         s.hub.UringSQEs(),
+				ParityFrames:      s.parityFrames.Value(),
+				ParityBytes:       s.parityBytes.Value(),
 				Draining:          s.draining.Load(),
 			}
 			if err := write(&wire.Control{Kind: wire.KindStatsOK, Stats: st}); err != nil {

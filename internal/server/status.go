@@ -56,6 +56,14 @@ type StatusSnapshot struct {
 	NackResends     int64 `json:"nackResends"`
 	NackSuppressed  int64 `json:"nackSuppressed"`
 	RepairDatagrams int64 `json:"repairDatagrams"`
+	// FecGroup/FecMode echo the configured parity stripe (0/"" when
+	// off); ParityFrames/ParityBytes count the stripe's broadcast
+	// overhead — the proactive repair the control-plane counters above
+	// never see.
+	FecGroup     int    `json:"fecGroup,omitempty"`
+	FecMode      string `json:"fecMode,omitempty"`
+	ParityFrames int64  `json:"parityFrames,omitempty"`
+	ParityBytes  int64  `json:"parityBytes,omitempty"`
 	// RepairTokens is the repair budget's current level in bytes, -1 when
 	// unlimited.
 	RepairTokens int64 `json:"repairTokens"`
@@ -145,6 +153,10 @@ func (s *Server) snapshot() StatusSnapshot {
 		NackResends:           s.nackResends.Value(),
 		NackSuppressed:        s.nackSuppressed.Value(),
 		RepairDatagrams:       s.hub.RepairDatagrams(),
+		FecGroup:              s.cfg.FecGroup,
+		FecMode:               s.cfg.FecMode,
+		ParityFrames:          s.parityFrames.Value(),
+		ParityBytes:           s.parityBytes.Value(),
 		RepairTokens:          s.RepairTokens(),
 		PacerRestarts:         s.pacerRestarts.Value(),
 		PacerDriftEvents:      s.driftEvents.Value(),

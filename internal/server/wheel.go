@@ -278,6 +278,11 @@ type wheelShard struct {
 	// state stages one chunk per entry and never touches it).
 	spares   []*frameScratch
 	spareIdx int
+	// pspares back the parity frames of a dispatch the same way: each
+	// parity frame staged into one batch needs distinct memory when the
+	// cache budget is spent. Empty while the stripe is off.
+	pspares   []*parityScratch
+	pspareIdx int
 }
 
 // nextSpare hands out the next spare scratch of the current dispatch,
@@ -288,6 +293,16 @@ func (sh *wheelShard) nextSpare() *frameScratch {
 	}
 	sp := sh.spares[sh.spareIdx]
 	sh.spareIdx++
+	return sp
+}
+
+// nextParitySpare is nextSpare for parity scratch.
+func (sh *wheelShard) nextParitySpare() *parityScratch {
+	if sh.pspareIdx == len(sh.pspares) {
+		sh.pspares = append(sh.pspares, newParityScratch(sh.s.cfg.ChunkBytes))
+	}
+	sp := sh.pspares[sh.pspareIdx]
+	sh.pspareIdx++
 	return sp
 }
 
@@ -453,6 +468,7 @@ func (sh *wheelShard) dispatch() {
 	bs, batching := s.send.(mcast.BatchSender)
 	sh.batch = sh.batch[:0]
 	sh.spareIdx = 0
+	sh.pspareIdx = 0
 	elapsed := time.Since(s.epoch)
 	for _, e := range sh.due {
 		e.firstDue = e.due
@@ -465,11 +481,12 @@ func (sh *wheelShard) dispatch() {
 			if staged > 0 {
 				scratch = sh.nextSpare()
 			}
-			frame := s.cache.acquire(e.cc, e.c, scratch)
-			if err := wire.PatchSeq(frame, e.n); err != nil {
+			n, c := e.n, e.c
+			frame := s.cache.acquire(e.cc, c, scratch)
+			if err := wire.PatchSeq(frame, n); err != nil {
 				// The channel cannot broadcast coherent frames; retire it,
 				// as pace does by returning.
-				s.cfg.Logf("server: patching %v seq %d: %v", e.group, e.n, err)
+				s.cfg.Logf("server: patching %v seq %d: %v", e.group, n, err)
 				e.dead = true
 				break
 			}
@@ -480,6 +497,15 @@ func (sh *wheelShard) dispatch() {
 				sh.logSendErr(e, err)
 			}
 			e.advance()
+			// The stripe: parity frames follow the last data chunk of every
+			// transmission group, staged into the same batch so they ride
+			// the same sendmmsg/GSO egress. A parity frame is larger than a
+			// data frame, which ends any GSO run by the size rule — parity
+			// never corrupts super-frame coalescing, it just books ends of
+			// groups.
+			if g := s.cfg.FecGroup; g > 0 && ((c+1)%g == 0 || c+1 == e.chunks) {
+				sh.stageParity(e, c/g, n, batching)
+			}
 			// A run ends when the entry is caught up, at the wheelMaxRun
 			// cap, or at a repetition boundary. The boundary stop is an
 			// aliasing guard: chunk indices within one repetition are
@@ -512,6 +538,27 @@ func (sh *wheelShard) dispatch() {
 			}
 		}
 		sh.wheel.insert(e)
+	}
+}
+
+// stageParity stages (or, without a batching sender, sends) stripe group
+// pg's parity frame(s) for repetition n on entry e's channel.
+func (sh *wheelShard) stageParity(e *wheelEntry, pg int, n uint32, batching bool) {
+	s := sh.s
+	for pi := 0; pi < s.cache.nparity; pi++ {
+		frame := s.cache.acquireParity(e.cc, pg, pi, sh.nextParitySpare())
+		if err := wire.PatchSeq(frame, n); err != nil {
+			s.cfg.Logf("server: patching %v parity seq %d: %v", e.group, n, err)
+			return
+		}
+		if batching {
+			sh.batch = append(sh.batch, mcast.BatchEntry{Group: e.group, Frame: frame})
+		} else if _, err := s.send.Send(e.group, frame); err != nil {
+			sh.logSendErr(e, err)
+			continue
+		}
+		s.parityFrames.Inc()
+		s.parityBytes.Add(int64(len(frame)))
 	}
 }
 

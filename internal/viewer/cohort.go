@@ -35,6 +35,16 @@ type cohort struct {
 	// every member at once, so the aggregator multiplies it by the cohort
 	// size. nackBusy counts admission pushback on NACK round trips.
 	nacks, nackSuppressed, nackRepaired, nackBusy atomic.Int64
+
+	// Parity-stripe counters. fecHeals chunks are reconstructed on the
+	// shared path before any divergence and heal every member at once
+	// (multiplied by the cohort size, like nackRepaired); heals of
+	// already-diverged chunks are booked per viewer through the machines
+	// instead, because a member may have unicast-repaired the chunk
+	// already (the heal is that viewer's duplicate, not a heal).
+	// stripeDefeats are cohort-level escalation events, one per defeated
+	// gap (like nacks).
+	fecHeals, stripeDefeats atomic.Int64
 }
 
 func (c *cohort) run(groups []series.Group) error {
@@ -132,7 +142,14 @@ func (c *cohort) loader(downloads []core.Download) error {
 func (c *cohort) tune(e *tuneEntry) error {
 	m := c.mux
 	grp := mcast.Group{Video: c.video, Channel: e.channel}
-	sub, err := m.rcv.Subscribe(grp, m.cfg.SubDepth, wire.EncodedSize(m.w.ChunkBytes))
+	// Ring slots must hold the largest frame the group carries: with a
+	// parity stripe that is the parity frame (count byte + coverage
+	// bitmap on top of a chunk-sized block), not the data frame.
+	slotBytes := wire.EncodedSize(m.w.ChunkBytes)
+	if m.w.FecGroup > 0 {
+		slotBytes = wire.EncodedSize(wire.ParityOverhead(m.w.FecGroup, m.w.ChunkBytes))
+	}
+	sub, err := m.rcv.Subscribe(grp, m.cfg.SubDepth, slotBytes)
 	if err != nil {
 		return err
 	}
@@ -160,8 +177,12 @@ type cohortFrag struct {
 	// diverged marks chunks handed to the per-viewer plane (loader-owned).
 	diverged []bool
 	// arrived records the broadcast arrival (unix nanos) of each diverged
-	// chunk, once; workers book it into viewer machines that still miss it.
+	// chunk, once; workers book it into viewer machines that still miss
+	// it. healed marks the recorded arrival as a stripe reconstruction
+	// (set before the arrived store publishes it), so workers book it as
+	// a FEC heal rather than a broadcast chunk.
 	arrived []atomic.Int64
+	healed  []atomic.Bool
 	// vfs are the per-viewer fragments, materialized at first divergence.
 	vfs []*viewerFrag
 	// pending counts unfinished viewer fragments; inflight counts
@@ -170,6 +191,12 @@ type cohortFrag struct {
 	pending  atomic.Int64
 	inflight atomic.Int64
 	wake     chan struct{}
+
+	// stripe reassembles the broadcast's parity stripe once for the whole
+	// cohort (nil when the server sends none); heals is its reusable
+	// reconstruction buffer, consumed before the next frame is read.
+	stripe *Stripe
+	heals  []Heal
 }
 
 // notify nudges the loader to re-check the completion condition.
@@ -232,6 +259,7 @@ func (c *cohort) receiveFragment(e, next *tuneEntry) error {
 			Unit:         m.unit,
 			Slack:        time.Duration(m.cfg.SlackFrac * float64(m.unit)),
 			Lag:          time.Duration(m.cfg.RepairLagFrac * float64(m.unit)),
+			FecGroup:     m.w.FecGroup,
 		},
 		wake: make(chan struct{}, 1),
 	}
@@ -263,6 +291,11 @@ func (c *cohort) receiveFragment(e, next *tuneEntry) error {
 	f.m = NewMachine(op)
 	f.diverged = make([]bool, f.m.NChunks())
 	f.arrived = make([]atomic.Int64, f.m.NChunks())
+	f.healed = make([]atomic.Bool, f.m.NChunks())
+	// One stripe reassembler serves the whole cohort: a reconstruction on
+	// the shared path heals every member at once, exactly like a chunk
+	// caught off the broadcast.
+	f.stripe = NewStripe(m.w.FecGroup, m.w.FecMode, m.w.ChunkBytes, f.m.NChunks())
 
 	// Join ahead of the broadcast start — unless the previous fragment's
 	// receive loop already tuned this entry during its handoff overlap.
@@ -390,6 +423,8 @@ drain:
 	c.nacks.Add(st.Nacks)
 	c.nackSuppressed.Add(st.NacksSuppressed)
 	c.nackRepaired.Add(st.NackRepaired)
+	c.fecHeals.Add(st.FecHeals)
+	c.stripeDefeats.Add(st.StripeDefeats)
 	return nil
 }
 
@@ -399,6 +434,20 @@ drain:
 // nothing.
 func (c *cohort) handleFrame(f *cohortFrag, frame []byte, now time.Time) error {
 	m := c.mux
+	if wire.IsParity(frame) {
+		// Parity rides the same group as data; fold it into the cohort's
+		// stripe. Damaged or stray parity is dropped silently — redundancy
+		// must never fail a reception that the data path could finish.
+		if f.stripe == nil || f.m.Done() {
+			return nil
+		}
+		p, err := wire.DecodeParity(frame)
+		if err != nil || int(p.Video) != c.video || int(p.Channel) != f.channel || p.Seq != f.wantSeq {
+			return nil
+		}
+		f.heals = f.stripe.Parity(&p, f.heals[:0])
+		return c.bookHeals(f, now)
+	}
 	ch, err := wire.Decode(frame)
 	if err != nil {
 		if errors.Is(err, wire.ErrBadCRC) {
@@ -434,6 +483,10 @@ func (c *cohort) handleFrame(f *cohortFrag, frame []byte, now time.Time) error {
 		for _, vf := range f.vfs {
 			m.submit(vf, -1)
 		}
+		if f.stripe != nil {
+			f.heals = f.stripe.Data(idx, ch.Payload, f.heals[:0])
+			return c.bookHeals(f, now)
+		}
 		return nil
 	}
 	if f.m.Chunk(idx, now) == Duplicate {
@@ -442,6 +495,53 @@ func (c *cohort) handleFrame(f *cohortFrag, frame []byte, now time.Time) error {
 	if bad := content.Verify(ch.Payload, c.video, f.videoBase+int64(ch.Offset)); bad >= 0 {
 		c.byteErrors.Add(1)
 	}
+	if f.stripe != nil {
+		f.heals = f.stripe.Data(idx, ch.Payload, f.heals[:0])
+		return c.bookHeals(f, now)
+	}
+	return nil
+}
+
+// bookHeals books every chunk the stripe just reconstructed, for the
+// whole cohort at once. A heal is indistinguishable from a broadcast
+// arrival except in its accounting: the shared machine counts it as a
+// FEC heal (suppressing the NACK its window would have sent), and a
+// heal of an already-diverged chunk feeds the per-viewer plane through
+// the same recorded-arrival path a late broadcast copy would use —
+// marked healed, so each viewer's machine books it as its own FEC heal
+// or, if that viewer already unicast-repaired the chunk, a duplicate.
+// Heal payloads alias the stripe's pooled accumulators, so they are
+// consumed here, before the next frame is read.
+func (c *cohort) bookHeals(f *cohortFrag, now time.Time) error {
+	m := c.mux
+	for _, h := range f.heals {
+		idx := h.Idx
+		payload := h.Payload[:chunkLen(f.params.TotalBytes, f.params.ChunkBytes, idx)]
+		off := f.videoBase + int64(idx)*int64(f.params.ChunkBytes)
+		if f.diverged[idx] {
+			if f.arrived[idx].Load() != 0 {
+				c.dup.Add(1)
+				continue
+			}
+			if bad := content.Verify(payload, c.video, off); bad >= 0 {
+				c.byteErrors.Add(1)
+			}
+			f.healed[idx].Store(true)
+			f.arrived[idx].Store(now.UnixNano())
+			f.m.ResolveRepaired(idx)
+			for _, vf := range f.vfs {
+				m.submit(vf, -1)
+			}
+			continue
+		}
+		if f.m.FecHealed(idx, now) == Duplicate {
+			continue
+		}
+		if bad := content.Verify(payload, c.video, off); bad >= 0 {
+			c.byteErrors.Add(1)
+		}
+	}
+	f.heals = f.heals[:0]
 	return nil
 }
 

@@ -2,6 +2,7 @@ package viewer_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"testing"
 	"time"
@@ -146,6 +147,121 @@ func TestMuxGoldenSingleViewer(t *testing.T) {
 	}
 	if res.Degraded != 0 {
 		t.Errorf("degraded viewers = %d, want 0", res.Degraded)
+	}
+}
+
+// TestMuxGoldenSingleViewerFec extends the equivalence anchor to the
+// proactive parity stripe: with the server interleaving parity frames,
+// the one-viewer mux must reconstruct inside the cohort path — shared
+// stripe, shared machine — and report FEC heals, stripe defeats, and the
+// (defeat-anchored) NACK ledger bit-identically to a real client doing
+// its own reassembly.
+//
+// The equivalence is a pure function of (loss plan, seed) only while the
+// broadcast grid holds. The client and mux runs are sequential, so on a
+// loaded 1-core host a scheduling stall can push one run's server a full
+// unit behind (a counted drift event) and the two sessions legitimately
+// see different timelines. A ledger mismatch is therefore a failure only
+// on a drift-free run; with drift on the books the attempt is discarded
+// and retried on a fresh server.
+func TestMuxGoldenSingleViewerFec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network test")
+	}
+	sch := liveScheme(t, 1, 5, 2)
+	const muxSeed = 42
+	const attempts = 3
+	for attempt := 1; ; attempt++ {
+		srv, err := server.New(server.Config{
+			Scheme:       sch,
+			Unit:         200 * time.Millisecond,
+			BytesPerUnit: 4096,
+			ChunkBytes:   1024,
+			FecGroup:     4,
+			Faults:       &faults.Plan{Drop: 0.25, Seed: 11},
+			Logf:         t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := client.Watch(client.Config{
+			ServerAddr:    srv.Addr(),
+			Video:         0,
+			JoinLeadFrac:  0.9,
+			SlackFrac:     3.0,
+			RepairLagFrac: 1.125,
+			Seed:          viewer.ViewerSeed(muxSeed, 0),
+			Logf:          t.Logf,
+		})
+		if err != nil {
+			srv.Close()
+			t.Fatalf("client watch: %v (stats %+v)", err, stats)
+		}
+		res, err := viewer.Run(viewer.MuxConfig{
+			ServerAddr:    srv.Addr(),
+			Viewers:       1,
+			Videos:        1,
+			Seed:          muxSeed,
+			JoinLeadFrac:  0.9,
+			SlackFrac:     3.0,
+			RepairLagFrac: 1.125,
+			Logf:          t.Logf,
+		})
+		drift := srv.PacerDriftEvents()
+		srv.Close()
+		if err != nil {
+			t.Fatalf("mux run: %v (result %+v)", err, res)
+		}
+
+		var diffs []string
+		mismatch := func(format string, args ...any) {
+			diffs = append(diffs, fmt.Sprintf(format, args...))
+		}
+		if stats.FecHeals == 0 {
+			mismatch("client healed nothing off the stripe under a 25%% drop plan; the FEC equivalence is vacuous")
+		}
+		if res.FecHeals != stats.FecHeals {
+			mismatch("fec heals: mux %d, client %d", res.FecHeals, stats.FecHeals)
+		}
+		if res.StripeDefeats != stats.StripeDefeats {
+			mismatch("stripe defeats: mux %d, client %d", res.StripeDefeats, stats.StripeDefeats)
+		}
+		if res.NacksSent != stats.NacksSent {
+			mismatch("nacks sent: mux %d, client %d", res.NacksSent, stats.NacksSent)
+		}
+		if res.NacksSuppressed != stats.NacksSuppressed {
+			mismatch("nacks suppressed: mux %d, client %d", res.NacksSuppressed, stats.NacksSuppressed)
+		}
+		if res.MulticastRepairs != stats.MulticastRepairs {
+			mismatch("multicast repairs: mux %d, client %d", res.MulticastRepairs, stats.MulticastRepairs)
+		}
+		if res.RepairedChunks != stats.RepairedChunks {
+			mismatch("repaired: mux %d, client %d", res.RepairedChunks, stats.RepairedChunks)
+		}
+		if res.Bytes != stats.Bytes {
+			mismatch("bytes: mux %d, client %d", res.Bytes, stats.Bytes)
+		}
+		if res.LostChunks != 0 || stats.LostChunks != 0 || res.ByteErrors != 0 || stats.ByteErrors != 0 {
+			mismatch("lost/byteErrors nonzero: mux %d/%d, client %d/%d",
+				res.LostChunks, res.ByteErrors, stats.LostChunks, stats.ByteErrors)
+		}
+		if res.Degraded != 0 {
+			mismatch("degraded viewers = %d, want 0", res.Degraded)
+		}
+		if len(diffs) == 0 {
+			return
+		}
+		if drift > 0 && attempt < attempts {
+			t.Logf("attempt %d: %d ledger mismatches with %d drift events on the books (grid broke under load); retrying on a fresh server", attempt, len(diffs), drift)
+			continue
+		}
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		return
 	}
 }
 

@@ -118,6 +118,17 @@ type FragmentParams struct {
 	NackWindow    time.Duration
 	MaxNackRounds int
 
+	// FecGroup is the broadcast's proactive parity stripe width G (from
+	// Welcome.FecGroup); zero means no stripe and leaves every legacy
+	// path bit-identical. With a stripe, a chunk missing at its gap
+	// checkpoint first waits for the group's parity frame — the stripe
+	// heals single-datagram loss locally with no control traffic — and
+	// only enters the reactive ladder (NACK window, unicast repair) at
+	// stripe-defeat time: the grid instant by which the parity frame,
+	// broadcast alongside the group's last data chunk, can no longer
+	// save it. The driver reports reconstructions via FecHealed.
+	FecGroup int
+
 	// OnLost, when non-nil, observes each chunk declared unrecoverable
 	// (for tracing); attempts is how many repair round trips it consumed.
 	OnLost func(idx, attempts int)
@@ -132,9 +143,16 @@ type MachineStats struct {
 	Late, Duplicates, Lost, Repaired int64
 	// Nacks counts gap-bitmap NACK round trips issued; NacksSuppressed
 	// aggregation windows that closed with nothing left to report (the
-	// multicast re-send arrived first); NackRepaired chunks healed by a
-	// multicast re-send while in the NACK re-listen phase.
+	// multicast re-send arrived first) plus gaps the parity stripe
+	// healed before their window ever armed; NackRepaired chunks healed
+	// by a multicast re-send while in the NACK re-listen phase.
 	Nacks, NacksSuppressed, NackRepaired int64
+	// FecHeals counts chunks reconstructed locally from the parity
+	// stripe — zero control round trips; StripeDefeats chunks whose
+	// stripe hold expired unhealed (burst loss beyond the stripe's
+	// reach, or the parity frame itself lost) and escalated to the
+	// reactive ladder.
+	FecHeals, StripeDefeats int64
 }
 
 // ActionKind classifies what a Machine wants its driver to do next.
@@ -222,6 +240,13 @@ type Machine struct {
 	nackSeq       uint64
 	nackWindow    time.Duration
 	maxNackRounds int
+
+	// fecUntil, nil unless FecGroup is set, holds each chunk's
+	// stripe-defeat instant: a missing chunk takes no reactive action
+	// before it, and the defeat instant becomes the chunk's ladder
+	// anchor when the hold expires unhealed. A zero entry means the
+	// hold is over (defeated, healed, or reopened by the cohort).
+	fecUntil []time.Time
 }
 
 // NewMachine builds the state machine for one fragment. The gap
@@ -255,6 +280,12 @@ func NewMachine(p FragmentParams) *Machine {
 	for idx := range m.tryAt {
 		m.tryAt[idx] = m.checkpoint(idx)
 	}
+	if p.FecGroup > 0 {
+		m.fecUntil = make([]time.Time, nchunks)
+		for idx := range m.fecUntil {
+			m.fecUntil[idx] = m.fecDefeatAt(idx)
+		}
+	}
 	if p.NackEnabled && !p.DisableRepair {
 		m.nackPhase = make([]uint8, nchunks)
 		m.nackTries = make([]uint8, nchunks)
@@ -277,12 +308,45 @@ func NewMachine(p FragmentParams) *Machine {
 		// deadline): eligibility is a pure function of the broadcast
 		// geometry, never of driver scheduling.
 		for idx := range m.nackPhase {
-			if m.LostBy(idx).Sub(m.tryAt[idx]) <= m.nackWindow+m.spacing*3/2 {
+			// With a parity stripe the ladder starts at the chunk's
+			// stripe-defeat instant, not its gap checkpoint, so the
+			// headroom is measured from there — still a pure grid-time
+			// decision.
+			ladderStart := m.tryAt[idx]
+			if m.fecUntil != nil && m.fecUntil[idx].After(ladderStart) {
+				ladderStart = m.fecUntil[idx]
+			}
+			if m.LostBy(idx).Sub(ladderStart) <= m.nackWindow+m.spacing*3/2 {
 				m.nackPhase[idx] = nackDone
 			}
 		}
 	}
 	return m
+}
+
+// fecDefeatAt is the grid instant at which chunk idx's parity stripe is
+// declared defeated: the parity frame rides the same dispatch as the
+// group's last data chunk, so half a chunk interval past that chunk's
+// gap checkpoint the stripe can no longer heal anything — either the
+// reconstruction already happened or the loss exceeded the stripe. The
+// instant is clamped like a checkpoint (a unicast round trip must still
+// fit before the loss deadline) and never precedes the chunk's own
+// checkpoint. A pure function of the broadcast geometry: cohorts and
+// single viewers compute identical defeat times, which is what keeps
+// NACK grouping bit-identical between them.
+func (m *Machine) fecDefeatAt(idx int) time.Time {
+	last := (idx/m.p.FecGroup+1)*m.p.FecGroup - 1
+	if last >= m.nchunks {
+		last = m.nchunks - 1
+	}
+	t := m.checkpoint(last).Add(m.spacing / 2)
+	if latest := m.LostBy(idx).Add(-m.spacing); t.After(latest) {
+		t = latest
+	}
+	if cp := m.tryAt[idx]; t.Before(cp) {
+		t = cp
+	}
+	return t
 }
 
 // checkpoint is the gap detector's initial per-chunk deadline (see
@@ -397,6 +461,29 @@ func (m *Machine) Next(now time.Time) Action {
 			}
 			continue
 		}
+		if m.fecUntil != nil && !m.fecUntil[idx].IsZero() {
+			if now.Before(m.fecUntil[idx]) {
+				// The parity stripe may still heal this chunk for free;
+				// every reactive rung holds until the defeat instant.
+				if t := m.fecUntil[idx]; t.Before(next) {
+					next = t
+				}
+				if lb.Before(next) {
+					next = lb
+				}
+				continue
+			}
+			// Stripe defeated: burst loss beyond its reach, or the parity
+			// frame itself lost. The reactive ladder starts here, anchored
+			// at the defeat instant — a grid time — so the aggregation
+			// window of a defeated burst arms from stripe-defeat time, not
+			// first-gap time.
+			if m.fecUntil[idx].After(m.tryAt[idx]) {
+				m.stats.StripeDefeats++
+				m.tryAt[idx] = m.fecUntil[idx]
+			}
+			m.fecUntil[idx] = time.Time{}
+		}
 		if m.nackPhase != nil && m.nackPhase[idx] != nackDone {
 			// Multicast-first: the chunk is still in the NACK ladder.
 			if m.nackPhase[idx] == nackWait && !now.Before(m.tryAt[idx]) {
@@ -506,6 +593,38 @@ func (m *Machine) Chunk(idx int, now time.Time) ChunkVerdict {
 	return Accepted
 }
 
+// FecHealed books chunk idx reconstructed locally from the parity
+// stripe at time now. A heal is an arrival with zero control cost: it
+// counts FecHeals, and — when it lands before the chunk's aggregation
+// window ever armed — NacksSuppressed, with no nackPre state churn at
+// all (the chunk was holding on the stripe, never in the window). A
+// heal that lands after the ladder engaged is booked like a broadcast
+// arrival (NackRepaired while re-listening, Late past playback).
+func (m *Machine) FecHealed(idx int, now time.Time) ChunkVerdict {
+	if m.have[idx] {
+		m.stats.Duplicates++
+		return Duplicate
+	}
+	m.stats.FecHeals++
+	if m.fecUntil != nil && !m.fecUntil[idx].IsZero() {
+		if m.nackPhase != nil && m.nackPhase[idx] != nackDone {
+			// The stripe beat the window to it: one NACK that will now
+			// never be sent.
+			m.stats.NacksSuppressed++
+		}
+		m.fecUntil[idx] = time.Time{}
+	}
+	if m.nackPhase != nil && m.nackPhase[idx] == nackWait {
+		m.stats.NackRepaired++
+	}
+	m.have[idx] = true
+	m.got++
+	if now.After(m.PlayAt(idx).Add(m.p.Slack)) {
+		m.stats.Late++
+	}
+	return Accepted
+}
+
 // ResolveRepaired marks a still-missing chunk resolved outside the
 // broadcast — the cohort multiplexer calls it when every viewer has
 // recovered the chunk over unicast, so the shared machine need not hold
@@ -540,6 +659,10 @@ func (m *Machine) Reopen(idx int) {
 		// A reopened chunk is already being repaired over unicast by the
 		// per-viewer plane; the ladder does not re-enter for it.
 		m.nackPhase[idx] = nackDone
+	}
+	if m.fecUntil != nil {
+		// Likewise the stripe: the per-viewer plane owns the chunk.
+		m.fecUntil[idx] = time.Time{}
 	}
 }
 

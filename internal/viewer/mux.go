@@ -138,6 +138,13 @@ type Result struct {
 	NacksSent        int64 `json:"nacksSent"`
 	NacksSuppressed  int64 `json:"nacksSuppressed"`
 	MulticastRepairs int64 `json:"multicastRepairs"`
+	// FecHeals counts chunks reconstructed from the proactive parity
+	// stripe, summed over viewers like MulticastRepairs (one shared-path
+	// reconstruction heals the whole cohort, for zero control traffic).
+	// StripeDefeats counts cohort-level escalations: gaps whose stripe
+	// hold expired unhealed and entered the reactive ladder.
+	FecHeals      int64 `json:"fecHeals"`
+	StripeDefeats int64 `json:"stripeDefeats"`
 	// Degraded counts viewers that finished with any lost or late chunk.
 	Degraded int `json:"degraded"`
 	// PeakViewers and PeakCohorts are the concurrency high-water marks.
@@ -207,6 +214,7 @@ type viewerLedger struct {
 	repairReqs, busyReplies   int64
 	byteErrors                int64
 	lostBytes                 int64
+	fecHeals                  int64
 }
 
 // Mux is the virtual-viewer multiplexer: one process emulating Viewers
@@ -437,14 +445,18 @@ func (m *Mux) aggregate(cohorts []*cohort, elapsed time.Duration) *Result {
 		res.NacksSuppressed += co.nackSuppressed.Load()
 		res.BusyReplies += co.nackBusy.Load()
 		// A multicast re-send lands on the shared subscription, so the one
-		// healed chunk is credited to every member of the cohort.
+		// healed chunk is credited to every member of the cohort; a parity
+		// reconstruction on the shared path heals identically.
 		res.MulticastRepairs += co.nackRepaired.Load() * n
+		res.FecHeals += co.fecHeals.Load() * n
+		res.StripeDefeats += co.stripeDefeats.Load()
 		for _, v := range co.viewers {
 			led := &m.ledgers[v]
 			res.LateChunks += led.late
 			res.DuplicateChunks += led.dup
 			res.LostChunks += led.lost
 			res.RepairedChunks += led.repaired
+			res.FecHeals += led.fecHeals
 			res.RepairRequests += led.repairReqs
 			res.BusyReplies += led.busyReplies
 			res.ByteErrors += led.byteErrors
@@ -548,7 +560,14 @@ func (w *worker) step(vf *viewerFrag, now time.Time) {
 	led := &w.mux.ledgers[vf.viewer]
 	for idx := range f.arrived {
 		if t := f.arrived[idx].Load(); t != 0 && !vf.vm.Have(idx) {
-			vf.vm.Chunk(idx, time.Unix(0, t))
+			// A recorded stripe reconstruction books as a FEC heal — or a
+			// duplicate, for a viewer that already unicast-repaired the
+			// chunk — exactly as a live client's machine would book it.
+			if f.healed[idx].Load() {
+				vf.vm.FecHealed(idx, time.Unix(0, t))
+			} else {
+				vf.vm.Chunk(idx, time.Unix(0, t))
+			}
 		}
 	}
 	for {
@@ -597,6 +616,7 @@ func (w *worker) finish(vf *viewerFrag) {
 	led.late += st.Late - vf.folded.Late
 	led.dup += st.Duplicates - vf.folded.Duplicates
 	led.repaired += st.Repaired - vf.folded.Repaired
+	led.fecHeals += st.FecHeals - vf.folded.FecHeals
 	vf.folded = st
 	vf.f.pending.Add(-1)
 }

@@ -163,6 +163,12 @@ type Stats struct {
 	// they carried, so UringSQEs/UringSubmits is the achieved SQE depth.
 	UringSubmits int64 `json:"uringSubmits,omitempty"`
 	UringSQEs    int64 `json:"uringSqes,omitempty"`
+	// The proactive FEC ledger. ParityFrames counts parity frames put
+	// on the wire alongside the broadcast schedule; ParityBytes their
+	// total encoded bytes, so ParityBytes/BatchedBytes bounds the
+	// stripe's bandwidth overhead (≤ 1/G by construction).
+	ParityFrames int64 `json:"parityFrames,omitempty"`
+	ParityBytes  int64 `json:"parityBytes,omitempty"`
 	// Draining reports a server in graceful shutdown: no new
 	// connections, in-flight repairs finishing.
 	Draining bool `json:"draining,omitempty"`
@@ -194,6 +200,15 @@ type Welcome struct {
 	// send NACKs when this is set, so old servers (and test fakes) keep
 	// seeing pure unicast KindRepair traffic.
 	NackRepair bool `json:"nackRepair,omitempty"`
+	// FecGroup advertises the proactive parity stripe: the broadcast
+	// interleaves one parity frame per group of FecGroup data chunks
+	// (see KindParity). Zero means no stripe — receivers then never see
+	// parity frames and run the PR-8 reactive ladder unchanged.
+	FecGroup int `json:"fecGroup,omitempty"`
+	// FecMode is the stripe kind: FecModeXOR (one P frame, heals one
+	// erasure per group) or FecModeRS (P+Q, heals two). Empty when
+	// FecGroup is zero.
+	FecMode string `json:"fecMode,omitempty"`
 }
 
 // WriteControl writes one newline-delimited JSON control message.

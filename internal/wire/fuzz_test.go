@@ -38,7 +38,11 @@ func FuzzDecode(f *testing.F) {
 // frame life cycle: any accepted frame must survive Encode → PatchSeq →
 // Decode with only the Seq field changed — the property the server's
 // repetition-invariant frame cache rests on. Seeds cover the boundary
-// payload sizes (0, 1, MaxPayload).
+// payload sizes (0, 1, MaxPayload) plus KindParity frames, which share
+// the header layout: the data decoder must reject them (reserved byte),
+// the parity decoder must accept them, and an accepted parity frame
+// must survive the same encode → PatchSeq → decode cycle, since parity
+// frames live in the same cache and ride the same batched egress.
 func FuzzChunkDecode(f *testing.F) {
 	for _, n := range []int{0, 1, MaxPayload} {
 		payload := make([]byte, n)
@@ -51,14 +55,52 @@ func FuzzChunkDecode(f *testing.F) {
 		}
 		f.Add(frame, uint32(n)*7)
 	}
+	for _, count := range []int{1, 8, MaxFecGroup} {
+		payload := AppendParityPayload(nil, count, bytes.Repeat([]byte{0x5A}, 64))
+		frame, err := EncodeParityFrame(nil, 1, 2, 3, 4096, 65536, 0, payload, PayloadCRC(payload))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame, uint32(count)*11)
+	}
 	f.Add([]byte{}, uint32(0))
 	f.Add(bytes.Repeat([]byte{0xA5}, headerSize), uint32(1))
 	f.Fuzz(func(t *testing.T, data []byte, seq uint32) {
+		if p, err := DecodeParity(data); err == nil {
+			if _, err := Decode(data); err == nil {
+				t.Fatal("frame accepted as both data chunk and parity")
+			}
+			re, err := EncodeParityFrame(nil, p.Video, p.Channel, p.Seq, p.Base, p.Total, p.Index, data[headerSize:], PayloadCRC(data[headerSize:]))
+			if err != nil {
+				t.Fatalf("accepted parity failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("parity decode/encode not idempotent:\n in: %x\nout: %x", data, re)
+			}
+			if err := PatchSeq(re, seq); err != nil {
+				t.Fatalf("PatchSeq on a fresh parity encode: %v", err)
+			}
+			got, err := DecodeParity(re)
+			if err != nil {
+				t.Fatalf("patched parity stopped decoding: %v", err)
+			}
+			if got.Seq != seq {
+				t.Fatalf("patched parity Seq = %d, want %d", got.Seq, seq)
+			}
+			if got.Video != p.Video || got.Channel != p.Channel || got.Base != p.Base ||
+				got.Total != p.Total || got.Index != p.Index || got.Count != p.Count ||
+				!bytes.Equal(got.Bitmap, p.Bitmap) || !bytes.Equal(got.Block, p.Block) {
+				t.Fatalf("PatchSeq disturbed a non-Seq parity field: %+v vs %+v", got, p)
+			}
+		}
 		c, err := Decode(data)
 		if err != nil {
 			// Rejected frames must also be rejected by the patcher unless
 			// only their payload is damaged (PatchSeq never reads it).
 			return
+		}
+		if IsParity(data) {
+			t.Fatal("data decoder accepted a parity-marked frame")
 		}
 		re, err := c.Encode(nil)
 		if err != nil {
@@ -93,6 +135,15 @@ func FuzzControlDecode(f *testing.F) {
 		{Kind: KindHello},
 		{Kind: KindWelcome, Welcome: &Welcome{Videos: 2, ChannelsPerVideo: 5, Width: 2,
 			UnitNanos: 8e7, EpochUnixNano: 1234, SizeUnits: []int64{1, 2, 2, 2, 2}, BytesPerUnit: 4096, ChunkBytes: 1024}},
+		// KindParity is a data-plane frame kind, not a control verb, but
+		// the capability that announces it travels here: seed the Welcome
+		// that advertises each stripe mode.
+		{Kind: KindWelcome, Welcome: &Welcome{Videos: 1, ChannelsPerVideo: 3, Width: 2,
+			UnitNanos: 8e7, EpochUnixNano: 1234, SizeUnits: []int64{1, 2, 2}, BytesPerUnit: 4096, ChunkBytes: 1024,
+			NackRepair: true, FecGroup: 8, FecMode: FecModeXOR}},
+		{Kind: KindWelcome, Welcome: &Welcome{Videos: 1, ChannelsPerVideo: 3, Width: 2,
+			UnitNanos: 8e7, EpochUnixNano: 1234, SizeUnits: []int64{1, 2, 2}, BytesPerUnit: 4096, ChunkBytes: 1024,
+			NackRepair: true, FecGroup: 16, FecMode: FecModeRS}},
 		{Kind: KindJoin, Video: 1, Channel: 2, Port: 45678},
 		{Kind: KindJoined, Video: 1, Channel: 2},
 		{Kind: KindLeave, Video: 1, Channel: 2},
@@ -131,6 +182,12 @@ func FuzzControlDecode(f *testing.F) {
 	f.Add([]byte("garbage\n"))
 	f.Add([]byte("{}\n"))
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	// A binary KindParity frame arriving on the control line is garbage
+	// to this parser; it must be rejected, never mis-parsed.
+	parityPayload := AppendParityPayload(nil, 8, bytes.Repeat([]byte{0x5A}, 32))
+	if parityFrame, err := EncodeParityFrame(nil, 1, 2, 3, 0, 65536, 0, parityPayload, PayloadCRC(parityPayload)); err == nil {
+		f.Add(append(parityFrame, '\n'))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadControl(bufio.NewReader(bytes.NewReader(data)))
 		if err != nil {

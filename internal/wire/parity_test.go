@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func mustParityFrame(t testing.TB, count int, block []byte, index uint8) []byte {
+	t.Helper()
+	payload := AppendParityPayload(nil, count, block)
+	frame, err := EncodeParityFrame(nil, 3, 2, 7, 8192, 65536, index, payload, PayloadCRC(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestParityRoundTrip(t *testing.T) {
+	block := bytes.Repeat([]byte{0xC3}, 1024)
+	frame := mustParityFrame(t, 8, block, 0)
+	if !IsParity(frame) {
+		t.Fatal("IsParity = false on an encoded parity frame")
+	}
+	p, err := DecodeParity(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Video != 3 || p.Channel != 2 || p.Seq != 7 || p.Base != 8192 || p.Total != 65536 {
+		t.Fatalf("header fields: %+v", p)
+	}
+	if p.Index != 0 || p.Count != 8 || !bytes.Equal(p.Block, block) {
+		t.Fatalf("stripe fields: index %d count %d block %d bytes", p.Index, p.Count, len(p.Block))
+	}
+	for i := 0; i < 8; i++ {
+		if !p.Covers(i) {
+			t.Fatalf("stripe does not cover chunk %d", i)
+		}
+	}
+	if p.Covers(8) || p.Covers(-1) {
+		t.Fatal("stripe covers out-of-range chunk")
+	}
+}
+
+// TestParityRejectedByDataDecoder pins the compatibility story: a parity
+// frame presented to the data-chunk decoder fails with ErrBadReserved
+// (old receivers drop it as garbage rather than mis-parse it), and the
+// identity peek the injector and mux route on still works.
+func TestParityRejectedByDataDecoder(t *testing.T) {
+	frame := mustParityFrame(t, 4, make([]byte, 64), 1)
+	if _, err := Decode(frame); !errors.Is(err, ErrBadReserved) {
+		t.Fatalf("Decode(parity) = %v, want ErrBadReserved", err)
+	}
+	video, channel, seq, offset, ok := PeekID(frame)
+	if !ok || video != 3 || channel != 2 || seq != 7 || offset != 8192 {
+		t.Fatalf("PeekID(parity) = %d/%d seq %d off %d ok %v", video, channel, seq, offset, ok)
+	}
+	if err := PatchSeq(frame, 42); err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodeParity(frame)
+	if err != nil || p.Seq != 42 {
+		t.Fatalf("after PatchSeq: seq %d err %v", p.Seq, err)
+	}
+	if IsParity(make([]byte, HeaderSize)) {
+		t.Fatal("IsParity accepted an all-zero header")
+	}
+}
+
+func TestParityDecodeRejectsMalformed(t *testing.T) {
+	good := mustParityFrame(t, 8, make([]byte, 32), 0)
+	cases := map[string]func() []byte{
+		"zero count": func() []byte {
+			payload := append([]byte{0}, make([]byte, 33)...)
+			f, _ := EncodeParityFrame(nil, 1, 1, 0, 0, 0, 0, payload, PayloadCRC(payload))
+			return f
+		},
+		"count past cap": func() []byte {
+			payload := append([]byte{MaxFecGroup + 1}, make([]byte, 64)...)
+			f, _ := EncodeParityFrame(nil, 1, 1, 0, 0, 0, 0, payload, PayloadCRC(payload))
+			return f
+		},
+		"short payload": func() []byte {
+			payload := []byte{8, 0xFF} // bitmap but no block
+			f, _ := EncodeParityFrame(nil, 1, 1, 0, 0, 0, 0, payload, PayloadCRC(payload))
+			return f
+		},
+		"bits past count": func() []byte {
+			payload := append([]byte{4, 0xFF}, make([]byte, 16)...) // count 4, bits 4..7 set
+			f, _ := EncodeParityFrame(nil, 1, 1, 0, 0, 0, 0, payload, PayloadCRC(payload))
+			return f
+		},
+		"bad crc": func() []byte {
+			f := append([]byte(nil), good...)
+			f[len(f)-1] ^= 1
+			return f
+		},
+	}
+	for name, mk := range cases {
+		frame := mk()
+		if _, err := DecodeParity(frame); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := EncodeParityFrame(nil, 1, 1, 0, 0, 0, 2, []byte{1, 1, 0}, 0); err == nil {
+		t.Error("encoder accepted parity index 2")
+	}
+}
+
+// TestParityShortTailBitmap checks the canonical all-ones bitmap for a
+// count that does not fill its final byte.
+func TestParityShortTailBitmap(t *testing.T) {
+	payload := AppendParityPayload(nil, 11, make([]byte, 8))
+	if payload[0] != 11 || payload[1] != 0xFF || payload[2] != 0x07 {
+		t.Fatalf("payload prefix = %x", payload[:3])
+	}
+	frame, err := EncodeParityFrame(nil, 1, 1, 0, 0, 0, 0, payload, PayloadCRC(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodeParity(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Covers(10) || p.Covers(11) {
+		t.Fatal("coverage bitmap wrong at the tail")
+	}
+}
+
+// TestGfField pins the GF(256) arithmetic the Q parity rests on:
+// mul/div inverses, the generator's order, and the accumulate helpers
+// against a byte-wise reference.
+func TestGfField(t *testing.T) {
+	if GfExpPow(0) != 1 || GfExpPow(255) != 1 {
+		t.Fatal("alpha^0 or alpha^255 != 1")
+	}
+	for a := 1; a < 256; a++ {
+		for _, b := range []int{1, 2, 29, 127, 255} {
+			m := GfMul(byte(a), byte(b))
+			if GfDiv(m, byte(b)) != byte(a) {
+				t.Fatalf("div(mul(%d,%d),%d) != %d", a, b, b, a)
+			}
+		}
+		if GfMul(byte(a), 0) != 0 || GfMul(0, byte(a)) != 0 {
+			t.Fatal("mul by zero != zero")
+		}
+	}
+	// Distributivity over XOR, the property erasure solving uses:
+	// c·(x^y) == c·x ^ c·y.
+	for _, c := range []byte{2, 7, 0x1d, 0xFF} {
+		for x := 0; x < 256; x += 17 {
+			for y := 0; y < 256; y += 23 {
+				if GfMul(c, byte(x)^byte(y)) != GfMul(c, byte(x))^GfMul(c, byte(y)) {
+					t.Fatalf("distributivity fails at c=%d x=%d y=%d", c, x, y)
+				}
+			}
+		}
+	}
+	dst := make([]byte, 37) // odd length exercises the word/byte split
+	src := make([]byte, 37)
+	ref := make([]byte, 37)
+	for i := range src {
+		src[i] = byte(i * 7)
+		dst[i] = byte(i * 13)
+		ref[i] = dst[i]
+	}
+	XorAccum(dst, src)
+	for i := range ref {
+		ref[i] ^= src[i]
+	}
+	if !bytes.Equal(dst, ref) {
+		t.Fatal("XorAccum disagrees with byte-wise reference")
+	}
+	GfMulAccum(dst, src, 0x1d)
+	for i := range ref {
+		ref[i] ^= GfMul(0x1d, src[i])
+	}
+	if !bytes.Equal(dst, ref) {
+		t.Fatal("GfMulAccum disagrees with byte-wise reference")
+	}
+}
+
+// TestParityOverhead pins the payload-size arithmetic the frame cache
+// budgets with.
+func TestParityOverhead(t *testing.T) {
+	for _, tc := range []struct{ count, block, want int }{
+		{1, 1024, 1 + 1 + 1024},
+		{8, 1024, 1 + 1 + 1024},
+		{9, 1024, 1 + 2 + 1024},
+		{64, 512, 1 + 8 + 512},
+	} {
+		if got := ParityOverhead(tc.count, tc.block); got != tc.want {
+			t.Errorf("ParityOverhead(%d,%d) = %d, want %d", tc.count, tc.block, got, tc.want)
+		}
+		payload := AppendParityPayload(nil, tc.count, make([]byte, tc.block))
+		if len(payload) != tc.want {
+			t.Errorf("AppendParityPayload(%d,%d) = %d bytes, want %d", tc.count, tc.block, len(payload), tc.want)
+		}
+	}
+}
