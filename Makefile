@@ -5,7 +5,7 @@ GO ?= go
 # machine produced them.
 BENCHMETA = ./scripts/benchmeta.sh
 
-.PHONY: build test vet race chaos test-portable fuzz scale-smoke vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress bench-scale
+.PHONY: build test vet race chaos test-portable fuzz scale-smoke vulncheck verify bench bench-sweep bench-datapath bench-overload bench-egress bench-scale bench-ingress
 
 build:
 	$(GO) build ./...
@@ -30,20 +30,25 @@ race:
 # supervised pacers, drain, member eviction, the batched egress
 # engine (wheel/pacer golden equivalence, shard panic recovery,
 # vectorized/fallback/GSO identity, io_uring submission + teardown,
-# catch-up run staging), and the proactive FEC stripe (parity encode,
+# catch-up run staging), the ingress ladder (recvmmsg/GRO/single-read
+# delivery identity, kill-switch demotion, GRO super-frame splitting,
+# read-error backoff), and the proactive FEC stripe (parity encode,
 # stripe reassembly, defeat escalation, burst loss) — under the race
 # detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux|Nack|GSO|Uring|Catchup|Fec|Parity|Stripe' \
+		-run 'Chaos|Fault|Repair|Recover|Degrad|Reconnect|Idle|Overload|Storm|Drain|PacerPanic|Evict|Busy|Bye|Jitter|Egress|Wheel|Batch|Golden|Cohort|Mux|Nack|GSO|Uring|Catchup|Fec|Parity|Stripe|Recv|Gro|GRO|Ingress' \
 		./internal/faults ./internal/client ./internal/server ./internal/mcast ./internal/viewer
 
 # The portable-fallback pin: the whole egress ladder collapsed to plain
-# per-datagram writes (no sendmmsg, no GSO) must still pass the mcast
-# suite, proving the fast paths are accelerations of — not departures
-# from — the portable semantics every non-Linux build runs.
+# per-datagram writes (no sendmmsg, no GSO) and the ingress ladder to
+# plain single-datagram reads (no recvmmsg, no GRO) must still pass the
+# mcast suite, proving the fast paths are accelerations of — not
+# departures from — the portable semantics every non-Linux build runs.
 test-portable:
-	SKYSCRAPER_NO_GSO=1 SKYSCRAPER_NO_SENDMMSG=1 $(GO) test -count=1 ./internal/mcast
+	SKYSCRAPER_NO_GSO=1 SKYSCRAPER_NO_SENDMMSG=1 \
+		SKYSCRAPER_NO_RECVMMSG=1 SKYSCRAPER_NO_GRO=1 \
+		$(GO) test -count=1 ./internal/mcast
 
 # Ten seconds of coverage-guided fuzzing per wire decoder (frame and
 # control planes): malformed input must error, never panic, and every
@@ -124,3 +129,28 @@ bench-egress:
 	$(GO) test -bench 'EgressFanout|EgressSuperframe|EgressUring|WheelDispatch|CounterParallel' -benchmem -run '^$$' -json \
 		./internal/mcast ./internal/server ./internal/metrics > BENCH_egress.json
 	$(BENCHMETA) bench-egress >> BENCH_egress.json
+
+# Record the ingress-ladder benchmarks: the shared receiver draining
+# 1/8/64-datagram bursts through each rung (single-read, recvmmsg,
+# recvmmsg+GRO), reporting datagrams/s, the achieved
+# datagrams-per-read-syscall batching factor, GRO segments recovered per
+# op, and allocation counts; then the 8k-viewer faulted capacity sweep
+# twice — once with the ingress ladder pinned off (the "before"), once
+# with it on — so the record shows the ladder's effect on a real
+# audience, not just a microbenchmark (see EXPERIMENTS.md "Ingress
+# ladder").
+bench-ingress:
+	$(GO) test -bench 'SharedReceiverDrain' -benchmem -run '^$$' -json \
+		./internal/mcast > BENCH_ingress.json
+	SKYSCRAPER_NO_RECVMMSG=1 SKYSCRAPER_NO_GRO=1 \
+		$(GO) run ./cmd/skychaos -scale -viewers 1000 -procs 2 \
+		-fault-drop 0.02 -fault-viewers 8000 -unit 100ms \
+		-out /tmp/BENCH_ingress_scale_before.json
+	$(GO) run ./cmd/skychaos -scale -viewers 1000 -procs 2 \
+		-fault-drop 0.02 -fault-viewers 8000 -unit 100ms \
+		-out /tmp/BENCH_ingress_scale_after.json
+	@echo '{"Section":"ingress_scale_before","LadderOff":true}' >> BENCH_ingress.json
+	@cat /tmp/BENCH_ingress_scale_before.json >> BENCH_ingress.json
+	@echo '{"Section":"ingress_scale_after","LadderOff":false}' >> BENCH_ingress.json
+	@cat /tmp/BENCH_ingress_scale_after.json >> BENCH_ingress.json
+	$(BENCHMETA) bench-ingress >> BENCH_ingress.json

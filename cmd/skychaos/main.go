@@ -83,7 +83,9 @@ func main() {
 		procs      = flag.Int("procs", 2, "emulator processes per -scale point")
 		spread     = flag.Float64("spread", 4, "admission spread in D1 units for the virtual audience")
 		muxWorkers = flag.Int("mux-workers", 0, "repair worker pool per emulator (0 = GOMAXPROCS, capped)")
-		faultDrop  = flag.Float64("fault-drop", 0.02,
+		recvBatch  = flag.Int("recv-batch", 0,
+			"datagrams per receive syscall in each emulator's shared receiver (0 = kernel-probed default, 1 pins the single-read path)")
+		faultDrop = flag.Float64("fault-drop", 0.02,
 			"drop rate for the faulted contrast sweep in -scale (0 disables it)")
 		faultViewers = flag.String("fault-viewers", "500,2000,8000",
 			"comma-separated audience sizes for the faulted -scale sweep")
@@ -111,7 +113,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skychaos: -emulate needs a single -viewers count, got %q\n", *viewers)
 			os.Exit(2)
 		}
-		if err := emulate(*serverAddr, n, *videos, *spread, *seed, *muxWorkers, *noRepair, *verbose); err != nil {
+		if err := emulate(*serverAddr, n, *videos, *spread, *seed, *muxWorkers, *recvBatch, *noRepair, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "skychaos:", err)
 			os.Exit(1)
 		}
@@ -144,7 +146,7 @@ func main() {
 			sweeps = append(sweeps, sweepSpec{drop: *faultDrop, counts: fcounts})
 		}
 		if err := scaleSweep(*videos, *channels, *width, *unit, *seed, sweeps,
-			*procs, *muxWorkers, *spread, *fecGroup, *fecMode, burst,
+			*procs, *muxWorkers, *recvBatch, *spread, *fecGroup, *fecMode, burst,
 			*noRepair, *verbose, *assertCohort, scaleOut); err != nil {
 			fmt.Fprintln(os.Stderr, "skychaos:", err)
 			os.Exit(1)
@@ -371,12 +373,13 @@ func sweep(videos, channels int, width int64, unit time.Duration,
 	return nil
 }
 
-// printEgressCaps probes the kernel's egress fast paths the same way the
-// hub does at creation — sendmmsg availability, the UDP_SEGMENT
-// setsockopt trial, and an io_uring setup with a sendmsg opcode probe —
-// and prints one machine-readable line. scripts/benchmeta.sh stamps it
-// into every BENCH_*.json so egress numbers from different kernels are
-// never compared silently.
+// printEgressCaps probes the kernel's egress and ingress fast paths the
+// same way the hub and shared receiver do at creation — sendmmsg
+// availability, the UDP_SEGMENT setsockopt trial, an io_uring setup with
+// a sendmsg opcode probe, plus the recvmmsg trial and the UDP_GRO
+// setsockopt on the receive side — and prints one machine-readable line.
+// scripts/benchmeta.sh stamps it into every BENCH_*.json so numbers from
+// different kernels are never compared silently.
 func printEgressCaps() error {
 	h, err := mcast.NewHub()
 	if err != nil {
@@ -384,7 +387,15 @@ func printEgressCaps() error {
 	}
 	defer h.Close()
 	uring := h.EnableUring() == nil
-	fmt.Printf("vectorized=%v gso=%v uring=%v\n", h.Vectorized(), h.GSO(), uring)
+	recvmmsg, gro := false, false
+	if rcv, err := mcast.NewSharedReceiver(0, func([]byte) (mcast.Group, bool) {
+		return mcast.Group{}, false
+	}); err == nil {
+		recvmmsg, gro = rcv.RecvBatched(), rcv.GRO()
+		rcv.Close()
+	}
+	fmt.Printf("vectorized=%v gso=%v uring=%v recvmmsg=%v gro=%v\n",
+		h.Vectorized(), h.GSO(), uring, recvmmsg, gro)
 	return nil
 }
 

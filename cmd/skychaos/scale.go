@@ -69,6 +69,16 @@ type scaleRow struct {
 	// drops across emulators — per subscribed datagram, not per viewer.
 	Datagrams   int64 `json:"datagrams"`
 	RecvDropped int64 `json:"recv_dropped"`
+	// The ingress ladder ledger, summed across emulators: datagrams
+	// delivered through the recvmmsg rung, kernel receive invocations
+	// (batched_reads/read_syscalls is the achieved ingress batching
+	// factor), wire datagrams split out of UDP_GRO super-frames, declined
+	// or demoted rungs, and backoff-throttled receive failures.
+	BatchedReads int64 `json:"batched_reads"`
+	ReadSyscalls int64 `json:"read_syscalls"`
+	GroSegments  int64 `json:"gro_segments"`
+	GroFallbacks int64 `json:"gro_fallbacks,omitempty"`
+	ReadErrors   int64 `json:"read_errors,omitempty"`
 	// Server-side deltas over the window: CPU burned by the server
 	// process, datagrams put on the wire, unicast repairs answered, and
 	// the control-session high-water mark (audience-independence: bounded
@@ -117,7 +127,7 @@ type scaleReport struct {
 // parent merges the documents; a degraded run still reports before the
 // non-zero exit.
 func emulate(serverAddr string, viewers, videos int, spread float64, seed uint64,
-	workers int, noRepair, verbose bool) error {
+	workers, recvBatch int, noRepair, verbose bool) error {
 	cfg := viewer.MuxConfig{
 		ServerAddr:   serverAddr,
 		Viewers:      viewers,
@@ -125,6 +135,7 @@ func emulate(serverAddr string, viewers, videos int, spread float64, seed uint64
 		SpreadUnits:  spread,
 		Seed:         seed,
 		Workers:      workers,
+		RecvBatch:    recvBatch,
 		JoinLeadFrac: 0.9,
 		// Two units of slack (matching the chaos-suite clients): the NACK
 		// ladder only engages on chunks with a multicast round's worth of
@@ -176,7 +187,7 @@ func parseCounts(s string) ([]int, error) {
 // sweep must come back undegraded with sublinear unicast-repair growth —
 // the O(cohorts)-not-O(viewers) property, enforced.
 func scaleSweep(videos, channels int, width int64, unit time.Duration,
-	seed uint64, sweeps []sweepSpec, procs, muxWorkers int,
+	seed uint64, sweeps []sweepSpec, procs, muxWorkers, recvBatch int,
 	spread float64, fecGroup int, fecMode string, burst burstSpec,
 	noRepair, verbose, assertCohort bool, out string) error {
 	if procs <= 0 {
@@ -201,7 +212,7 @@ func scaleSweep(videos, channels int, width int64, unit time.Duration,
 		report.Burst = fmt.Sprintf("%g,%g,%g", burst.enter, burst.exit, burst.drop)
 	}
 	for _, sw := range sweeps {
-		res, err := runScaleSweep(sch, unit, seed, sw, procs, videos, muxWorkers, spread, fecGroup, fecMode, burst, noRepair, verbose)
+		res, err := runScaleSweep(sch, unit, seed, sw, procs, videos, muxWorkers, recvBatch, spread, fecGroup, fecMode, burst, noRepair, verbose)
 		if err != nil {
 			return err
 		}
@@ -228,7 +239,7 @@ func scaleSweep(videos, channels int, width int64, unit time.Duration,
 // runScaleSweep runs one sweep against its own server, so each drop rate
 // gets a clean fault plan and cost ledger.
 func runScaleSweep(sch *core.Scheme, unit time.Duration, seed uint64, sw sweepSpec,
-	procs, videos, muxWorkers int, spread float64, fecGroup int, fecMode string,
+	procs, videos, muxWorkers, recvBatch int, spread float64, fecGroup int, fecMode string,
 	burst burstSpec, noRepair, verbose bool) (*scaleSweepResult, error) {
 	scfg := server.Config{
 		Scheme:       sch,
@@ -265,7 +276,7 @@ func runScaleSweep(sch *core.Scheme, unit time.Duration, seed uint64, sw sweepSp
 		"viewers", "procs", "cohorts", "p50-wait", "p99-wait", "fec-heals", "repairs", "defeats", "busy%", "degraded",
 		"nacks", "mc-heals", "datagrams", "srv-cpu-s", "srv-dgs", "sessions")
 	for _, n := range sw.counts {
-		row, err := scalePoint(srv, statusURL, n, procs, videos, spread, seed, muxWorkers, noRepair, verbose)
+		row, err := scalePoint(srv, statusURL, n, procs, videos, spread, seed, muxWorkers, recvBatch, noRepair, verbose)
 		if err != nil {
 			return nil, fmt.Errorf("drop %v viewers %d: %w", sw.drop, n, err)
 		}
@@ -277,6 +288,23 @@ func runScaleSweep(sch *core.Scheme, unit time.Duration, seed uint64, sw sweepSp
 			row.Datagrams, row.ServerCPUSec, row.ServerDatagrams, row.ControlSessionsPeak)
 		res.Rows = append(res.Rows, *row)
 	}
+	// The sweep's ingress ledger: how the emulators' shared receivers
+	// turned kernel receive invocations back into wire datagrams.
+	var br, rs, gs, gf, re int64
+	for _, row := range res.Rows {
+		br += row.BatchedReads
+		rs += row.ReadSyscalls
+		gs += row.GroSegments
+		gf += row.GroFallbacks
+		re += row.ReadErrors
+	}
+	perRead := 0.0
+	if rs > 0 {
+		perRead = float64(br) / float64(rs)
+	}
+	fmt.Printf("       ingress: %d batched reads over %d read syscalls "+
+		"(%.1f datagrams/readsyscall), %d gro segments, %d fallbacks, %d read errors\n",
+		br, rs, perRead, gs, gf, re)
 	return res, nil
 }
 
@@ -318,7 +346,7 @@ func assertCohortRepair(report *scaleReport, chunksPerViewer int) error {
 // scalePoint runs one audience size: procs emulator processes splitting n
 // viewers, measured against the server's CPU and wire ledgers.
 func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
-	spread float64, seed uint64, muxWorkers int, noRepair, verbose bool) (*scaleRow, error) {
+	spread float64, seed uint64, muxWorkers, recvBatch int, noRepair, verbose bool) (*scaleRow, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
@@ -354,6 +382,9 @@ func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
 		}
 		if muxWorkers > 0 {
 			args = append(args, "-mux-workers", strconv.Itoa(muxWorkers))
+		}
+		if recvBatch > 0 {
+			args = append(args, "-recv-batch", strconv.Itoa(recvBatch))
 		}
 		if noRepair {
 			args = append(args, "-no-repair")
@@ -401,6 +432,11 @@ func scalePoint(srv *server.Server, statusURL string, n, procs, videos int,
 		row.StripeDefeats += res.StripeDefeats
 		row.Datagrams += res.Datagrams
 		row.RecvDropped += res.RecvDropped
+		row.BatchedReads += res.BatchedReads
+		row.ReadSyscalls += res.ReadSyscalls
+		row.GroSegments += res.GroSegments
+		row.GroFallbacks += res.GroFallbacks
+		row.ReadErrors += res.ReadErrors
 		hists = append(hists, res.WaitHist)
 	}
 	merged := viewer.MergeWaitHists(hists...)

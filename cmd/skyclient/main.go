@@ -118,5 +118,21 @@ func queryStats(addr string) error {
 		fmt.Printf("parity frames   %d (%d bytes) broadcast proactively\n",
 			m.Stats.ParityFrames, m.Stats.ParityBytes)
 	}
+	// Ingress ladder rows — absent (zero) on a pure egress server or one
+	// that predates the receive-side ledger.
+	if m.Stats.ReadSyscalls > 0 {
+		fmt.Printf("read syscalls   %d (%.1f datagrams/readsyscall)\n",
+			m.Stats.ReadSyscalls,
+			float64(m.Stats.BatchedReads)/float64(m.Stats.ReadSyscalls))
+	}
+	if m.Stats.GroSegments > 0 {
+		fmt.Printf("gro segments    %d split from coalesced super-frames\n", m.Stats.GroSegments)
+	}
+	if m.Stats.GroFallbacks > 0 {
+		fmt.Printf("gro fallbacks   %d\n", m.Stats.GroFallbacks)
+	}
+	if m.Stats.ReadErrors > 0 {
+		fmt.Printf("read errors     %d (backoff-throttled)\n", m.Stats.ReadErrors)
+	}
 	return nil
 }

@@ -836,7 +836,7 @@ func (s *session) receiveFragment(rcv *mcast.Receiver, port int, e, next *tuneEn
 		if err := rcv.Conn.SetReadDeadline(wake); err != nil {
 			return err
 		}
-		n, _, err := rcv.Conn.ReadFromUDP(buf)
+		n, _, err := rcv.Conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package client
+
+// raceEnabled lets alloc-count assertions stand down under the race
+// detector: AllocsPerRun is unreliable there.
+const raceEnabled = false

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"net"
+	"testing"
+
+	"skyscraper/internal/wire"
+)
+
+// TestClientRecvZeroAlloc pins the loader's per-datagram receive cost:
+// the ReadFromUDPAddrPort + Decode pair at the heart of receiveFragment
+// must not allocate. The old ReadFromUDP path built a *net.UDPAddr per
+// datagram — a million-viewer deployment's worth of garbage for an
+// address nobody reads.
+func TestClientRecvZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	rcv, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	snd, err := net.DialUDP("udp4", nil, rcv.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frame, err := (&wire.Chunk{Video: 1, Channel: 2, Seq: 3, Total: uint32(len(payload)), Payload: payload}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, wire.EncodedSize(wire.MaxPayload))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := snd.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		n, _, err := rcv.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := wire.Decode(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Seq != 3 {
+			t.Fatalf("seq = %d, want 3", c.Seq)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("receive path allocates %v objects per datagram, want 0", allocs)
+	}
+}

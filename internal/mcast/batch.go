@@ -31,6 +31,19 @@ const NoSendmmsgEnv = "SKYSCRAPER_NO_SENDMMSG"
 // on platforms without the fast path.
 const NoGSOEnv = "SKYSCRAPER_NO_GSO"
 
+// NoRecvmmsgEnv, when set to any non-empty value before a shared
+// receiver is created, disables the recvmmsg ingress rung so every
+// datagram is read with its own ReadFromUDPAddrPort — the ingress mirror
+// of NoSendmmsgEnv. It has no effect on platforms without the fast path.
+const NoRecvmmsgEnv = "SKYSCRAPER_NO_RECVMMSG"
+
+// NoGROEnv, when set to any non-empty value before a shared receiver is
+// created, disables the UDP_GRO coalesced-receive rung so super-frames
+// arrive pre-segmented by the kernel — the ingress mirror of NoGSOEnv.
+// The decline is logged once and counted in GROFallbacks. It has no
+// effect on platforms without the fast path.
+const NoGROEnv = "SKYSCRAPER_NO_GRO"
+
 // BatchEntry is one chunk to broadcast: the frame and the group whose
 // members should receive it.
 type BatchEntry struct {

@@ -44,7 +44,7 @@ func drainFrames(t *testing.T, r *Receiver, want int) []string {
 	buf := make([]byte, 2048)
 	for i := 0; i < want; i++ {
 		r.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-		n, _, err := r.Conn.ReadFromUDP(buf)
+		n, _, err := r.Conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			t.Fatalf("read %d of %d: %v", i+1, want, err)
 		}
@@ -53,7 +53,7 @@ func drainFrames(t *testing.T, r *Receiver, want int) []string {
 	// Nothing further should arrive. (Loopback delivery is effectively
 	// synchronous; a short probe keeps 160 receivers' worth of checks fast.)
 	r.Conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
-	if n, _, err := r.Conn.ReadFromUDP(buf); err == nil {
+	if n, _, err := r.Conn.ReadFromUDPAddrPort(buf); err == nil {
 		t.Fatalf("unexpected extra datagram %q", buf[:n])
 	}
 	sort.Strings(got)

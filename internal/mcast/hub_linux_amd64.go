@@ -1,6 +1,10 @@
 package mcast
 
-// sysSendmmsg is linux/amd64's sendmmsg(2) number. The stdlib syscall
-// tables were frozen before the syscall existed, so it is spelled out
-// here (see arch/x86/entry/syscalls/syscall_64.tbl).
-const sysSendmmsg = 307
+// sysSendmmsg and sysRecvmmsg are linux/amd64's sendmmsg(2) and
+// recvmmsg(2) numbers. The stdlib syscall tables were frozen before the
+// syscalls existed, so they are spelled out here (see
+// arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,5 +1,9 @@
 package mcast
 
-// sysSendmmsg is linux/arm64's sendmmsg(2) number (the asm-generic
-// table shared by all post-2011 ports; see include/uapi/asm-generic/unistd.h).
-const sysSendmmsg = 269
+// sysSendmmsg and sysRecvmmsg are linux/arm64's sendmmsg(2) and
+// recvmmsg(2) numbers (the asm-generic table shared by all post-2011
+// ports; see include/uapi/asm-generic/unistd.h).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

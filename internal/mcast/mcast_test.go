@@ -43,7 +43,7 @@ func TestJoinSendLeave(t *testing.T) {
 	}
 	buf := make([]byte, 64)
 	rcv.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	n, _, err := rcv.Conn.ReadFromUDP(buf)
+	n, _, err := rcv.Conn.ReadFromUDPAddrPort(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +93,11 @@ func TestGroupIsolation(t *testing.T) {
 	}
 	buf := make([]byte, 16)
 	b.Conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
-	if _, _, err := b.Conn.ReadFromUDP(buf); err == nil {
+	if _, _, err := b.Conn.ReadFromUDPAddrPort(buf); err == nil {
 		t.Error("receiver b got traffic for group a")
 	}
 	a.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	n, _, err := a.Conn.ReadFromUDP(buf)
+	n, _, err := a.Conn.ReadFromUDPAddrPort(buf)
 	if err != nil || string(buf[:n]) != "for-a" {
 		t.Errorf("receiver a: %q, %v", buf[:n], err)
 	}
@@ -129,7 +129,7 @@ func TestFanOut(t *testing.T) {
 	for i, r := range rcvs {
 		buf := make([]byte, 8)
 		r.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-		n, _, err := r.Conn.ReadFromUDP(buf)
+		n, _, err := r.Conn.ReadFromUDPAddrPort(buf)
 		if err != nil || string(buf[:n]) != "all" {
 			t.Errorf("receiver %d: %q, %v", i, buf[:n], err)
 		}
@@ -211,7 +211,7 @@ func TestSendBestEffort(t *testing.T) {
 	for i, r := range []*Receiver{first, last} {
 		buf := make([]byte, 32)
 		r.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-		rn, _, err := r.Conn.ReadFromUDP(buf)
+		rn, _, err := r.Conn.ReadFromUDPAddrPort(buf)
 		if err != nil || string(buf[:rn]) != "best effort" {
 			t.Errorf("healthy receiver %d starved: %q, %v", i, buf[:rn], err)
 		}
@@ -232,7 +232,7 @@ func TestSendBestEffort(t *testing.T) {
 	}
 	buf := make([]byte, 32)
 	last.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	rn, _, err := last.Conn.ReadFromUDP(buf)
+	rn, _, err := last.Conn.ReadFromUDPAddrPort(buf)
 	if err != nil || string(buf[:rn]) != "after close" {
 		t.Errorf("surviving receiver starved after peer close: %q, %v", buf[:rn], err)
 	}
@@ -297,7 +297,7 @@ func TestEvictDeadMember(t *testing.T) {
 	buf := make([]byte, 32)
 	healthy.Conn.SetReadDeadline(time.Now().Add(2 * time.Second))
 	for i := 0; i < EvictAfterFailures+1; i++ {
-		if _, _, err := healthy.Conn.ReadFromUDP(buf); err != nil {
+		if _, _, err := healthy.Conn.ReadFromUDPAddrPort(buf); err != nil {
 			t.Fatalf("healthy member starved at datagram %d: %v", i, err)
 		}
 	}
@@ -489,7 +489,7 @@ func BenchmarkHubSend(b *testing.B) {
 	go func() {
 		buf := make([]byte, 2048)
 		for {
-			if _, _, err := rcv.Conn.ReadFromUDP(buf); err != nil {
+			if _, _, err := rcv.Conn.ReadFromUDPAddrPort(buf); err != nil {
 				return
 			}
 		}

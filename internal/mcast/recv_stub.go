@@ -1,0 +1,31 @@
+//go:build !linux || (!amd64 && !arm64)
+
+// Portable stubs for the ingress ladder. On platforms without the linux
+// fast path the receiver never arms mmsgOn, so readBatched is
+// unreachable; the stubs exist so shared.go compiles everywhere and
+// behaves identically through the single-read rung.
+package mcast
+
+// recvCompiled reports at compile time whether this build contains the
+// batched-receive fast path; tests use it to decide what the
+// kill-switches can prove.
+const recvCompiled = false
+
+// recvBuf has no state on platforms without the batched-receive path.
+type recvBuf struct{}
+
+// initRecv is a no-op: there is no fast rung to arm, and the
+// SKYSCRAPER_NO_RECVMMSG/SKYSCRAPER_NO_GRO kill-switches have nothing to
+// switch off.
+func (s *SharedReceiver) initRecv() {}
+
+// SetRecvBatched reports false: the recvmmsg rung cannot be enabled here.
+func (s *SharedReceiver) SetRecvBatched(on bool) bool { return false }
+
+// SetGRO reports false: the GRO rung cannot be enabled here.
+func (s *SharedReceiver) SetGRO(on bool) bool { return false }
+
+// readBatched is unreachable on this platform — mmsgOn is never set.
+func (s *SharedReceiver) readBatched() bool {
+	panic("mcast: batched receive invoked without platform support")
+}

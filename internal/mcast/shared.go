@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"skyscraper/internal/metrics"
 )
@@ -20,22 +22,84 @@ type Classifier func(frame []byte) (Group, bool)
 // payload loopback can carry.
 const maxDatagram = 64 << 10
 
+// DefaultRecvBatch is the most datagrams one recvmmsg call may drain —
+// the ingress mirror of sendmmsgBatch, and for the same reason: large
+// enough that the syscall cost amortizes to noise, small enough that the
+// batch's buffer ring stays a few MiB. It is also the hard ceiling: the
+// platform layer's syscall arrays are sized to it, so larger configured
+// batches are clamped here.
+const DefaultRecvBatch = 64
+
+// Read-error backoff: a persistent (non-closed) receive error used to
+// spin the read loop hot. After readErrStreak consecutive failures the
+// loop sleeps, doubling from readErrBackoffStart up to readErrBackoffCap,
+// so a wedged socket costs ~10 wakeups/s instead of a pegged core. Any
+// successful read resets the streak.
+const (
+	readErrStreak       = 8
+	readErrBackoffStart = time.Millisecond
+	readErrBackoffCap   = 100 * time.Millisecond
+)
+
+// SharedReceiverConfig configures NewSharedReceiverConfigured.
+type SharedReceiverConfig struct {
+	// RecvBufBytes is the kernel receive buffer (SetReadBuffer); zero or
+	// negative selects DefaultRecvBufBytes.
+	RecvBufBytes int
+	// Batch is the most datagrams drained per recvmmsg call, clamped to
+	// [1, DefaultRecvBatch]; zero or negative selects DefaultRecvBatch.
+	// A batch of 1 pins the portable single-read path.
+	Batch int
+	// Classify routes datagrams to groups; required.
+	Classify Classifier
+	// Logf receives the one-line notices of the ingress ladder (probe
+	// failures, kill-switches, runtime demotions); nil discards them.
+	Logf func(format string, args ...any)
+}
+
 // SharedReceiver is the fan-in complement of Hub's fan-out: one UDP
 // socket whose datagrams are routed to per-group subscriptions. A cohort
 // multiplexer emulating thousands of viewers holds one SharedReceiver and
 // one subscription per tuned channel instead of one socket per viewer, so
 // kernel-side cost scales with cohorts, not audience size.
 //
+// The read side is a two-rung ladder mirroring the hub's egress: a
+// recvmmsg rung drains up to the configured batch of datagrams per
+// syscall into a reusable buffer ring (recv_linux.go), and a UDP GRO rung
+// on top receives the hub's GSO super-frames as one coalesced buffer
+// that is split back into wire-sized frames in userspace. Platforms (or
+// kill-switches) without the rungs read one datagram per syscall through
+// the portable path — behavior-identical, just slower.
+//
 // The dispatch path mirrors Send's discipline: subscriptions live in
 // copy-on-write snapshots behind an atomic pointer (Subscribe and
 // Unsubscribe copy under a mutex, the read loop only loads), frames are
 // copied into slots the subscriber preallocated, and slot handoff rides
 // buffered int channels — so a steady-state delivery allocates nothing.
-// Delivery is best-effort, as multicast is: a subscriber that stops
-// draining its ring loses its own datagrams, never its neighbors'.
+// A batched read classifies and routes the whole batch under one
+// snapshot load. Delivery is best-effort, as multicast is: a subscriber
+// that stops draining its ring loses its own datagrams, never its
+// neighbors'.
 type SharedReceiver struct {
 	conn     *net.UDPConn
 	classify Classifier
+	logf     func(format string, args ...any)
+
+	// The ingress-ladder state: the raw socket handle the batched reader
+	// drives, the reusable syscall/buffer state, and the rung switches.
+	// mmsgCapable/groCapable record what the creation-time probes proved;
+	// mmsgOn/groOn are the live switches (runtime demotion, test hooks).
+	rc          syscall.RawConn
+	batch       int
+	rb          *recvBuf
+	mmsgOn      atomic.Bool
+	groOn       atomic.Bool
+	mmsgCapable bool
+	groCapable  bool
+
+	// errStreak counts consecutive read failures; owned by the run
+	// goroutine.
+	errStreak int
 
 	// mu serializes the writers (Subscribe, Unsubscribe, Close); the read
 	// loop never takes it.
@@ -47,6 +111,20 @@ type SharedReceiver struct {
 	delivered  metrics.PaddedCounter
 	dropped    metrics.PaddedCounter
 	unroutable metrics.PaddedCounter
+
+	// The ingress ledger. batchedReads counts datagrams delivered through
+	// the recvmmsg rung (post-GRO-split, i.e. wire-equivalent frames);
+	// readSyscalls every kernel receive invocation on either path —
+	// batchedReads/readSyscalls is the achieved ingress batching factor.
+	// groSegments counts frames recovered by splitting coalesced GRO
+	// buffers; groFallbacks how many times the GRO rung was declined or
+	// abandoned; readErrors the socket read failures (satellite of the
+	// backoff above).
+	batchedReads metrics.PaddedCounter
+	readSyscalls metrics.PaddedCounter
+	groSegments  metrics.PaddedCounter
+	groFallbacks metrics.PaddedCounter
+	readErrors   metrics.PaddedCounter
 }
 
 // subMap is one immutable snapshot of every group's subscriptions.
@@ -76,18 +154,45 @@ type Subscription struct {
 
 // NewSharedReceiver opens the shared socket with the given kernel receive
 // buffer (zero or negative selects DefaultRecvBufBytes) and classifier,
-// and starts the read loop. Close stops it.
+// and starts the read loop with the default ingress batch. Close stops
+// it.
 func NewSharedReceiver(rcvBuf int, classify Classifier) (*SharedReceiver, error) {
-	if classify == nil {
+	return NewSharedReceiverConfigured(SharedReceiverConfig{
+		RecvBufBytes: rcvBuf,
+		Classify:     classify,
+	})
+}
+
+// NewSharedReceiverConfigured opens the shared socket, arms whatever
+// ingress rungs the platform and kernel support (recvmmsg, then UDP GRO
+// on top of it), and starts the read loop. Close stops it.
+func NewSharedReceiverConfigured(cfg SharedReceiverConfig) (*SharedReceiver, error) {
+	if cfg.Classify == nil {
 		return nil, fmt.Errorf("mcast: shared receiver needs a classifier")
 	}
-	r, err := NewReceiverSized(rcvBuf)
+	r, err := NewReceiverSized(cfg.RecvBufBytes)
 	if err != nil {
 		return nil, err
 	}
-	s := &SharedReceiver{conn: r.Conn, classify: classify, done: make(chan struct{})}
+	batch := cfg.Batch
+	if batch <= 0 || batch > DefaultRecvBatch {
+		batch = DefaultRecvBatch
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &SharedReceiver{
+		conn:     r.Conn,
+		classify: cfg.Classify,
+		logf:     logf,
+		batch:    batch,
+		done:     make(chan struct{}),
+	}
 	m := make(subMap)
 	s.subs.Store(&m)
+	s.initRecv()
+	registerIngress(s)
 	go s.run()
 	return s, nil
 }
@@ -161,20 +266,22 @@ func (s *SharedReceiver) Unsubscribe(sub *Subscription) {
 	s.subs.Store(&next)
 }
 
-// run is the read loop: one datagram in, zero or more slot deliveries
-// out. It owns every ready channel and closes them all on exit.
+// run is the read loop: one read (a single datagram or a whole recvmmsg
+// batch, per the live rung) in, zero or more slot deliveries out. It owns
+// every ready channel and closes them all on exit.
 func (s *SharedReceiver) run() {
 	defer close(s.done)
 	buf := make([]byte, maxDatagram)
 	for {
-		n, _, err := s.conn.ReadFromUDPAddrPort(buf)
-		if err != nil {
-			if s.closed.Load() {
-				break
-			}
-			continue // transient (e.g. ICMP-induced) read error
+		var ok bool
+		if s.mmsgOn.Load() {
+			ok = s.readBatched()
+		} else {
+			ok = s.readSingle(buf)
 		}
-		s.dispatch(buf[:n])
+		if !ok {
+			break
+		}
 	}
 	// Wake every consumer: snapshot under mu so a racing Subscribe (which
 	// fails after closed is set) cannot add an unclosed channel.
@@ -188,6 +295,43 @@ func (s *SharedReceiver) run() {
 	}
 }
 
+// readSingle is the portable rung: one datagram per kernel crossing. It
+// returns false only when the receiver is closed.
+func (s *SharedReceiver) readSingle(buf []byte) bool {
+	s.readSyscalls.Inc()
+	n, _, err := s.conn.ReadFromUDPAddrPort(buf)
+	if err != nil {
+		return s.noteReadError()
+	}
+	s.errStreak = 0
+	s.dispatch(buf[:n])
+	return true
+}
+
+// noteReadError is the shared failure tail of both read rungs: it ends
+// the loop on close, and otherwise counts the error and backs off once a
+// streak shows the failure is persistent — a wedged socket (e.g. a
+// firewall rejecting with ICMP faster than we drain errors) must not
+// spin a core.
+func (s *SharedReceiver) noteReadError() bool {
+	if s.closed.Load() {
+		return false
+	}
+	s.readErrors.Inc()
+	s.errStreak++
+	if over := s.errStreak - readErrStreak; over >= 0 {
+		if over > 6 {
+			over = 6 // 1ms << 6 = 64ms, the last doubling under the cap
+		}
+		d := readErrBackoffStart << over
+		if d > readErrBackoffCap {
+			d = readErrBackoffCap
+		}
+		time.Sleep(d)
+	}
+	return true
+}
+
 // dispatch routes one datagram to every subscription of its group. It is
 // the per-datagram hot path: a snapshot load, the classifier, and slot
 // handoffs — no locks, no allocation.
@@ -199,6 +343,27 @@ func (s *SharedReceiver) dispatch(frame []byte) {
 	}
 	for _, sub := range (*s.subs.Load())[g] {
 		sub.deliver(frame, s)
+	}
+}
+
+// dispatchFrames routes a whole received batch under ONE subscription-
+// snapshot load — the batch mirror of dispatch, and the reason the
+// batched rung beats per-datagram reads even after the syscall win: the
+// atomic load and its cache traffic amortize across the run. Frames from
+// one batch are delivered in receive order, so the sequence every
+// subscription observes is identical to what per-datagram dispatch would
+// have produced.
+func (s *SharedReceiver) dispatchFrames(frames [][]byte) {
+	subs := *s.subs.Load()
+	for _, frame := range frames {
+		g, ok := s.classify(frame)
+		if !ok {
+			s.unroutable.Inc()
+			continue
+		}
+		for _, sub := range subs[g] {
+			sub.deliver(frame, s)
+		}
 	}
 }
 
@@ -244,6 +409,22 @@ func (s *SharedReceiver) Delivered() int64  { return s.delivered.Value() }
 func (s *SharedReceiver) Dropped() int64    { return s.dropped.Value() }
 func (s *SharedReceiver) Unroutable() int64 { return s.unroutable.Value() }
 
+// The ingress ledger: BatchedReads counts datagrams delivered through
+// the recvmmsg rung (after GRO splitting); ReadSyscalls every kernel
+// receive invocation on either rung; GROSegments frames recovered from
+// coalesced super-frames; GROFallbacks declines and demotions of the GRO
+// rung; ReadErrors failed socket reads.
+func (s *SharedReceiver) BatchedReads() int64 { return s.batchedReads.Value() }
+func (s *SharedReceiver) ReadSyscalls() int64 { return s.readSyscalls.Value() }
+func (s *SharedReceiver) GROSegments() int64  { return s.groSegments.Value() }
+func (s *SharedReceiver) GROFallbacks() int64 { return s.groFallbacks.Value() }
+func (s *SharedReceiver) ReadErrors() int64   { return s.readErrors.Value() }
+
+// RecvBatched reports whether the recvmmsg rung is live; GRO whether the
+// coalesced-receive rung on top of it is.
+func (s *SharedReceiver) RecvBatched() bool { return s.mmsgOn.Load() }
+func (s *SharedReceiver) GRO() bool         { return s.groOn.Load() }
+
 // Close shuts the socket and stops the read loop; every subscription's
 // Ready channel is closed before Close returns.
 func (s *SharedReceiver) Close() error {
@@ -255,5 +436,64 @@ func (s *SharedReceiver) Close() error {
 	err := s.conn.Close()
 	s.mu.Unlock()
 	<-s.done
+	retireIngress(s)
 	return err
+}
+
+// IngressTotals is the process-wide ingress ledger: the summed counters
+// of every SharedReceiver the process has opened, live and closed. A
+// host runs many receivers over a session (one per cohort mux, recreated
+// on retune), so per-receiver counters alone would undercount; this is
+// what wire.Stats and /status report.
+type IngressTotals struct {
+	BatchedReads int64
+	ReadSyscalls int64
+	GROSegments  int64
+	GROFallbacks int64
+	ReadErrors   int64
+}
+
+var (
+	ingressMu      sync.Mutex
+	ingressLive    = make(map[*SharedReceiver]struct{})
+	ingressRetired IngressTotals
+)
+
+func registerIngress(s *SharedReceiver) {
+	ingressMu.Lock()
+	ingressLive[s] = struct{}{}
+	ingressMu.Unlock()
+}
+
+// retireIngress folds a closed receiver's final counter values into the
+// retired totals so IngressStats keeps counting it after the receiver is
+// gone.
+func retireIngress(s *SharedReceiver) {
+	ingressMu.Lock()
+	defer ingressMu.Unlock()
+	if _, ok := ingressLive[s]; !ok {
+		return
+	}
+	delete(ingressLive, s)
+	ingressRetired.add(s)
+}
+
+func (t *IngressTotals) add(s *SharedReceiver) {
+	t.BatchedReads += s.BatchedReads()
+	t.ReadSyscalls += s.ReadSyscalls()
+	t.GROSegments += s.GROSegments()
+	t.GROFallbacks += s.GROFallbacks()
+	t.ReadErrors += s.ReadErrors()
+}
+
+// IngressStats returns the process-wide ingress ledger: retired
+// receivers' final counts plus every live receiver's current ones.
+func IngressStats() IngressTotals {
+	ingressMu.Lock()
+	defer ingressMu.Unlock()
+	t := ingressRetired
+	for s := range ingressLive {
+		t.add(s)
+	}
+	return t
 }

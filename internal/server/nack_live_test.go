@@ -68,7 +68,7 @@ func TestNackMulticastResend(t *testing.T) {
 	for remaining := len(want); remaining > 0; {
 		_ = rcv.Conn.SetReadDeadline(deadline)
 		buf := make([]byte, wire.EncodedSize(wire.MaxPayload))
-		n, _, err := rcv.Conn.ReadFromUDP(buf)
+		n, _, err := rcv.Conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			t.Fatalf("multicast re-sends never reached the group (still missing %d)", remaining)
 		}

@@ -242,7 +242,7 @@ func TestStormCoalescing(t *testing.T) {
 	for {
 		_ = rcv.Conn.SetReadDeadline(deadline)
 		buf := make([]byte, wire.EncodedSize(wire.MaxPayload))
-		n, _, err := rcv.Conn.ReadFromUDP(buf)
+		n, _, err := rcv.Conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			t.Fatal("multicast re-send never reached the group")
 		}

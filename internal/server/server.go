@@ -906,6 +906,15 @@ func (s *Server) serveControl(conn net.Conn) {
 				ParityBytes:       s.parityBytes.Value(),
 				Draining:          s.draining.Load(),
 			}
+			// The ingress ledger covers every shared receiver this process
+			// opened — zero on a pure egress server, live on a relay or a
+			// co-located emulation.
+			ing := mcast.IngressStats()
+			st.BatchedReads = ing.BatchedReads
+			st.ReadSyscalls = ing.ReadSyscalls
+			st.GroSegments = ing.GROSegments
+			st.GroFallbacks = ing.GROFallbacks
+			st.ReadErrors = ing.ReadErrors
 			if err := write(&wire.Control{Kind: wire.KindStatsOK, Stats: st}); err != nil {
 				return
 			}

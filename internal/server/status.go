@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"skyscraper/internal/faults"
+	"skyscraper/internal/mcast"
 )
 
 // StatusSnapshot is the JSON document served at /status.
@@ -104,6 +105,21 @@ type StatusSnapshot struct {
 	SegmentsPerSuperframe float64 `json:"segmentsPerSuperframe"`
 	SegmentsPerSyscall    float64 `json:"segmentsPerSyscall"`
 	GSOFallbacks          int64   `json:"gsoFallbacks"`
+	// The ingress ladder ledger, summed over every shared receiver this
+	// process has opened (zero on a pure egress server). BatchedReads
+	// counts datagrams delivered through the recvmmsg rung; ReadSyscalls
+	// every kernel receive invocation on either rung —
+	// BatchedReads/ReadSyscalls is the achieved ingress batching factor.
+	// GroSegments counts wire datagrams recovered by splitting UDP_GRO
+	// super-frames; GroFallbacks how many times a rung was declined or
+	// abandoned; ReadErrors counted (and backoff-throttled) receive
+	// failures.
+	BatchedReads    int64   `json:"batchedReads,omitempty"`
+	ReadSyscalls    int64   `json:"readSyscalls,omitempty"`
+	ReadsPerSyscall float64 `json:"readsPerSyscall,omitempty"`
+	GroSegments     int64   `json:"groSegments,omitempty"`
+	GroFallbacks    int64   `json:"groFallbacks,omitempty"`
+	ReadErrors      int64   `json:"readErrors,omitempty"`
 	// The io_uring ledger. UringSubmits counts io_uring_enter calls of
 	// the shared cross-shard submission ring; UringSQEs the send SQEs
 	// they carried; SQEDepth the achieved depth per submit
@@ -143,6 +159,7 @@ func (s *Server) snapshot() StatusSnapshot {
 	}
 	superframes, gsoSegments := s.hub.Superframes(), s.hub.GSOSegments()
 	uringSubmits, uringSQEs := s.hub.UringSubmits(), s.hub.UringSQEs()
+	ing := mcast.IngressStats()
 	return StatusSnapshot{
 		RepairsServed:         s.repairs.Value(),
 		RepairBytes:           s.repairBytes.Value(),
@@ -176,6 +193,12 @@ func (s *Server) snapshot() StatusSnapshot {
 		UringSubmits:          uringSubmits,
 		UringSQEs:             uringSQEs,
 		SQEDepth:              ratio(uringSQEs, uringSubmits),
+		BatchedReads:          ing.BatchedReads,
+		ReadSyscalls:          ing.ReadSyscalls,
+		ReadsPerSyscall:       ratio(ing.BatchedReads, ing.ReadSyscalls),
+		GroSegments:           ing.GROSegments,
+		GroFallbacks:          ing.GROFallbacks,
+		ReadErrors:            ing.ReadErrors,
 		MembersEvicted:        s.hub.Evictions(),
 		Draining:              s.draining.Load(),
 		FaultsInjected:        injected,

@@ -409,6 +409,28 @@ drain:
 			if err != nil {
 				return err
 			}
+			// The batched ingress rung lands whole contiguous runs in the
+			// ring at once; book the rest of the burst now — bounded by
+			// the ring depth so a saturated group cannot starve the
+			// repair passes — instead of paying one scheduler pass and
+			// one deadline recomputation per frame.
+			now = time.Now()
+		burst:
+			for i := 1; i < m.cfg.SubDepth; i++ {
+				select {
+				case slot, ok := <-sub.Ready():
+					if !ok {
+						return errors.New("shared receiver closed")
+					}
+					err := c.handleFrame(f, sub.Frame(slot), now)
+					sub.Release(slot)
+					if err != nil {
+						return err
+					}
+				default:
+					break burst
+				}
+			}
 		case <-f.wake:
 		case <-timer.C:
 		}

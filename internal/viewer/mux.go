@@ -93,6 +93,10 @@ type MuxConfig struct {
 	// RecvBufBytes sizes the shared UDP socket's kernel buffer; zero
 	// selects mcast.DefaultRecvBufBytes.
 	RecvBufBytes int
+	// RecvBatch is the most datagrams the shared receiver drains per
+	// recvmmsg call; zero selects mcast.DefaultRecvBatch, 1 pins the
+	// portable single-read path.
+	RecvBatch int
 	// SubDepth is the per-subscription slot ring depth; defaults to 256.
 	SubDepth int
 	// Logf, when non-nil, receives diagnostic output.
@@ -155,6 +159,18 @@ type Result struct {
 	// lost to a full subscription ring (they surface as repairs).
 	Datagrams   int64 `json:"datagrams"`
 	RecvDropped int64 `json:"recvDropped"`
+	// The ingress ledger of the shared receiver. BatchedReads counts
+	// datagrams drained through the recvmmsg rung (after GRO splitting);
+	// ReadSyscalls every kernel receive invocation —
+	// BatchedReads/ReadSyscalls is the achieved ingress batching factor.
+	// GroSegments counts frames recovered from coalesced GRO
+	// super-frames; GroFallbacks declines/demotions of the GRO rung;
+	// ReadErrors failed socket reads.
+	BatchedReads int64 `json:"batchedReads"`
+	ReadSyscalls int64 `json:"readSyscalls"`
+	GroSegments  int64 `json:"groSegments"`
+	GroFallbacks int64 `json:"groFallbacks,omitempty"`
+	ReadErrors   int64 `json:"readErrors,omitempty"`
 	// WaitHist is the per-viewer admission-wait histogram in milli-unit
 	// bins, mergeable across emulator processes.
 	WaitHist []WaitBucket `json:"waitHist"`
@@ -315,12 +331,17 @@ func NewMux(cfg MuxConfig) (*Mux, error) {
 // Run executes the emulation prepared by NewMux.
 func (m *Mux) Run() (*Result, error) {
 	defer m.jm.cc.close()
-	rcv, err := mcast.NewSharedReceiver(m.cfg.RecvBufBytes, func(frame []byte) (mcast.Group, bool) {
-		v, ch, _, _, ok := wire.PeekID(frame)
-		if !ok {
-			return mcast.Group{}, false
-		}
-		return mcast.Group{Video: int(v), Channel: int(ch)}, true
+	rcv, err := mcast.NewSharedReceiverConfigured(mcast.SharedReceiverConfig{
+		RecvBufBytes: m.cfg.RecvBufBytes,
+		Batch:        m.cfg.RecvBatch,
+		Logf:         m.cfg.Logf,
+		Classify: func(frame []byte) (mcast.Group, bool) {
+			v, ch, _, _, ok := wire.PeekID(frame)
+			if !ok {
+				return mcast.Group{}, false
+			}
+			return mcast.Group{Video: int(v), Channel: int(ch)}, true
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -418,15 +439,20 @@ func (m *Mux) admit() []*cohort {
 // per-viewer ledgers into the Result.
 func (m *Mux) aggregate(cohorts []*cohort, elapsed time.Duration) *Result {
 	res := &Result{
-		Viewers:     m.cfg.Viewers,
-		Cohorts:     len(cohorts),
-		Workers:     m.cfg.Workers,
-		ElapsedSec:  elapsed.Seconds(),
-		PeakViewers: m.liveViewers.High(),
-		PeakCohorts: m.activeCohorts.High(),
-		Datagrams:   m.rcv.Delivered(),
-		RecvDropped: m.rcv.Dropped(),
-		Reconnects:  m.reconnects.Load(),
+		Viewers:      m.cfg.Viewers,
+		Cohorts:      len(cohorts),
+		Workers:      m.cfg.Workers,
+		ElapsedSec:   elapsed.Seconds(),
+		PeakViewers:  m.liveViewers.High(),
+		PeakCohorts:  m.activeCohorts.High(),
+		Datagrams:    m.rcv.Delivered(),
+		RecvDropped:  m.rcv.Dropped(),
+		BatchedReads: m.rcv.BatchedReads(),
+		ReadSyscalls: m.rcv.ReadSyscalls(),
+		GroSegments:  m.rcv.GROSegments(),
+		GroFallbacks: m.rcv.GROFallbacks(),
+		ReadErrors:   m.rcv.ReadErrors(),
+		Reconnects:   m.reconnects.Load(),
 	}
 	var totalUnits int64
 	for _, s := range m.w.SizeUnits {

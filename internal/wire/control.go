@@ -169,6 +169,19 @@ type Stats struct {
 	// stripe's bandwidth overhead (≤ 1/G by construction).
 	ParityFrames int64 `json:"parityFrames,omitempty"`
 	ParityBytes  int64 `json:"parityBytes,omitempty"`
+	// The ingress ledger, summed over every shared receiver the process
+	// has opened (absent on a process that never receives).
+	// BatchedReads counts datagrams drained through the recvmmsg rung
+	// (after GRO splitting); ReadSyscalls every kernel receive
+	// invocation, so BatchedReads/ReadSyscalls is the achieved ingress
+	// batching factor; GroSegments frames recovered from coalesced GRO
+	// super-frames; GroFallbacks declines/demotions of the GRO rung;
+	// ReadErrors failed socket reads.
+	BatchedReads int64 `json:"batchedReads,omitempty"`
+	ReadSyscalls int64 `json:"readSyscalls,omitempty"`
+	GroSegments  int64 `json:"groSegments,omitempty"`
+	GroFallbacks int64 `json:"groFallbacks,omitempty"`
+	ReadErrors   int64 `json:"readErrors,omitempty"`
 	// Draining reports a server in graceful shutdown: no new
 	// connections, in-flight repairs finishing.
 	Draining bool `json:"draining,omitempty"`
